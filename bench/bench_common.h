@@ -1,0 +1,55 @@
+// Shared helpers for the experiment benches: named graph construction and
+// a consistent header format so EXPERIMENTS.md can quote outputs verbatim.
+#ifndef OPINDYN_BENCH_BENCH_COMMON_H
+#define OPINDYN_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+
+#include "src/graph/generators.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+namespace bench {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& claim) {
+  std::cout << "\n# " << experiment_id << "\n";
+  std::cout << claim << "\n\n";
+}
+
+/// Builds one of the named graph families used across benches.
+inline Graph make_graph(const std::string& family, NodeId n,
+                        std::uint64_t seed = 4242) {
+  Rng rng(seed);
+  if (family == "cycle") return gen::cycle(n);
+  if (family == "path") return gen::path(n);
+  if (family == "complete") return gen::complete(n);
+  if (family == "star") return gen::star(n);
+  if (family == "binary_tree") return gen::binary_tree(n);
+  if (family == "hypercube") {
+    int d = 0;
+    while ((NodeId{1} << (d + 1)) <= n) {
+      ++d;
+    }
+    return gen::hypercube(d);
+  }
+  if (family == "torus") {
+    NodeId side = 3;
+    while ((side + 1) * (side + 1) <= n) {
+      ++side;
+    }
+    return gen::torus(side, side);
+  }
+  if (family == "random_regular_4") return gen::random_regular(rng, n, 4);
+  if (family == "pref_attach") return gen::preferential_attachment(rng, n, 2);
+  if (family == "double_star") return gen::double_star((n - 2) / 2);
+  if (family == "barbell") return gen::barbell(n / 2, n - 2 * (n / 2));
+  if (family == "lollipop") return gen::lollipop(n / 2, n - n / 2);
+  throw std::runtime_error("unknown graph family: " + family);
+}
+
+}  // namespace bench
+}  // namespace opindyn
+
+#endif  // OPINDYN_BENCH_BENCH_COMMON_H

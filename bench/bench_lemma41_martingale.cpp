@@ -1,0 +1,130 @@
+// L41 -- Lemma 4.1: M(t) = sum_u (d_u/2m) xi_u(t) is a martingale under
+// the NodeModel (and Avg(t) under the EdgeModel, Prop. D.1.i).
+// Two checks:
+//  (a) exact one-step drift by full enumeration of the selection
+//      distribution: |E[M(t+1)|xi] - M(t)| at machine precision, and the
+//      contrast column showing the *plain* average does drift;
+//  (b) long-horizon Monte Carlo: E[M(t)] stays at M(0) at t up to 10^5.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/core/initial_values.h"
+#include "src/core/montecarlo.h"
+#include "src/core/selection.h"
+#include "src/graph/algorithms.h"
+#include "src/support/table.h"
+
+namespace {
+
+using namespace opindyn;
+
+std::vector<double> apply_update(const std::vector<double>& xi,
+                                 const NodeSelection& sel, double alpha) {
+  std::vector<double> out = xi;
+  double sum = 0.0;
+  for (const NodeId v : sel.sample) {
+    sum += xi[static_cast<std::size_t>(v)];
+  }
+  out[static_cast<std::size_t>(sel.node)] =
+      alpha * xi[static_cast<std::size_t>(sel.node)] +
+      (1.0 - alpha) * sum / static_cast<double>(sel.sample.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "L41: martingale property (Lemma 4.1 / Prop. D.1.i)",
+      "(a) one-step drift by exact enumeration; (b) long-run E[M(t)].");
+
+  std::cout << "## (a) exact one-step drift (enumeration, no sampling)\n\n";
+  Table table({"graph", "model", "k", "|E[M'] - M| (weighted)",
+               "|E[Avg'] - Avg| (plain)"});
+  Rng init_rng(3);
+  for (const std::string family :
+       {"cycle", "star", "lollipop", "pref_attach", "complete"}) {
+    const Graph g = bench::make_graph(family, 12);
+    const auto xi = initial::gaussian(init_rng, g.node_count(), 1.0, 2.0);
+    const double m0 = degree_weighted_average(g, xi);
+    double avg0 = 0.0;
+    for (const double v : xi) {
+      avg0 += v;
+    }
+    avg0 /= static_cast<double>(g.node_count());
+
+    for (const std::int64_t k : {std::int64_t{1}, std::int64_t{2}}) {
+      if (k > g.min_degree()) {
+        continue;
+      }
+      const auto selections = enumerate_node_selections(g, k);
+      double m_after = 0.0;
+      double avg_after = 0.0;
+      for (const auto& ws : selections) {
+        const auto next = apply_update(xi, ws.selection, 0.5);
+        m_after += ws.probability * degree_weighted_average(g, next);
+        double s = 0.0;
+        for (const double v : next) {
+          s += v;
+        }
+        avg_after +=
+            ws.probability * s / static_cast<double>(g.node_count());
+      }
+      table.new_row()
+          .add(g.name())
+          .add("NodeModel")
+          .add(k)
+          .add_sci(std::abs(m_after - m0), 2)
+          .add_sci(std::abs(avg_after - avg0), 2);
+    }
+    // EdgeModel: plain average is the martingale.
+    const auto arcs = enumerate_edge_selections(g);
+    double m_after = 0.0;
+    double avg_after = 0.0;
+    for (const auto& ws : arcs) {
+      const auto next = apply_update(xi, ws.selection, 0.5);
+      m_after += ws.probability * degree_weighted_average(g, next);
+      double s = 0.0;
+      for (const double v : next) {
+        s += v;
+      }
+      avg_after += ws.probability * s / static_cast<double>(g.node_count());
+    }
+    table.new_row()
+        .add(g.name())
+        .add("EdgeModel")
+        .add(std::int64_t{1})
+        .add_sci(std::abs(m_after - m0), 2)
+        .add_sci(std::abs(avg_after - avg0), 2);
+  }
+  std::cout << table.to_markdown() << "\n";
+  std::cout << "Reading: the NodeModel's weighted column and the "
+               "EdgeModel's plain column are ~1e-16 (martingales); the "
+               "other columns are visibly nonzero on irregular graphs.\n\n";
+
+  std::cout << "## (b) long-horizon E[M(t)] (NodeModel, star(16), "
+               "2000 replicas)\n\n";
+  const Graph g = bench::make_graph("star", 16);
+  auto xi = initial::spike(16, 0, 16.0);
+  const double m0 = degree_weighted_average(g, xi);
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 1;
+  const std::vector<std::int64_t> checkpoints{0, 100, 1000, 10000, 100000};
+  const TrajectoryResult traj =
+      monte_carlo_trajectory(g, config, xi, checkpoints, 2000, 5);
+  Table drift({"t", "E[M(t)] measured", "+-CI", "M(0)", "Var(M(t))"});
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    drift.new_row()
+        .add(checkpoints[i])
+        .add_fixed(traj.martingale[i].mean(), 5)
+        .add_fixed(traj.martingale[i].mean_ci_halfwidth(), 5)
+        .add_fixed(m0, 5)
+        .add_sci(traj.martingale[i].population_variance(), 3);
+  }
+  std::cout << drift.to_markdown() << "\n";
+  std::cout << "Reading: E[M(t)] pinned at M(0) with Var(M(t)) "
+               "non-decreasing toward Var(F).\n";
+  return 0;
+}

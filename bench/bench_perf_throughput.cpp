@@ -1,0 +1,118 @@
+// PERF -- engine microbenchmarks (google-benchmark): steps/second of the
+// two processes across graph sizes, the cost of extremum tracking, and
+// the incremental-potential ablation (OpinionState's O(1) accumulators vs
+// a naive O(n) recompute per step).
+#include <benchmark/benchmark.h>
+
+#include "src/core/edge_model.h"
+#include "src/core/initial_values.h"
+#include "src/core/node_model.h"
+#include "src/graph/generators.h"
+#include "src/support/rng.h"
+#include "src/support/sampling.h"
+
+namespace {
+
+using namespace opindyn;
+
+void BM_NodeModelStep(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto k = state.range(1);
+  Rng graph_rng(1);
+  const Graph g = gen::random_regular(graph_rng, n, 4);
+  Rng init_rng(2);
+  NodeModelParams params;
+  params.alpha = 0.5;
+  params.k = k;
+  NodeModel model(g, initial::gaussian(init_rng, n, 0.0, 1.0), params);
+  Rng rng(3);
+  for (auto _ : state) {
+    model.step(rng);
+    benchmark::DoNotOptimize(model.state().phi());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NodeModelStep)
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Args({16384, 1})
+    ->Args({16384, 4});
+
+void BM_EdgeModelStep(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng graph_rng(1);
+  const Graph g = gen::random_regular(graph_rng, n, 4);
+  Rng init_rng(2);
+  EdgeModelParams params;
+  params.alpha = 0.5;
+  EdgeModel model(g, initial::gaussian(init_rng, n, 0.0, 1.0), params);
+  Rng rng(3);
+  for (auto _ : state) {
+    model.step(rng);
+    benchmark::DoNotOptimize(model.state().phi());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdgeModelStep)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_NodeModelStepWithExtrema(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng graph_rng(1);
+  const Graph g = gen::random_regular(graph_rng, n, 4);
+  Rng init_rng(2);
+  NodeModelParams params;
+  params.alpha = 0.5;
+  params.k = 1;
+  params.track_extrema = true;  // ablation: O(log n) multiset updates
+  NodeModel model(g, initial::gaussian(init_rng, n, 0.0, 1.0), params);
+  Rng rng(3);
+  for (auto _ : state) {
+    model.step(rng);
+    benchmark::DoNotOptimize(model.state().discrepancy());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NodeModelStepWithExtrema)->Arg(1024)->Arg(16384);
+
+// Ablation: what a naive harness would pay if it recomputed phi from
+// scratch at every step instead of using the incremental accumulators.
+void BM_NaivePhiRecompute(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng graph_rng(1);
+  const Graph g = gen::random_regular(graph_rng, n, 4);
+  Rng init_rng(2);
+  NodeModelParams params;
+  params.alpha = 0.5;
+  params.k = 1;
+  NodeModel model(g, initial::gaussian(init_rng, n, 0.0, 1.0), params);
+  Rng rng(3);
+  for (auto _ : state) {
+    model.step(rng);
+    benchmark::DoNotOptimize(model.state().phi_exact());  // O(n) scan
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaivePhiRecompute)->Arg(1024)->Arg(16384);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(12345));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_SampleWithoutReplacement(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::int32_t> out;
+  const auto k = state.range(0);
+  for (auto _ : state) {
+    sample_without_replacement(rng, 64, k, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,117 @@
+// PB2 -- Proposition B.2 (tightness of the convergence bounds): with the
+// adversarial initial state xi(0) = n * f_2 the expected convergence time
+// matches the upper bound up to constants:
+//   NodeModel:  T = Omega( n log(n ||xi||^2 / eps) / ((1-a)(1-l2(P))) )
+//   EdgeModel:  T = Omega( m log(n ||xi||^2 / eps) / ((1-a) l2(L)) ).
+// We compare measured T_eps for the eigenvector start against both the
+// Omega expression and the matching upper bound -- the sandwich ratio
+// must be Theta(1).
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/core/initial_values.h"
+#include "src/core/montecarlo.h"
+#include "src/core/theory.h"
+#include "src/spectral/spectra.h"
+#include "src/support/table.h"
+
+namespace {
+using namespace opindyn;
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "PB2: lower bound via f_2 initial states (Proposition B.2)",
+      "xi(0) = n * f_2, eps = 1e-8, lazy NodeModel / plain EdgeModel, 30 "
+      "replicas.  'lower scale' is the Omega() expression; measured / "
+      "lower must be Theta(1) (and >= ~1 after constant calibration), "
+      "i.e. the eigenvector start certifies the upper bound is tight.");
+
+  const double eps = 1e-8;
+
+  std::cout << "## NodeModel, xi(0) = n * f2(P)\n\n";
+  Table node_table({"graph", "n", "1-l2(P)", "T measured", "lower scale",
+                    "upper (B.1 pred)", "meas/lower", "meas/upper"});
+  for (const std::string family : {"cycle", "complete", "torus"}) {
+    for (const NodeId n : {16, 32}) {
+      const Graph g = bench::make_graph(family, n);
+      const auto spec = lazy_walk_spectrum(g);
+      const auto xi = initial::scaled_eigenvector(
+          spec.f2, static_cast<double>(g.node_count()));
+
+      ModelConfig config;
+      config.alpha = 0.5;
+      config.k = 1;
+      config.lazy = true;
+      MonteCarloOptions options;
+      options.replicas = 30;
+      options.seed = 3;
+      options.convergence.epsilon = eps;
+      const MonteCarloResult result = monte_carlo(g, config, xi, options);
+
+      const double lower =
+          static_cast<double>(g.node_count()) *
+          std::log(static_cast<double>(g.node_count()) *
+                   initial::l2_squared(xi) / eps) /
+          ((1.0 - 0.5) * spec.gap);
+      OpinionState probe(g, xi);
+      const double rho = theory::node_model_rho(spec.lambda2, 0.5, 1,
+                                                g.node_count(), true);
+      const double upper =
+          theory::steps_to_epsilon(rho, probe.phi_exact(), eps);
+      node_table.new_row()
+          .add(g.name())
+          .add(static_cast<std::int64_t>(g.node_count()))
+          .add_sci(spec.gap, 2)
+          .add_fixed(result.steps.mean(), 0)
+          .add_fixed(lower, 0)
+          .add_fixed(upper, 0)
+          .add_fixed(result.steps.mean() / lower, 3)
+          .add_fixed(result.steps.mean() / upper, 3);
+    }
+  }
+  std::cout << node_table.to_markdown() << "\n";
+
+  std::cout << "## EdgeModel, xi(0) = n * f2(L)\n\n";
+  Table edge_table({"graph", "n", "m", "l2(L)", "T measured",
+                    "lower scale", "meas/lower"});
+  for (const std::string family : {"cycle", "star", "barbell"}) {
+    for (const NodeId n : {16, 32}) {
+      const Graph g = bench::make_graph(family, n);
+      const auto lap = laplacian_spectrum(g);
+      const auto xi = initial::scaled_eigenvector(
+          lap.f2, static_cast<double>(g.node_count()));
+
+      ModelConfig config;
+      config.kind = ModelKind::edge;
+      config.alpha = 0.5;
+      MonteCarloOptions options;
+      options.replicas = 30;
+      options.seed = 5;
+      options.convergence.epsilon = eps;
+      options.convergence.use_plain_potential = true;
+      const MonteCarloResult result = monte_carlo(g, config, xi, options);
+
+      const double lower =
+          static_cast<double>(g.edge_count()) *
+          std::log(static_cast<double>(g.node_count()) *
+                   initial::l2_squared(xi) / eps) /
+          ((1.0 - 0.5) * lap.lambda2);
+      edge_table.new_row()
+          .add(g.name())
+          .add(static_cast<std::int64_t>(g.node_count()))
+          .add(g.edge_count())
+          .add_sci(lap.lambda2, 2)
+          .add_fixed(result.steps.mean(), 0)
+          .add_fixed(lower, 0)
+          .add_fixed(result.steps.mean() / lower, 3);
+    }
+  }
+  std::cout << edge_table.to_markdown() << "\n";
+  std::cout << "Reading: the meas/lower ratios sit in a narrow constant "
+               "band per model (the Omega() hides an absolute constant); "
+               "flatness across families and sizes is the tightness "
+               "claim.\n";
+  return 0;
+}

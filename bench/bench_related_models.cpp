@@ -1,0 +1,148 @@
+// REL -- the related-work models of Section 3, run side by side with the
+// paper's processes on the same input so their trade-offs are visible:
+//
+//   DeGroot [23]      synchronous, deterministic, full neighbourhood
+//                     -> degree-weighted average exactly, Var = 0
+//   Friedkin-Johnsen  synchronous with stubborn private opinions
+//   [29]              -> persistent disagreement (no consensus at all)
+//   Randomized FJ     limited-information variant of [27] (the model the
+//   [27]              paper relates its NodeModel to)
+//   NodeModel         the paper: unilateral, k-sample, consensus at a
+//                     *random* F with E[F] = degree-weighted average
+//
+// Output: per-model final state summary on the same preferential-
+// attachment network and initial opinions.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/baselines/degroot.h"
+#include "src/baselines/friedkin_johnsen.h"
+#include "src/core/convergence.h"
+#include "src/core/initial_values.h"
+#include "src/core/node_model.h"
+#include "src/graph/algorithms.h"
+#include "src/support/stats.h"
+#include "src/support/table.h"
+
+namespace {
+using namespace opindyn;
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "REL: related opinion-dynamics models (Section 3)",
+      "Same preferential-attachment network (n = 64) and the same initial "
+      "opinions for every model; lambda/alpha = 0.7, k = 2.");
+
+  Rng graph_rng(3);
+  const Graph g = gen::preferential_attachment(graph_rng, 64, 2);
+  Rng init_rng(5);
+  const auto xi = initial::uniform(init_rng, 64, 0.0, 10.0);
+  const double weighted = degree_weighted_average(g, xi);
+  double plain = 0.0;
+  for (const double v : xi) {
+    plain += v;
+  }
+  plain /= 64.0;
+
+  std::cout << "plain Avg(0) = " << plain
+            << ", degree-weighted M(0) = " << weighted << "\n\n";
+
+  Table table({"model", "communication", "consensus?", "final spread",
+               "mean final value", "sd of F over 50 runs"});
+
+  {
+    DeGrootModel degroot(g, xi, /*lazy=*/true);
+    while (degroot.discrepancy() > 1e-9 && degroot.rounds() < 100000) {
+      degroot.step();
+    }
+    table.new_row()
+        .add("DeGroot")
+        .add("all neighbours, sync")
+        .add("yes (deterministic)")
+        .add_sci(degroot.discrepancy(), 1)
+        .add_fixed(degroot.values()[0], 3)
+        .add_fixed(0.0, 3);
+  }
+  {
+    FriedkinJohnsen fj(g, xi, 0.7);
+    const auto star = fj.equilibrium();
+    while (fj.distance_to(star) > 1e-10 && fj.rounds() < 100000) {
+      fj.step();
+    }
+    double lo = star[0];
+    double hi = star[0];
+    double mean = 0.0;
+    for (const double z : star) {
+      lo = std::min(lo, z);
+      hi = std::max(hi, z);
+      mean += z / static_cast<double>(star.size());
+    }
+    table.new_row()
+        .add("Friedkin-Johnsen")
+        .add("all neighbours, sync")
+        .add("no (stubborn agents)")
+        .add_fixed(hi - lo, 3)
+        .add_fixed(mean, 3)
+        .add_fixed(0.0, 3);
+  }
+  {
+    // Randomized FJ: time-averaged state after burn-in, one run
+    // (deterministic equilibrium in expectation).
+    RandomizedFJ rfj(g, xi, 0.7, 2);
+    Rng rng(7);
+    for (int t = 0; t < 200000; ++t) {
+      rfj.step(rng);
+    }
+    double lo = rfj.expressed()[0];
+    double hi = rfj.expressed()[0];
+    double mean = 0.0;
+    for (const double z : rfj.expressed()) {
+      lo = std::min(lo, z);
+      hi = std::max(hi, z);
+      mean += z / 64.0;
+    }
+    table.new_row()
+        .add("Randomized FJ [27]")
+        .add("k=2 sampled, unilateral")
+        .add("no (stubborn agents)")
+        .add_fixed(hi - lo, 3)
+        .add_fixed(mean, 3)
+        .add("n/a (fluctuates)");
+  }
+  {
+    RunningStats f_values;
+    std::int64_t last_steps = 0;
+    for (int run = 0; run < 50; ++run) {
+      NodeModelParams params;
+      params.alpha = 0.7;
+      params.k = 2;
+      NodeModel model(g, xi, params);
+      Rng rng = Rng::fork(11, static_cast<std::uint64_t>(run));
+      ConvergenceOptions options;
+      options.epsilon = 1e-12;
+      const ConvergenceResult result =
+          run_until_converged(model, rng, options);
+      f_values.add(result.final_value);
+      last_steps = result.steps;
+    }
+    table.new_row()
+        .add("NodeModel (this paper)")
+        .add("k=2 sampled, unilateral")
+        .add("yes (random F)")
+        .add_sci(0.0, 1)
+        .add_fixed(f_values.mean(), 3)
+        .add_fixed(f_values.stddev(), 3);
+    std::cout << "NodeModel steps to converge (last run): " << last_steps
+              << "\n";
+  }
+  std::cout << "\n" << table.to_markdown() << "\n";
+  std::cout
+      << "Reading: DeGroot reaches M(0) deterministically but needs "
+         "synchronous full-neighbourhood rounds; FJ never reaches "
+         "consensus; the paper's NodeModel gets consensus with the "
+         "cheapest communication, paying only a small random deviation "
+         "around M(0) (the sd column ~ Theta(||xi||/n)).\n";
+  return 0;
+}

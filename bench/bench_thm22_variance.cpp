@@ -1,0 +1,87 @@
+// T22-2 -- Theorem 2.2(2): for regular graphs,
+//   Var(F) = Theta( ||xi(0)||^2 / n^2 ),
+// independent of k and of the graph structure.  Monte-Carlo Var(F) is
+// compared against the exact Prop. 5.8 value and the Theta envelope;
+// the punchline column n^2 Var/||xi||^2 must land in a narrow band for
+// every family and every k.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/core/initial_values.h"
+#include "src/core/montecarlo.h"
+#include "src/core/theory.h"
+#include "src/support/table.h"
+
+namespace {
+using namespace opindyn;
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "T22-2: NodeModel Var(F) concentration (Theorem 2.2(2))",
+      "Regular graphs, n = 16, Rademacher xi(0) centered (||xi||^2 ~ n), "
+      "alpha = 0.5, 8000 replicas to eps = 1e-13.  Paper: Var(F) = "
+      "Theta(||xi||^2/n^2) regardless of k and structure; exact value from "
+      "Prop. 5.8 via the Lemma 5.7 stationary distribution.");
+
+  const NodeId n = 16;
+  Rng init_rng(7);
+  auto xi = initial::rademacher(init_rng, n);
+  initial::center_plain(xi);
+  const double norm = initial::l2_squared(xi);
+
+  struct Case {
+    std::string family;
+    std::int64_t k;
+  };
+  const std::vector<Case> cases{
+      {"cycle", 1},     {"cycle", 2},         {"complete", 1},
+      {"complete", 4},  {"complete", 15},     {"hypercube", 1},
+      {"hypercube", 4}, {"random_regular_4", 1}, {"random_regular_4", 3},
+      {"torus", 2},
+  };
+
+  Table table({"graph", "d", "k", "Var(F) measured", "+-CI",
+               "Var exact (P5.8)", "meas/exact", "n^2 Var / ||xi||^2",
+               "envelope [lo, hi]"});
+  for (const auto& c : cases) {
+    const Graph g = bench::make_graph(c.family, n);
+    if (c.k > g.min_degree()) {
+      continue;
+    }
+    ModelConfig config;
+    config.alpha = 0.5;
+    config.k = c.k;
+    MonteCarloOptions options;
+    options.replicas = 8000;
+    options.seed = 11;
+    options.convergence.epsilon = 1e-13;
+    const MonteCarloResult result = monte_carlo(g, config, xi, options);
+    const double measured = result.convergence_value.population_variance();
+    const double exact = theory::variance_exact(g, 0.5, c.k, xi);
+    const double lo = theory::variance_lower_coeff(g.node_count(),
+                                                   g.min_degree(), c.k, 0.5);
+    const double hi = theory::variance_upper_coeff(g.node_count(),
+                                                   g.min_degree(), c.k, 0.5);
+    const double scaled = measured * static_cast<double>(g.node_count()) *
+                          static_cast<double>(g.node_count()) / norm;
+    table.new_row()
+        .add(g.name())
+        .add(static_cast<std::int64_t>(g.min_degree()))
+        .add(c.k)
+        .add_sci(measured, 3)
+        .add_sci(result.convergence_value.variance_ci_halfwidth(), 1)
+        .add_sci(exact, 3)
+        .add_fixed(measured / exact, 3)
+        .add_fixed(scaled, 3)
+        .add("[" + std::to_string(lo * norm) + ", " +
+             std::to_string(hi * norm) + "]");
+  }
+  std::cout << table.to_markdown() << "\n";
+  std::cout
+      << "Reading: 'meas/exact' ~ 1.0 everywhere confirms Prop. 5.8; the "
+         "'n^2 Var/||xi||^2' column staying within a ~2x band across "
+         "cycle/complete/hypercube/random-regular and k = 1..d is the "
+         "structure- and k-independence claim of Theorem 2.2(2).\n";
+  return 0;
+}

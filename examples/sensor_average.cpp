@@ -1,0 +1,106 @@
+// Distributed-averaging scenario: a field of cheap sensors on a wireless
+// mesh (modelled as a random 4-regular graph) each measure a noisy
+// temperature.  They want the *network-wide average* (the best estimate
+// of the true temperature) but can only do unilateral gossip pulls --
+// the EdgeModel.  Theorem 2.4 says the consensus F satisfies E[F] =
+// initial average with s.d. Theta(||xi||/n), so the protocol is a valid
+// distributed estimator; this example measures that accuracy over many
+// deployments and compares against the theory.
+//
+//   ./example_sensor_average [--n=64] [--replicas=2000] [--alpha=0.5]
+#include <cmath>
+#include <iostream>
+
+#include "src/core/initial_values.h"
+#include "src/core/montecarlo.h"
+#include "src/core/theory.h"
+#include "src/graph/generators.h"
+#include "src/support/cli.h"
+#include "src/support/histogram.h"
+#include "src/support/table.h"
+
+using namespace opindyn;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<NodeId>(args.get("n", std::int64_t{64}));
+  const std::int64_t replicas = args.get("replicas", std::int64_t{2000});
+  const double alpha = args.get("alpha", 0.5);
+
+  Rng graph_rng(21);
+  const Graph mesh = gen::random_regular(graph_rng, n, 4);
+  std::cout << "sensor mesh: " << mesh.name() << "\n";
+
+  // True temperature 20 C; each sensor reads with N(0, 0.5^2) noise.
+  const double true_temperature = 20.0;
+  Rng noise_rng(23);
+  const auto readings =
+      initial::gaussian(noise_rng, n, true_temperature, 0.5);
+  double initial_avg = 0.0;
+  for (const double r : readings) {
+    initial_avg += r;
+  }
+  initial_avg /= static_cast<double>(n);
+  std::cout << "initial average reading = " << initial_avg
+            << " C (true = " << true_temperature << " C)\n\n";
+
+  ModelConfig config;
+  config.kind = ModelKind::edge;
+  config.alpha = alpha;
+  MonteCarloOptions options;
+  options.replicas = replicas;
+  options.seed = 29;
+  options.convergence.epsilon = 1e-12;
+  options.convergence.use_plain_potential = true;
+  const MonteCarloResult result = monte_carlo(mesh, config, readings, options);
+
+  // Theory: Var(F) around the initial average (regular graph; EdgeModel =
+  // NodeModel k = 1).
+  auto centered = readings;
+  initial::center_plain(centered);
+  const double predicted_var =
+      theory::variance_exact(mesh, alpha, 1, centered);
+
+  Table table({"quantity", "value"});
+  table.new_row().add("replicas").add(result.replicas);
+  table.new_row().add("mean F").add_fixed(result.convergence_value.mean(), 5);
+  table.new_row().add("initial average").add_fixed(initial_avg, 5);
+  table.new_row()
+      .add("|bias|")
+      .add_sci(std::abs(result.convergence_value.mean() - initial_avg), 2);
+  table.new_row()
+      .add("Var(F) measured")
+      .add_sci(result.convergence_value.population_variance(), 3);
+  table.new_row().add("Var(F) predicted (Prop 5.8)").add_sci(predicted_var,
+                                                             3);
+  table.new_row()
+      .add("protocol error s.d.")
+      .add_sci(result.convergence_value.stddev(), 2);
+  table.new_row()
+      .add("sensor noise s.d. / sqrt(n) (ideal estimator)")
+      .add_sci(0.5 / std::sqrt(static_cast<double>(n)), 2);
+  table.new_row()
+      .add("mean steps to converge")
+      .add_fixed(result.steps.mean(), 0);
+  std::cout << table.to_markdown() << "\n";
+
+  Histogram histogram(initial_avg - 0.2, initial_avg + 0.2, 20);
+  // Re-run a few replicas just to fill the histogram of F.
+  for (int r = 0; r < 400; ++r) {
+    Rng rng = Rng::fork(31, static_cast<std::uint64_t>(r));
+    auto process = make_process(mesh, config, readings);
+    ConvergenceOptions conv;
+    conv.epsilon = 1e-12;
+    conv.use_plain_potential = true;
+    const ConvergenceResult one = run_until_converged(*process, rng, conv);
+    histogram.add(one.final_value);
+  }
+  std::cout << "distribution of F across deployments:\n"
+            << histogram.render(40) << "\n";
+  std::cout << "Conclusion: the unilateral protocol estimates the initial "
+               "average with s.d. ~ "
+            << result.convergence_value.stddev()
+            << " -- the 'price of simplicity' is modest and shrinks "
+               "as 1/n.\n";
+  return 0;
+}

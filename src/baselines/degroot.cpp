@@ -1,0 +1,48 @@
+#include "src/baselines/degroot.h"
+
+#include <algorithm>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+DeGrootModel::DeGrootModel(const Graph& graph, std::vector<double> initial,
+                           bool lazy)
+    : graph_(&graph), lazy_(lazy), values_(std::move(initial)) {
+  OPINDYN_EXPECTS(values_.size() ==
+                      static_cast<std::size_t>(graph.node_count()),
+                  "initial value vector size must equal node count");
+  OPINDYN_EXPECTS(graph.min_degree() >= 1,
+                  "DeGroot needs every node to have a neighbour");
+  scratch_.resize(values_.size());
+}
+
+void DeGrootModel::step() {
+  ++rounds_;
+  for (NodeId u = 0; u < graph_->node_count(); ++u) {
+    double sum = 0.0;
+    for (const NodeId v : graph_->neighbors(u)) {
+      sum += values_[static_cast<std::size_t>(v)];
+    }
+    const double mean = sum / static_cast<double>(graph_->degree(u));
+    scratch_[static_cast<std::size_t>(u)] =
+        lazy_ ? 0.5 * values_[static_cast<std::size_t>(u)] + 0.5 * mean
+              : mean;
+  }
+  values_.swap(scratch_);
+}
+
+double DeGrootModel::weighted_average() const {
+  double total = 0.0;
+  for (NodeId u = 0; u < graph_->node_count(); ++u) {
+    total += graph_->stationary(u) * values_[static_cast<std::size_t>(u)];
+  }
+  return total;
+}
+
+double DeGrootModel::discrepancy() const {
+  const auto [lo, hi] = std::minmax_element(values_.begin(), values_.end());
+  return *hi - *lo;
+}
+
+}  // namespace opindyn

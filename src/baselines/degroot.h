@@ -1,0 +1,48 @@
+// The DeGroot model (Section 3, [23]): the classical *synchronous,
+// deterministic* opinion dynamic xi(t+1) = W xi(t), with W the
+// (optionally lazy) random-walk matrix.  For connected graphs (lazy, or
+// non-bipartite) it converges to the degree-weighted average
+// <pi, xi(0)> deterministically -- the same value the paper's NodeModel
+// reaches only in expectation.  Included as the deterministic
+// full-neighbourhood-communication comparator: zero variance, but every
+// node must hear all neighbours every round.
+#ifndef OPINDYN_BASELINES_DEGROOT_H
+#define OPINDYN_BASELINES_DEGROOT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace opindyn {
+
+class DeGrootModel {
+ public:
+  /// `lazy` blends each round with weight 1/2 on the current value
+  /// (needed for convergence on bipartite graphs).
+  DeGrootModel(const Graph& graph, std::vector<double> initial, bool lazy);
+
+  /// One synchronous round: every node simultaneously averages its
+  /// neighbourhood.
+  void step();
+
+  const std::vector<double>& values() const noexcept { return values_; }
+  std::int64_t rounds() const noexcept { return rounds_; }
+
+  /// <pi, xi(t)>: invariant under the dynamics, equals the limit.
+  double weighted_average() const;
+
+  /// max - min of the current values.
+  double discrepancy() const;
+
+ private:
+  const Graph* graph_;
+  bool lazy_;
+  std::vector<double> values_;
+  std::vector<double> scratch_;
+  std::int64_t rounds_ = 0;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_BASELINES_DEGROOT_H

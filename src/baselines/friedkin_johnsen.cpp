@@ -1,0 +1,105 @@
+#include "src/baselines/friedkin_johnsen.h"
+
+#include <cmath>
+
+#include "src/spectral/solve.h"
+#include "src/spectral/spectra.h"
+#include "src/support/assert.h"
+#include "src/support/sampling.h"
+
+namespace opindyn {
+
+FriedkinJohnsen::FriedkinJohnsen(const Graph& graph,
+                                 std::vector<double> private_opinions,
+                                 double susceptibility)
+    : graph_(&graph),
+      lambda_(susceptibility),
+      private_(std::move(private_opinions)),
+      expressed_(private_) {
+  OPINDYN_EXPECTS(private_.size() ==
+                      static_cast<std::size_t>(graph.node_count()),
+                  "private opinion vector size must equal node count");
+  OPINDYN_EXPECTS(susceptibility >= 0.0 && susceptibility < 1.0,
+                  "susceptibility must be in [0, 1)");
+  OPINDYN_EXPECTS(graph.min_degree() >= 1,
+                  "FJ needs every node to have a neighbour");
+  scratch_.resize(expressed_.size());
+}
+
+void FriedkinJohnsen::step() {
+  ++rounds_;
+  for (NodeId u = 0; u < graph_->node_count(); ++u) {
+    double sum = 0.0;
+    for (const NodeId v : graph_->neighbors(u)) {
+      sum += expressed_[static_cast<std::size_t>(v)];
+    }
+    const double social = sum / static_cast<double>(graph_->degree(u));
+    scratch_[static_cast<std::size_t>(u)] =
+        lambda_ * social +
+        (1.0 - lambda_) * private_[static_cast<std::size_t>(u)];
+  }
+  expressed_.swap(scratch_);
+}
+
+std::vector<double> FriedkinJohnsen::equilibrium() const {
+  const auto n = static_cast<std::size_t>(graph_->node_count());
+  // A = I - lambda W; b = (1 - lambda) s.
+  Matrix a = walk_matrix(*graph_);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a.at(r, c) = (r == c ? 1.0 : 0.0) - lambda_ * a.at(r, c);
+    }
+  }
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = (1.0 - lambda_) * private_[i];
+  }
+  return solve_dense(std::move(a), std::move(b));
+}
+
+double FriedkinJohnsen::distance_to(
+    const std::vector<double>& point) const {
+  OPINDYN_EXPECTS(point.size() == expressed_.size(), "size mismatch");
+  double dist = 0.0;
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    dist = std::max(dist, std::abs(expressed_[i] - point[i]));
+  }
+  return dist;
+}
+
+RandomizedFJ::RandomizedFJ(const Graph& graph,
+                           std::vector<double> private_opinions,
+                           double susceptibility, std::int64_t k)
+    : graph_(&graph),
+      lambda_(susceptibility),
+      k_(k),
+      private_(std::move(private_opinions)),
+      expressed_(private_) {
+  OPINDYN_EXPECTS(private_.size() ==
+                      static_cast<std::size_t>(graph.node_count()),
+                  "private opinion vector size must equal node count");
+  OPINDYN_EXPECTS(susceptibility >= 0.0 && susceptibility < 1.0,
+                  "susceptibility must be in [0, 1)");
+  OPINDYN_EXPECTS(k >= 1 && k <= graph.min_degree(),
+                  "need 1 <= k <= min degree");
+}
+
+void RandomizedFJ::step(Rng& rng) {
+  ++time_;
+  const auto u = static_cast<NodeId>(
+      rng.next_below(static_cast<std::uint64_t>(graph_->node_count())));
+  const auto row = graph_->neighbors(u);
+  sample_without_replacement(rng, static_cast<std::int64_t>(row.size()), k_,
+                             scratch_);
+  double sum = 0.0;
+  for (const std::int32_t idx : scratch_) {
+    sum += expressed_[static_cast<std::size_t>(
+        row[static_cast<std::size_t>(idx)])];
+  }
+  const double social = sum / static_cast<double>(k_);
+  expressed_[static_cast<std::size_t>(u)] =
+      lambda_ * social +
+      (1.0 - lambda_) * private_[static_cast<std::size_t>(u)];
+}
+
+}  // namespace opindyn

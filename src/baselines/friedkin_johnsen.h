@@ -1,0 +1,85 @@
+// The Friedkin-Johnsen model (Section 3, [29]): every agent keeps an
+// immutable *private* opinion s_u and iterates its *expressed* opinion
+//   z_u(t+1) = lambda * mean_{v ~ u} z_v(t) + (1 - lambda) * s_u,
+// with susceptibility lambda in [0, 1).  Unlike the paper's averaging
+// processes, FJ does NOT reach consensus: it converges to the unique
+// equilibrium  z* = (1 - lambda) (I - lambda W)^{-1} s, where persistent
+// disagreement remains.  Included as the stubborn-agent comparator the
+// paper cites ([27] studies a limited-information randomised variant
+// similar to the NodeModel); `RandomizedFJ` implements exactly that
+// variant: one random node updates per step using k sampled neighbours.
+#ifndef OPINDYN_BASELINES_FRIEDKIN_JOHNSEN_H
+#define OPINDYN_BASELINES_FRIEDKIN_JOHNSEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+
+class FriedkinJohnsen {
+ public:
+  /// `susceptibility` = lambda: weight on social influence (0 = fully
+  /// stubborn, -> 1 approaches DeGroot consensus).
+  FriedkinJohnsen(const Graph& graph, std::vector<double> private_opinions,
+                  double susceptibility);
+
+  /// One synchronous round over all agents.
+  void step();
+
+  const std::vector<double>& expressed() const noexcept {
+    return expressed_;
+  }
+  const std::vector<double>& private_opinions() const noexcept {
+    return private_;
+  }
+  std::int64_t rounds() const noexcept { return rounds_; }
+  double susceptibility() const noexcept { return lambda_; }
+
+  /// Exact equilibrium z* = (1-lambda)(I - lambda W)^{-1} s via a dense
+  /// solve.  The iteration contracts toward this point at rate lambda.
+  std::vector<double> equilibrium() const;
+
+  /// max_u |z_u - z*_u| for a supplied equilibrium (avoids re-solving).
+  double distance_to(const std::vector<double>& point) const;
+
+ private:
+  const Graph* graph_;
+  double lambda_;
+  std::vector<double> private_;
+  std::vector<double> expressed_;
+  std::vector<double> scratch_;
+  std::int64_t rounds_ = 0;
+};
+
+/// The limited-information randomised FJ of [27]: per step, one uniform
+/// node updates toward the average of k sampled neighbours' expressed
+/// opinions blended with its private opinion.  Converges (in
+/// expectation) to the same equilibrium as the synchronous model.
+class RandomizedFJ {
+ public:
+  RandomizedFJ(const Graph& graph, std::vector<double> private_opinions,
+               double susceptibility, std::int64_t k);
+
+  void step(Rng& rng);
+
+  const std::vector<double>& expressed() const noexcept {
+    return expressed_;
+  }
+  std::int64_t time() const noexcept { return time_; }
+
+ private:
+  const Graph* graph_;
+  double lambda_;
+  std::int64_t k_;
+  std::vector<double> private_;
+  std::vector<double> expressed_;
+  std::vector<std::int32_t> scratch_;
+  std::int64_t time_ = 0;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_BASELINES_FRIEDKIN_JOHNSEN_H

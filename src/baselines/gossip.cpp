@@ -1,0 +1,51 @@
+#include "src/baselines/gossip.h"
+
+#include <cmath>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+PairwiseGossip::PairwiseGossip(const Graph& graph,
+                               std::vector<double> initial)
+    : state_(graph, std::move(initial)) {
+  OPINDYN_EXPECTS(graph.edge_count() >= 1, "gossip needs >= 1 edge");
+}
+
+void PairwiseGossip::step(Rng& rng) {
+  ++time_;
+  const auto arc = static_cast<ArcId>(rng.next_below(
+      static_cast<std::uint64_t>(state_.graph().arc_count())));
+  const NodeId u = state_.graph().arc_source(arc);
+  const NodeId v = state_.graph().arc_target(arc);
+  const double mean = 0.5 * (state_.value(u) + state_.value(v));
+  state_.set_value(u, mean);
+  state_.set_value(v, mean);
+}
+
+GossipRunResult run_gossip_to_convergence(const Graph& graph,
+                                          const std::vector<double>& initial,
+                                          Rng& rng, double epsilon,
+                                          std::int64_t max_steps) {
+  OPINDYN_EXPECTS(epsilon > 0.0, "epsilon must be positive");
+  PairwiseGossip gossip(graph, initial);
+  const double initial_average = gossip.state().average();
+  GossipRunResult result;
+  const std::int64_t interval =
+      std::max<std::int64_t>(1, graph.node_count() / 4);
+  while (gossip.time() < max_steps) {
+    for (std::int64_t i = 0; i < interval && gossip.time() < max_steps; ++i) {
+      gossip.step(rng);
+    }
+    if (gossip.state().phi_plain_exact() <= epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.steps = gossip.time();
+  result.final_value = gossip.state().average();
+  result.average_drift = std::abs(result.final_value - initial_average);
+  return result;
+}
+
+}  // namespace opindyn

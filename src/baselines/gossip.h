@@ -1,0 +1,52 @@
+// Coordinated pairwise-averaging gossip (Boyd et al., "Randomized gossip
+// algorithms"): a random edge {u, v} fires and BOTH endpoints move to
+// (xi_u + xi_v)/2.  This is the "stronger communication model" the paper's
+// introduction contrasts with: the update matrix is doubly stochastic, so
+// the plain average is conserved exactly and Var(F) = 0 -- the price the
+// unilateral NodeModel/EdgeModel pay for simplicity is exactly the
+// variance that this baseline does not have.
+#ifndef OPINDYN_BASELINES_GOSSIP_H
+#define OPINDYN_BASELINES_GOSSIP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/opinion_state.h"
+#include "src/graph/graph.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+
+class PairwiseGossip {
+ public:
+  PairwiseGossip(const Graph& graph, std::vector<double> initial);
+
+  /// One coordinated step: both endpoints of a random edge average.
+  void step(Rng& rng);
+
+  const OpinionState& state() const noexcept { return state_; }
+  std::int64_t time() const noexcept { return time_; }
+
+ private:
+  OpinionState state_;
+  std::int64_t time_ = 0;
+};
+
+struct GossipRunResult {
+  std::int64_t steps = 0;
+  bool converged = false;
+  double final_value = 0.0;
+  /// |final_value - Avg(0)| -- zero up to floating point, by double
+  /// stochasticity.
+  double average_drift = 0.0;
+};
+
+/// Runs until phi_V <= eps or max_steps.
+GossipRunResult run_gossip_to_convergence(const Graph& graph,
+                                          const std::vector<double>& initial,
+                                          Rng& rng, double epsilon,
+                                          std::int64_t max_steps);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_BASELINES_GOSSIP_H

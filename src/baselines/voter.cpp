@@ -1,0 +1,74 @@
+#include "src/baselines/voter.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+VoterModel::VoterModel(const Graph& graph, std::vector<int> opinions)
+    : graph_(&graph), opinions_(std::move(opinions)) {
+  OPINDYN_EXPECTS(opinions_.size() ==
+                      static_cast<std::size_t>(graph.node_count()),
+                  "opinion vector size must equal node count");
+  // Dense-id the opinions so consensus detection is O(1) per step.
+  std::map<int, int> dense;
+  opinion_ids_.resize(opinions_.size());
+  for (std::size_t u = 0; u < opinions_.size(); ++u) {
+    const auto [it, inserted] =
+        dense.emplace(opinions_[u], static_cast<int>(dense.size()));
+    opinion_ids_[u] = it->second;
+    (void)inserted;
+  }
+  counts_.assign(dense.size(), 0);
+  for (const int id : opinion_ids_) {
+    ++counts_[static_cast<std::size_t>(id)];
+  }
+  distinct_opinions_ = static_cast<int>(
+      std::count_if(counts_.begin(), counts_.end(),
+                    [](std::int64_t c) { return c > 0; }));
+}
+
+void VoterModel::step(Rng& rng) {
+  ++time_;
+  const auto u = static_cast<NodeId>(
+      rng.next_below(static_cast<std::uint64_t>(graph_->node_count())));
+  const auto row = graph_->neighbors(u);
+  const NodeId v = row[static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint64_t>(row.size())))];
+  const auto ui = static_cast<std::size_t>(u);
+  const auto vi = static_cast<std::size_t>(v);
+  if (opinion_ids_[ui] == opinion_ids_[vi]) {
+    return;
+  }
+  const auto old_id = static_cast<std::size_t>(opinion_ids_[ui]);
+  const auto new_id = static_cast<std::size_t>(opinion_ids_[vi]);
+  if (--counts_[old_id] == 0) {
+    --distinct_opinions_;
+  }
+  ++counts_[new_id];
+  opinion_ids_[ui] = opinion_ids_[vi];
+  opinions_[ui] = opinions_[vi];
+}
+
+int VoterModel::opinion(NodeId u) const {
+  OPINDYN_EXPECTS(u >= 0 && u < graph_->node_count(), "node out of range");
+  return opinions_[static_cast<std::size_t>(u)];
+}
+
+VoterRunResult run_voter_to_consensus(const Graph& graph,
+                                      const std::vector<int>& opinions,
+                                      Rng& rng, std::int64_t max_steps) {
+  VoterModel model(graph, opinions);
+  VoterRunResult result;
+  while (!model.has_consensus() && model.time() < max_steps) {
+    model.step(rng);
+  }
+  result.steps = model.time();
+  result.reached_consensus = model.has_consensus();
+  result.winning_opinion = model.opinion(0);
+  return result;
+}
+
+}  // namespace opindyn

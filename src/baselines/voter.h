@@ -1,0 +1,54 @@
+// The classical (discrete) voter model -- the baseline the paper
+// generalises (Section 2: "for k = 1 and alpha = 0 this model is
+// equivalent to the voter model") and compares against (the remark after
+// Theorem 2.2: the averaging process is faster by Omega(n / log n)).
+// A uniformly random node adopts the opinion of a uniformly random
+// neighbour; consensus is reached when one opinion remains.
+#ifndef OPINDYN_BASELINES_VOTER_H
+#define OPINDYN_BASELINES_VOTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+
+class VoterModel {
+ public:
+  /// `opinions[u]` is node u's initial discrete opinion (any ints).
+  VoterModel(const Graph& graph, std::vector<int> opinions);
+
+  /// One pull step: random node copies a random neighbour's opinion.
+  void step(Rng& rng);
+
+  bool has_consensus() const noexcept { return distinct_opinions_ <= 1; }
+  int opinion(NodeId u) const;
+  const std::vector<int>& opinions() const noexcept { return opinions_; }
+  std::int64_t time() const noexcept { return time_; }
+  int distinct_opinions() const noexcept { return distinct_opinions_; }
+
+ private:
+  const Graph* graph_;
+  std::vector<int> opinions_;
+  std::vector<std::int64_t> counts_;  // per distinct initial opinion id
+  std::vector<int> opinion_ids_;      // node -> dense opinion id
+  int distinct_opinions_ = 0;
+  std::int64_t time_ = 0;
+};
+
+struct VoterRunResult {
+  std::int64_t steps = 0;
+  bool reached_consensus = false;
+  int winning_opinion = 0;
+};
+
+/// Runs to consensus or max_steps.
+VoterRunResult run_voter_to_consensus(const Graph& graph,
+                                      const std::vector<int>& opinions,
+                                      Rng& rng, std::int64_t max_steps);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_BASELINES_VOTER_H

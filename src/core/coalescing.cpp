@@ -1,0 +1,52 @@
+#include "src/core/coalescing.h"
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+CoalescingWalks::CoalescingWalks(const Graph& graph)
+    : graph_(&graph),
+      occupancy_(static_cast<std::size_t>(graph.node_count()), 1),
+      clusters_(graph.node_count()) {
+  OPINDYN_EXPECTS(graph.min_degree() >= 1,
+                  "coalescing walks need every node to have a neighbour");
+}
+
+void CoalescingWalks::step(Rng& rng) {
+  ++time_;
+  const auto u = static_cast<NodeId>(
+      rng.next_below(static_cast<std::uint64_t>(graph_->node_count())));
+  const auto ui = static_cast<std::size_t>(u);
+  if (occupancy_[ui] == 0) {
+    return;
+  }
+  const auto row = graph_->neighbors(u);
+  const NodeId v = row[static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint64_t>(row.size())))];
+  const auto vi = static_cast<std::size_t>(v);
+  // All walks at u hop to v together; if v was occupied they merge.
+  if (occupancy_[vi] > 0) {
+    --clusters_;
+  }
+  occupancy_[vi] += occupancy_[ui];
+  occupancy_[ui] = 0;
+}
+
+std::int64_t CoalescingWalks::walks_at(NodeId u) const {
+  OPINDYN_EXPECTS(u >= 0 && u < graph_->node_count(), "node out of range");
+  return occupancy_[static_cast<std::size_t>(u)];
+}
+
+CoalescenceResult run_to_coalescence(const Graph& graph, Rng& rng,
+                                     std::int64_t max_steps) {
+  CoalescingWalks walks(graph);
+  while (!walks.coalesced() && walks.time() < max_steps) {
+    walks.step(rng);
+  }
+  CoalescenceResult result;
+  result.steps = walks.time();
+  result.coalesced = walks.coalesced();
+  return result;
+}
+
+}  // namespace opindyn

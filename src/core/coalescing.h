@@ -1,0 +1,63 @@
+// Coalescing random walks -- the classical dual of the voter model
+// (footnote 2 of the paper: "the voting time and the coalescence time
+// have the same distribution"), which Section 5 generalises to the
+// diffusion dual of the averaging processes.
+//
+// One walk starts on every node.  Each step uses the same selection law
+// as the asynchronous voter model run backwards: a uniform node u and a
+// uniform neighbour v are drawn, and every walk currently on u moves to
+// v.  Walks on the same node therefore move together -- they have
+// coalesced.  The process ends when one walk remains; the step count is
+// the coalescence time.
+//
+// In this library's terms this is exactly CorrelatedWalks with alpha = 0
+// and k = 1, plus termination detection; it is provided as its own small
+// type because the voter-duality experiments want the merged-walk count
+// trajectory.
+#ifndef OPINDYN_CORE_COALESCING_H
+#define OPINDYN_CORE_COALESCING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+
+class CoalescingWalks {
+ public:
+  /// Starts one walk per node.  `graph` must outlive this object.
+  explicit CoalescingWalks(const Graph& graph);
+
+  /// One voter-dual step: uniform node u, uniform neighbour v; all walks
+  /// at u move to v.
+  void step(Rng& rng);
+
+  /// Number of distinct occupied nodes (= surviving walk clusters).
+  int cluster_count() const noexcept { return clusters_; }
+  bool coalesced() const noexcept { return clusters_ <= 1; }
+  std::int64_t time() const noexcept { return time_; }
+
+  /// Number of walks currently on node u.
+  std::int64_t walks_at(NodeId u) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<std::int64_t> occupancy_;  // walks per node
+  int clusters_ = 0;
+  std::int64_t time_ = 0;
+};
+
+struct CoalescenceResult {
+  std::int64_t steps = 0;
+  bool coalesced = false;
+};
+
+/// Runs to full coalescence or max_steps.
+CoalescenceResult run_to_coalescence(const Graph& graph, Rng& rng,
+                                     std::int64_t max_steps);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_COALESCING_H

@@ -1,0 +1,42 @@
+// Runs a process until eps-convergence (phi(xi(t)) <= eps, the criterion
+// of Section 4).  The potential is read from the O(1) running accumulators
+// every `check_interval` steps; a candidate stop is confirmed with the
+// exact centered recomputation, so the reported hitting time is never an
+// artefact of floating-point drift.
+#ifndef OPINDYN_CORE_CONVERGENCE_H
+#define OPINDYN_CORE_CONVERGENCE_H
+
+#include <cstdint>
+
+#include "src/core/process.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+
+struct ConvergenceResult {
+  /// First checked time with phi <= eps (granularity = check_interval).
+  std::int64_t steps = 0;
+  bool converged = false;
+  double final_phi = 0.0;
+  /// The common value F (read as the degree-weighted average M, which is
+  /// the NodeModel martingale and equals every node's value in the limit;
+  /// for regular graphs M = Avg).
+  double final_value = 0.0;
+};
+
+struct ConvergenceOptions {
+  double epsilon = 1e-10;
+  std::int64_t max_steps = 1'000'000'000;
+  /// How often phi is checked; 0 picks max(1, n/4) automatically.
+  std::int64_t check_interval = 0;
+  /// Use the plain potential phi_V instead of the pi-weighted phi
+  /// (the EdgeModel analysis of Prop. D.1 uses phi_V).
+  bool use_plain_potential = false;
+};
+
+ConvergenceResult run_until_converged(AveragingProcess& process, Rng& rng,
+                                      const ConvergenceOptions& options);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_CONVERGENCE_H

@@ -1,0 +1,112 @@
+#include "src/core/diffusion.h"
+
+#include <algorithm>
+
+#include "src/core/node_model.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+DiffusionProcess::DiffusionProcess(const Graph& graph, double alpha)
+    : graph_(&graph),
+      alpha_(alpha),
+      r_(Matrix::identity(static_cast<std::size_t>(graph.node_count()))) {
+  OPINDYN_EXPECTS(alpha >= 0.0 && alpha < 1.0, "alpha must be in [0, 1)");
+}
+
+void DiffusionProcess::apply(const NodeSelection& selection) {
+  ++time_;
+  if (selection.is_noop()) {
+    return;
+  }
+  const NodeId u = selection.node;
+  OPINDYN_EXPECTS(u >= 0 && u < graph_->node_count(),
+                  "selection node out of range");
+  const auto n = r_.cols();
+  const auto k = static_cast<double>(selection.sample.size());
+  const double share = (1.0 - alpha_) / k;
+  double* row_u = r_.row(static_cast<std::size_t>(u));
+  // R' = B R: sampled rows receive `share` of row u, then row u keeps
+  // only its alpha fraction.  Must read the *old* row u, hence the order.
+  for (const NodeId v : selection.sample) {
+    OPINDYN_EXPECTS(graph_->has_edge(u, v),
+                    "selection sample contains a non-neighbour");
+    double* row_v = r_.row(static_cast<std::size_t>(v));
+    for (std::size_t c = 0; c < n; ++c) {
+      row_v[c] += share * row_u[c];
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    row_u[c] *= alpha_;
+  }
+}
+
+void DiffusionProcess::apply_sequence(const SelectionSequence& sequence) {
+  for (const NodeSelection& selection : sequence) {
+    apply(selection);
+  }
+}
+
+void DiffusionProcess::apply_reversed(const SelectionSequence& sequence) {
+  for (auto it = sequence.rbegin(); it != sequence.rend(); ++it) {
+    apply(*it);
+  }
+}
+
+std::vector<double> DiffusionProcess::commodity_load(NodeId u) const {
+  OPINDYN_EXPECTS(u >= 0 && u < graph_->node_count(), "node id out of range");
+  std::vector<double> column(r_.rows());
+  for (std::size_t i = 0; i < r_.rows(); ++i) {
+    column[i] = r_.at(i, static_cast<std::size_t>(u));
+  }
+  return column;
+}
+
+std::vector<double> DiffusionProcess::costs(
+    const std::vector<double>& cost_vector) const {
+  return r_.left_multiply(cost_vector);
+}
+
+std::vector<double> DiffusionProcess::column_sums() const {
+  std::vector<double> sums(r_.cols(), 0.0);
+  for (std::size_t i = 0; i < r_.rows(); ++i) {
+    const double* row = r_.row(i);
+    for (std::size_t c = 0; c < r_.cols(); ++c) {
+      sums[c] += row[c];
+    }
+  }
+  return sums;
+}
+
+DualityCheck run_averaging_and_dual(const Graph& graph,
+                                    const std::vector<double>& initial,
+                                    double alpha, std::int64_t k,
+                                    std::int64_t steps, std::uint64_t seed) {
+  NodeModelParams params;
+  params.alpha = alpha;
+  params.k = k;
+  NodeModel averaging(graph, initial, params);
+  Rng rng(seed);
+  SelectionSequence sequence;
+  sequence.reserve(static_cast<std::size_t>(steps));
+  for (std::int64_t t = 0; t < steps; ++t) {
+    sequence.push_back(averaging.step_recorded(rng));
+  }
+
+  DiffusionProcess diffusion(graph, alpha);
+  diffusion.apply_reversed(sequence);
+
+  DualityCheck check;
+  check.averaging_result = averaging.state().values();
+  check.diffusion_result = diffusion.costs(initial);
+  check.max_difference = 0.0;
+  for (std::size_t i = 0; i < check.averaging_result.size(); ++i) {
+    check.max_difference =
+        std::max(check.max_difference,
+                 std::abs(check.averaging_result[i] -
+                          check.diffusion_result[i]));
+  }
+  return check;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,85 @@
+// The Diffusion Process of Section 5.1 -- the time-reversed dual of the
+// Averaging Process.
+//
+// State: the matrix R(t) = B(t) B(t-1) ... B(1), where B(t) (Eq. 4) moves
+// a (1-alpha) fraction of the selected node's load in equal parts to its
+// k sampled neighbours.  Column u of R(t) is the load vector of commodity
+// u (one unit starts on node u), and the cost row W(t) = c R(t) with
+// c = xi(0)^T.
+//
+// Proposition 5.1 / Lemma 5.2: if the Averaging Process runs on selection
+// sequence chi and the Diffusion Process runs on the *reversed* sequence,
+// then W(T) = xi(T)^T exactly.  `run_averaging_and_dual` performs that
+// experiment end-to-end and is what the duality tests and the Fig. 1 /
+// Fig. 4 benches call.
+#ifndef OPINDYN_CORE_DIFFUSION_H
+#define OPINDYN_CORE_DIFFUSION_H
+
+#include <vector>
+
+#include "src/core/selection.h"
+#include "src/graph/graph.h"
+#include "src/spectral/matrix.h"
+
+namespace opindyn {
+
+class DiffusionProcess {
+ public:
+  /// Starts at R(0) = I.  `graph` must outlive the process.
+  DiffusionProcess(const Graph& graph, double alpha);
+
+  /// Applies one step's B matrix for the given selection (in-place,
+  /// O(n * (k+1)) row updates).  No-op selections are counted but change
+  /// nothing.
+  void apply(const NodeSelection& selection);
+
+  /// Applies a whole sequence front to back.
+  void apply_sequence(const SelectionSequence& sequence);
+
+  /// Applies a sequence in reversed order (the chi^R of Prop. 5.1).
+  void apply_reversed(const SelectionSequence& sequence);
+
+  std::int64_t time() const noexcept { return time_; }
+  const Graph& graph() const noexcept { return *graph_; }
+  double alpha() const noexcept { return alpha_; }
+
+  /// R(t) itself (n x n; column u = load vector of commodity u).
+  const Matrix& load_matrix() const noexcept { return r_; }
+
+  /// Load vector of commodity u (column u of R).
+  std::vector<double> commodity_load(NodeId u) const;
+
+  /// Cost row W(t) = cost^T R(t); cost is typically xi(0).
+  std::vector<double> costs(const std::vector<double>& cost_vector) const;
+
+  /// Column sums of R(t); each must stay exactly 1 (load conservation per
+  /// commodity) -- exposed for invariant tests.
+  std::vector<double> column_sums() const;
+
+ private:
+  const Graph* graph_;
+  double alpha_;
+  Matrix r_;
+  std::int64_t time_ = 0;
+};
+
+struct DualityCheck {
+  /// xi(T) from the forward Averaging Process.
+  std::vector<double> averaging_result;
+  /// W(T) from the Diffusion Process on the reversed sequence.
+  std::vector<double> diffusion_result;
+  /// max_u |xi_u(T) - W_u(T)|.
+  double max_difference = 0.0;
+};
+
+/// Runs the NodeModel for `steps` steps (recording chi), then the
+/// Diffusion Process on chi^R with cost = xi(0); returns both end states.
+/// Exercises Proposition 5.1 end to end.
+DualityCheck run_averaging_and_dual(const Graph& graph,
+                                    const std::vector<double>& initial,
+                                    double alpha, std::int64_t k,
+                                    std::int64_t steps, std::uint64_t seed);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_DIFFUSION_H

@@ -1,0 +1,29 @@
+#include "src/core/edge_model.h"
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+EdgeModel::EdgeModel(const Graph& graph, std::vector<double> initial,
+                     const EdgeModelParams& params)
+    : AveragingProcess(graph, std::move(initial), params.alpha,
+                       params.track_extrema),
+      params_(params) {
+  OPINDYN_EXPECTS(graph.edge_count() >= 1, "EdgeModel needs >= 1 edge");
+}
+
+NodeSelection EdgeModel::step_recorded(Rng& rng) {
+  NodeSelection selection;
+  if (params_.lazy && rng.next_bool(0.5)) {
+    apply(selection);
+    return selection;
+  }
+  const auto arc = static_cast<ArcId>(
+      rng.next_below(static_cast<std::uint64_t>(graph().arc_count())));
+  selection.node = graph().arc_source(arc);
+  selection.sample.push_back(graph().arc_target(arc));
+  apply(selection);
+  return selection;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,112 @@
+#include "src/core/initial_values.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/algorithms.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace initial {
+
+std::vector<double> constant(NodeId n, double value) {
+  OPINDYN_EXPECTS(n > 0, "need n > 0");
+  return std::vector<double>(static_cast<std::size_t>(n), value);
+}
+
+std::vector<double> uniform(Rng& rng, NodeId n, double lo, double hi) {
+  OPINDYN_EXPECTS(n > 0, "need n > 0");
+  OPINDYN_EXPECTS(hi >= lo, "need hi >= lo");
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (double& v : values) {
+    v = rng.next_double(lo, hi);
+  }
+  return values;
+}
+
+std::vector<double> gaussian(Rng& rng, NodeId n, double mean, double stddev) {
+  OPINDYN_EXPECTS(n > 0, "need n > 0");
+  OPINDYN_EXPECTS(stddev >= 0.0, "need stddev >= 0");
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (double& v : values) {
+    v = mean + stddev * rng.next_gaussian();
+  }
+  return values;
+}
+
+std::vector<double> rademacher(Rng& rng, NodeId n) {
+  OPINDYN_EXPECTS(n > 0, "need n > 0");
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (double& v : values) {
+    v = rng.next_bool(0.5) ? 1.0 : -1.0;
+  }
+  return values;
+}
+
+std::vector<double> spike(NodeId n, NodeId node, double magnitude) {
+  OPINDYN_EXPECTS(n > 0, "need n > 0");
+  OPINDYN_EXPECTS(node >= 0 && node < n, "spike node out of range");
+  std::vector<double> values(static_cast<std::size_t>(n), 0.0);
+  values[static_cast<std::size_t>(node)] = magnitude;
+  return values;
+}
+
+std::vector<double> alternating(NodeId n) {
+  OPINDYN_EXPECTS(n > 0, "need n > 0");
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    values[static_cast<std::size_t>(u)] = (u % 2 == 0) ? 1.0 : -1.0;
+  }
+  return values;
+}
+
+std::vector<double> ramp(NodeId n, double magnitude) {
+  OPINDYN_EXPECTS(n > 1, "ramp needs n > 1");
+  OPINDYN_EXPECTS(magnitude > 0.0, "ramp magnitude must be positive");
+  std::vector<double> values(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    values[static_cast<std::size_t>(u)] =
+        magnitude * static_cast<double>(u) / static_cast<double>(n - 1);
+  }
+  return values;
+}
+
+std::vector<double> scaled_eigenvector(const std::vector<double>& f2,
+                                       double beta) {
+  OPINDYN_EXPECTS(!f2.empty(), "eigenvector must be non-empty");
+  std::vector<double> values = f2;
+  for (double& v : values) {
+    v *= beta;
+  }
+  return values;
+}
+
+void center_plain(std::vector<double>& values) {
+  OPINDYN_EXPECTS(!values.empty(), "cannot center an empty vector");
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  for (double& v : values) {
+    v -= mean;
+  }
+}
+
+void center_degree_weighted(const Graph& graph, std::vector<double>& values) {
+  const double m = degree_weighted_average(graph, values);
+  for (double& v : values) {
+    v -= m;
+  }
+}
+
+double l2_squared(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v * v;
+  }
+  return sum;
+}
+
+}  // namespace initial
+}  // namespace opindyn

@@ -1,0 +1,53 @@
+// Initial opinion vectors xi(0) used across the experiments, plus the
+// centering helpers the analysis assumes (Avg(0) = 0 for the plain
+// martingale, M(0) = 0 for the degree-weighted one).
+#ifndef OPINDYN_CORE_INITIAL_VALUES_H
+#define OPINDYN_CORE_INITIAL_VALUES_H
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+namespace initial {
+
+/// All nodes hold `value`.
+std::vector<double> constant(NodeId n, double value);
+
+/// i.i.d. Uniform[lo, hi).
+std::vector<double> uniform(Rng& rng, NodeId n, double lo, double hi);
+
+/// i.i.d. N(mean, stddev^2).
+std::vector<double> gaussian(Rng& rng, NodeId n, double mean, double stddev);
+
+/// i.i.d. Rademacher (+-1) -- the canonical ||xi||^2 = n initial state.
+std::vector<double> rademacher(Rng& rng, NodeId n);
+
+/// Single spike: xi = magnitude * e_(node); everyone else 0.
+std::vector<double> spike(NodeId n, NodeId node, double magnitude);
+
+/// xi_u = +1 / -1 alternating by node parity (adversarial for cycles).
+std::vector<double> alternating(NodeId n);
+
+/// Linear ramp 0, 1, ..., n-1 scaled so max |xi| = magnitude.
+std::vector<double> ramp(NodeId n, double magnitude);
+
+/// The tightness initial state of Prop. B.2: beta * f2 where f2 is an
+/// eigenvector (of the lazy walk matrix or Laplacian, caller supplies).
+std::vector<double> scaled_eigenvector(const std::vector<double>& f2,
+                                       double beta);
+
+/// Shifts so that Avg = 0.
+void center_plain(std::vector<double>& values);
+
+/// Shifts so that the degree-weighted average M = 0.
+void center_degree_weighted(const Graph& graph, std::vector<double>& values);
+
+/// sum xi_u^2.
+double l2_squared(const std::vector<double>& values);
+
+}  // namespace initial
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_INITIAL_VALUES_H

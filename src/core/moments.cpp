@@ -1,0 +1,195 @@
+#include "src/core/moments.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/core/initial_values.h"
+#include "src/core/selection.h"
+#include "src/graph/algorithms.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+namespace {
+
+std::size_t int_pow(std::size_t base, int exponent) {
+  std::size_t result = 1;
+  for (int i = 0; i < exponent; ++i) {
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace
+
+namespace {
+// Validates the state-space size BEFORE the transition matrix is
+// allocated (n^r doubles squared would otherwise be requested first).
+std::size_t checked_state_count(const Graph& graph, int walk_count) {
+  OPINDYN_EXPECTS(walk_count >= 1 && walk_count <= 4,
+                  "walk count must be in [1, 4]");
+  const std::size_t states = int_pow(
+      static_cast<std::size_t>(graph.node_count()), walk_count);
+  OPINDYN_EXPECTS(states <= 4096,
+                  "joint chain limited to n^r <= 4096 states");
+  return states;
+}
+}  // namespace
+
+JointWalkChain::JointWalkChain(const Graph& graph, const ModelConfig& config,
+                               int walk_count)
+    : graph_(&graph),
+      config_(config),
+      walk_count_(walk_count),
+      q_(checked_state_count(graph, walk_count),
+         checked_state_count(graph, walk_count), 0.0) {
+  OPINDYN_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0,
+                  "need alpha in (0, 1)");
+  const auto n = static_cast<std::size_t>(graph.node_count());
+  const std::size_t states = int_pow(n, walk_count);
+
+  // The one-step selection law of the chosen model, with exact
+  // probabilities.
+  const std::vector<WeightedSelection> selections =
+      config.kind == ModelKind::node
+          ? enumerate_node_selections(graph, config.k)
+          : enumerate_edge_selections(graph);
+
+  const double a = config.alpha;
+  const double move_share =
+      (1.0 - a);  // per-walk probability of leaving the selected node
+
+  // Decode helper: state -> positions.
+  std::vector<NodeId> positions(static_cast<std::size_t>(walk_count));
+  for (std::size_t s = 0; s < states; ++s) {
+    std::size_t rest = s;
+    for (int j = walk_count - 1; j >= 0; --j) {
+      positions[static_cast<std::size_t>(j)] =
+          static_cast<NodeId>(rest % n);
+      rest /= n;
+    }
+    for (const auto& ws : selections) {
+      const NodeId u = ws.selection.node;
+      const auto& sample = ws.selection.sample;
+      const auto k = static_cast<double>(sample.size());
+      // Walks sitting on u move independently: stay w.p. alpha, else
+      // jump to a uniform member of the shared sample.  Enumerate the
+      // joint outcome recursively over the walks at u.
+      std::vector<int> movers;
+      for (int j = 0; j < walk_count; ++j) {
+        if (positions[static_cast<std::size_t>(j)] == u) {
+          movers.push_back(j);
+        }
+      }
+      if (movers.empty()) {
+        q_.at(s, s) += ws.probability;
+        continue;
+      }
+      std::vector<NodeId> next = positions;
+      const std::function<void(std::size_t, double)> recurse =
+          [&](std::size_t mover_index, double probability) {
+            if (mover_index == movers.size()) {
+              q_.at(s, state_index(next)) += ws.probability * probability;
+              return;
+            }
+            const int j = movers[mover_index];
+            // Stay.
+            next[static_cast<std::size_t>(j)] = u;
+            recurse(mover_index + 1, probability * a);
+            // Jump to each sample member.
+            for (const NodeId v : sample) {
+              next[static_cast<std::size_t>(j)] = v;
+              recurse(mover_index + 1, probability * move_share / k);
+            }
+            next[static_cast<std::size_t>(j)] = u;
+          };
+      recurse(0, 1.0);
+    }
+  }
+  OPINDYN_ENSURES(q_.stochasticity_defect() < 1e-11,
+                  "joint walk chain must be row-stochastic");
+}
+
+std::size_t JointWalkChain::state_index(
+    const std::vector<NodeId>& positions) const {
+  OPINDYN_EXPECTS(positions.size() ==
+                      static_cast<std::size_t>(walk_count_),
+                  "positions size must equal walk count");
+  const auto n = static_cast<std::size_t>(graph_->node_count());
+  std::size_t index = 0;
+  for (const NodeId p : positions) {
+    OPINDYN_EXPECTS(p >= 0 && p < graph_->node_count(),
+                    "position out of range");
+    index = index * n + static_cast<std::size_t>(p);
+  }
+  return index;
+}
+
+StationaryResult JointWalkChain::stationary(double tolerance,
+                                            int max_iterations) const {
+  return stationary_distribution(q_, tolerance, max_iterations);
+}
+
+double JointWalkChain::moment(
+    const std::vector<double>& stationary_distribution,
+    const std::vector<double>& xi0) const {
+  const auto n = static_cast<std::size_t>(graph_->node_count());
+  OPINDYN_EXPECTS(xi0.size() == n, "xi0 size must equal node count");
+  OPINDYN_EXPECTS(stationary_distribution.size() == q_.rows(),
+                  "stationary vector has wrong size");
+  double total = 0.0;
+  for (std::size_t s = 0; s < stationary_distribution.size(); ++s) {
+    std::size_t rest = s;
+    double product = 1.0;
+    for (int j = 0; j < walk_count_; ++j) {
+      product *= xi0[rest % n];
+      rest /= n;
+    }
+    total += stationary_distribution[s] * product;
+  }
+  return total;
+}
+
+double predicted_variance_any_graph(const Graph& graph, double alpha,
+                                    std::int64_t k,
+                                    const std::vector<double>& xi0) {
+  auto centered = xi0;
+  initial::center_degree_weighted(graph, centered);
+  ModelConfig config;
+  config.kind = ModelKind::node;
+  config.alpha = alpha;
+  config.k = k;
+  const JointWalkChain chain(graph, config, 2);
+  const StationaryResult mu = chain.stationary();
+  OPINDYN_ENSURES(mu.converged, "Q-chain power iteration did not converge");
+  return chain.moment(mu.distribution, centered);
+}
+
+double predicted_variance_any_graph_edge(const Graph& graph, double alpha,
+                                         const std::vector<double>& xi0) {
+  auto centered = xi0;
+  initial::center_plain(centered);
+  ModelConfig config;
+  config.kind = ModelKind::edge;
+  config.alpha = alpha;
+  const JointWalkChain chain(graph, config, 2);
+  const StationaryResult mu = chain.stationary();
+  OPINDYN_ENSURES(mu.converged, "Q-chain power iteration did not converge");
+  return chain.moment(mu.distribution, centered);
+}
+
+double predicted_moment(const Graph& graph, double alpha, std::int64_t k,
+                        const std::vector<double>& xi0, int r) {
+  auto centered = xi0;
+  initial::center_degree_weighted(graph, centered);
+  ModelConfig config;
+  config.kind = ModelKind::node;
+  config.alpha = alpha;
+  config.k = k;
+  const JointWalkChain chain(graph, config, r);
+  const StationaryResult mu = chain.stationary();
+  OPINDYN_ENSURES(mu.converged, "chain power iteration did not converge");
+  return chain.moment(mu.distribution, centered);
+}
+
+}  // namespace opindyn

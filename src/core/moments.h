@@ -1,0 +1,83 @@
+// Extensions along the paper's Section 6 "future work" directions:
+//
+//  1. Higher moments of F via M-correlated random walks.  The paper's
+//     two-walk Q-chain (Section 5.3) generalises: r walks driven by the
+//     same B(t) matrices form a Markov chain on V^r, and the limiting
+//     r-th moment of the convergence value is
+//        E[F^r] = sum_{(u_1..u_r)} mu_r(u_1..u_r) xi_{u_1} ... xi_{u_r},
+//     by the same duality + mixing argument as Lemma 5.5.  We build the
+//     exact V^r transition matrix (NodeModel or EdgeModel selection law)
+//     and extract mu_r by power iteration -- no closed form needed.
+//
+//  2. Concentration on irregular graphs.  Lemma 5.7's closed form needs
+//     regularity, but the r = 2 chain itself does not: its numerical
+//     stationary distribution yields the exact limiting Var(F) for ANY
+//     connected graph (NodeModel: F concentrates around M(0); EdgeModel:
+//     around Avg(0)).
+//
+// State spaces are n^r, so this is for small n (r = 2: n <= 64;
+// r = 3: n <= 16).
+#ifndef OPINDYN_CORE_MOMENTS_H
+#define OPINDYN_CORE_MOMENTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/montecarlo.h"
+#include "src/graph/graph.h"
+#include "src/spectral/matrix.h"
+#include "src/spectral/power_iteration.h"
+
+namespace opindyn {
+
+class JointWalkChain {
+ public:
+  /// Builds the exact transition matrix of `walk_count` correlated walks
+  /// under the given model's selection law.  `config.k` is used for
+  /// ModelKind::node; laziness only rescales time and is ignored.
+  JointWalkChain(const Graph& graph, const ModelConfig& config,
+                 int walk_count);
+
+  const Graph& graph() const noexcept { return *graph_; }
+  int walk_count() const noexcept { return walk_count_; }
+  const Matrix& transition() const noexcept { return q_; }
+
+  /// Row/column index of a walk-position tuple (size = walk_count).
+  std::size_t state_index(const std::vector<NodeId>& positions) const;
+
+  /// Stationary distribution by power iteration.
+  StationaryResult stationary(double tolerance = 1e-13,
+                              int max_iterations = 4000000) const;
+
+  /// sum over states of mu(state) * prod_j xi0[position_j]: the limiting
+  /// E[F^r] (for xi0 centered at the model's martingale value).
+  double moment(const std::vector<double>& stationary_distribution,
+                const std::vector<double>& xi0) const;
+
+ private:
+  const Graph* graph_;
+  ModelConfig config_;
+  int walk_count_;
+  Matrix q_;
+};
+
+/// Limiting Var(F) of the NodeModel on ANY connected graph (numerical
+/// Q-chain; xi0 is centered to M(0) = 0 internally).  Extends
+/// Theorem 2.2(2) beyond regular graphs.
+double predicted_variance_any_graph(const Graph& graph, double alpha,
+                                    std::int64_t k,
+                                    const std::vector<double>& xi0);
+
+/// Same for the EdgeModel (centering to Avg(0) = 0), extending
+/// Theorem 2.4(2).
+double predicted_variance_any_graph_edge(const Graph& graph, double alpha,
+                                         const std::vector<double>& xi0);
+
+/// Limiting r-th moment E[F^r] of the NodeModel (xi0 centered to M(0)).
+/// r = 3 gives the third central moment -> skewness of F.
+double predicted_moment(const Graph& graph, double alpha, std::int64_t k,
+                        const std::vector<double>& xi0, int r);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_MOMENTS_H

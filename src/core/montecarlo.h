@@ -1,0 +1,80 @@
+// Multithreaded Monte-Carlo harness: runs R independent replicas of a
+// model from the same xi(0), collects the convergence value F and the
+// eps-convergence time, and (optionally) the trajectory of the martingale
+// M(t) at fixed checkpoints.  Replica r uses the deterministic child
+// stream Rng::fork(seed, r), so results are reproducible regardless of
+// the thread count or scheduling.
+#ifndef OPINDYN_CORE_MONTECARLO_H
+#define OPINDYN_CORE_MONTECARLO_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/convergence.h"
+#include "src/core/edge_model.h"
+#include "src/core/node_model.h"
+#include "src/graph/graph.h"
+#include "src/support/stats.h"
+
+namespace opindyn {
+
+enum class ModelKind { node, edge };
+
+/// One configuration of either model (k is ignored for the EdgeModel).
+struct ModelConfig {
+  ModelKind kind = ModelKind::node;
+  double alpha = 0.5;
+  std::int64_t k = 1;
+  bool lazy = false;
+  SamplingMode sampling = SamplingMode::without_replacement;
+};
+
+/// Builds the configured process over `graph` starting from `initial`.
+std::unique_ptr<AveragingProcess> make_process(
+    const Graph& graph, const ModelConfig& config,
+    std::vector<double> initial);
+
+struct MonteCarloResult {
+  /// F = common limit value, one sample per replica.
+  RunningStats convergence_value;
+  /// eps-convergence time, one sample per replica.
+  RunningStats steps;
+  std::int64_t replicas = 0;
+  std::int64_t diverged = 0;  ///< replicas that hit max_steps unconverged
+};
+
+struct MonteCarloOptions {
+  std::int64_t replicas = 1000;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  ConvergenceOptions convergence;
+};
+
+/// Runs replicas to eps-convergence and aggregates F and T_eps.
+MonteCarloResult monte_carlo(const Graph& graph, const ModelConfig& config,
+                             const std::vector<double>& initial,
+                             const MonteCarloOptions& options);
+
+struct TrajectoryResult {
+  /// checkpoints[i] = step count; stats[i] aggregates M(checkpoint[i])
+  /// (NodeModel) or Avg (EdgeModel -- identical for regular graphs)
+  /// across replicas.
+  std::vector<std::int64_t> checkpoints;
+  std::vector<RunningStats> martingale;
+  /// Potential phi at the same checkpoints (for decay-rate plots).
+  std::vector<RunningStats> phi;
+};
+
+/// Runs replicas for exactly max(checkpoints) steps, sampling the
+/// martingale and the potential at each checkpoint.
+TrajectoryResult monte_carlo_trajectory(
+    const Graph& graph, const ModelConfig& config,
+    const std::vector<double>& initial,
+    const std::vector<std::int64_t>& checkpoints,
+    std::int64_t replicas, std::uint64_t seed, std::size_t threads = 0);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_MONTECARLO_H

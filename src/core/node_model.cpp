@@ -1,0 +1,50 @@
+#include "src/core/node_model.h"
+
+#include "src/support/assert.h"
+#include "src/support/sampling.h"
+
+namespace opindyn {
+
+NodeModel::NodeModel(const Graph& graph, std::vector<double> initial,
+                     const NodeModelParams& params)
+    : AveragingProcess(graph, std::move(initial), params.alpha,
+                       params.track_extrema),
+      params_(params) {
+  OPINDYN_EXPECTS(params.k >= 1, "k must be >= 1");
+  if (params.sampling == SamplingMode::without_replacement) {
+    OPINDYN_EXPECTS(params.k <= graph.min_degree(),
+                    "k must be <= min degree for sampling without "
+                    "replacement");
+  }
+  scratch_.reserve(static_cast<std::size_t>(params.k));
+}
+
+NodeSelection NodeModel::step_recorded(Rng& rng) {
+  NodeSelection selection;
+  if (params_.lazy && rng.next_bool(0.5)) {
+    apply(selection);  // records a no-op time step
+    return selection;
+  }
+  const auto u = static_cast<NodeId>(
+      rng.next_below(static_cast<std::uint64_t>(graph().node_count())));
+  selection.node = u;
+  const auto row = graph().neighbors(u);
+  const auto d = static_cast<std::int64_t>(row.size());
+  selection.sample.reserve(static_cast<std::size_t>(params_.k));
+  if (params_.sampling == SamplingMode::without_replacement) {
+    sample_without_replacement(rng, d, params_.k, scratch_);
+    for (const std::int32_t idx : scratch_) {
+      selection.sample.push_back(row[static_cast<std::size_t>(idx)]);
+    }
+  } else {
+    for (std::int64_t i = 0; i < params_.k; ++i) {
+      selection.sample.push_back(
+          row[static_cast<std::size_t>(
+              rng.next_below(static_cast<std::uint64_t>(d)))]);
+    }
+  }
+  apply(selection);
+  return selection;
+}
+
+}  // namespace opindyn

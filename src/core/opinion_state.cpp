@@ -1,0 +1,116 @@
+#include "src/core/opinion_state.h"
+
+#include <algorithm>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+OpinionState::OpinionState(const Graph& graph, std::vector<double> initial,
+                           bool track_extrema)
+    : graph_(&graph),
+      values_(std::move(initial)),
+      track_extrema_(track_extrema) {
+  OPINDYN_EXPECTS(values_.size() ==
+                      static_cast<std::size_t>(graph.node_count()),
+                  "initial value vector size must equal node count");
+  recompute();
+}
+
+double OpinionState::value(NodeId u) const {
+  OPINDYN_EXPECTS(u >= 0 && u < node_count(), "node id out of range");
+  return values_[static_cast<std::size_t>(u)];
+}
+
+void OpinionState::set_value(NodeId u, double x) {
+  OPINDYN_EXPECTS(u >= 0 && u < node_count(), "node id out of range");
+  const auto idx = static_cast<std::size_t>(u);
+  const double old = values_[idx];
+  const double pi = graph_->stationary(u);
+  sum_ += x - old;
+  sum_sq_ += x * x - old * old;
+  wsum_ += pi * (x - old);
+  wsum_sq_ += pi * (x * x - old * old);
+  if (track_extrema_) {
+    const auto it = sorted_.find(old);
+    OPINDYN_ENSURES(it != sorted_.end(), "extremum multiset out of sync");
+    sorted_.erase(it);
+    sorted_.insert(x);
+  }
+  values_[idx] = x;
+  if (++updates_since_recompute_ >= recompute_interval_) {
+    recompute();
+  }
+}
+
+double OpinionState::average() const noexcept {
+  return sum_ / static_cast<double>(node_count());
+}
+
+double OpinionState::phi() const noexcept { return wsum_sq_ - wsum_ * wsum_; }
+
+double OpinionState::phi_exact() const {
+  const double center = wsum_;
+  double total = 0.0;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    const double d = values_[static_cast<std::size_t>(u)] - center;
+    total += graph_->stationary(u) * d * d;
+  }
+  return total;
+}
+
+double OpinionState::phi_plain() const noexcept {
+  return sum_sq_ - sum_ * sum_ / static_cast<double>(node_count());
+}
+
+double OpinionState::phi_plain_exact() const {
+  const double center = average();
+  double total = 0.0;
+  for (const double v : values_) {
+    const double d = v - center;
+    total += d * d;
+  }
+  return total;
+}
+
+double OpinionState::discrepancy() const {
+  return max_value() - min_value();
+}
+
+double OpinionState::min_value() const {
+  OPINDYN_EXPECTS(!values_.empty(), "empty state");
+  if (track_extrema_) {
+    return *sorted_.begin();
+  }
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double OpinionState::max_value() const {
+  OPINDYN_EXPECTS(!values_.empty(), "empty state");
+  if (track_extrema_) {
+    return *sorted_.rbegin();
+  }
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void OpinionState::recompute() {
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  wsum_ = 0.0;
+  wsum_sq_ = 0.0;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    const double v = values_[static_cast<std::size_t>(u)];
+    const double pi = graph_->stationary(u);
+    sum_ += v;
+    sum_sq_ += v * v;
+    wsum_ += pi * v;
+    wsum_sq_ += pi * v * v;
+  }
+  if (track_extrema_) {
+    sorted_.clear();
+    sorted_.insert(values_.begin(), values_.end());
+  }
+  updates_since_recompute_ = 0;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,86 @@
+// The value vector xi(t) plus O(1)-per-update tracking of every quantity
+// the paper's analysis monitors:
+//
+//   Avg(t)   = (1/n)       sum_u xi_u(t)                       (Eq. 1)
+//   M(t)     = sum_u (d_u / 2m) xi_u(t)                        (Eq. 1)
+//   phi(t)   = <xi,xi>_pi - <1,xi>_pi^2                        (Eq. 3)
+//   phi_V(t) = sum_u xi_u^2 - (sum_u xi_u)^2 / n               (Prop. D.1)
+//   K(t)     = max_u xi_u - min_u xi_u (discrepancy)
+//
+// Only one node changes per process step, so all running sums update in
+// O(1).  Floating-point drift is controlled two ways: accumulators are
+// rebuilt from scratch every `recompute_interval` updates, and
+// `phi_exact()` evaluates the potential in centered two-pass form, which
+// does not suffer the catastrophic cancellation of the S2 - S1^2 formula
+// near convergence.  Extremum tracking (for K) costs O(log n) per update
+// and is opt-in.
+#ifndef OPINDYN_CORE_OPINION_STATE_H
+#define OPINDYN_CORE_OPINION_STATE_H
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace opindyn {
+
+class OpinionState {
+ public:
+  /// `graph` must outlive the state.  `initial.size() == node_count`.
+  OpinionState(const Graph& graph, std::vector<double> initial,
+               bool track_extrema = false);
+
+  const Graph& graph() const noexcept { return *graph_; }
+  NodeId node_count() const noexcept { return graph_->node_count(); }
+
+  double value(NodeId u) const;
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Replaces the value at u, updating all running statistics.
+  void set_value(NodeId u, double x);
+
+  /// Plain average Avg(t).
+  double average() const noexcept;
+  /// Degree-weighted average M(t) = <1, xi>_pi -- the NodeModel martingale.
+  double weighted_average() const noexcept { return wsum_; }
+  /// Potential phi (Eq. 3), from running sums (fast, may lose precision
+  /// near zero).
+  double phi() const noexcept;
+  /// Potential phi in centered two-pass form: exact at any magnitude.
+  double phi_exact() const;
+  /// phi_V of Prop. D.1 (unweighted analogue), from running sums.
+  double phi_plain() const noexcept;
+  /// phi_V in centered two-pass form.
+  double phi_plain_exact() const;
+  /// sum_u xi_u(t)^2.
+  double l2_squared() const noexcept { return sum_sq_; }
+  /// Discrepancy K(t) = max - min.  O(1) when extremum tracking is on,
+  /// O(n) otherwise.
+  double discrepancy() const;
+  double min_value() const;
+  double max_value() const;
+
+  bool tracks_extrema() const noexcept { return track_extrema_; }
+
+  /// Rebuilds all accumulators from the value vector.
+  void recompute();
+
+ private:
+  const Graph* graph_;
+  std::vector<double> values_;
+  bool track_extrema_;
+  std::multiset<double> sorted_;
+
+  double sum_ = 0.0;       // sum xi
+  double sum_sq_ = 0.0;    // sum xi^2
+  double wsum_ = 0.0;      // sum pi_u xi_u  (= M(t))
+  double wsum_sq_ = 0.0;   // sum pi_u xi_u^2
+
+  std::int64_t updates_since_recompute_ = 0;
+  static constexpr std::int64_t recompute_interval_ = 1 << 20;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_OPINION_STATE_H

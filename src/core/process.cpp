@@ -1,0 +1,38 @@
+#include "src/core/process.h"
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+AveragingProcess::AveragingProcess(const Graph& graph,
+                                   std::vector<double> initial, double alpha,
+                                   bool track_extrema)
+    : state_(graph, std::move(initial), track_extrema), alpha_(alpha) {
+  OPINDYN_EXPECTS(alpha >= 0.0 && alpha < 1.0, "alpha must be in [0, 1)");
+}
+
+void AveragingProcess::step(Rng& rng) { (void)step_recorded(rng); }
+
+void AveragingProcess::apply(const NodeSelection& selection) {
+  apply_update(selection);
+  ++time_;
+}
+
+void AveragingProcess::apply_update(const NodeSelection& selection) {
+  if (selection.is_noop()) {
+    return;
+  }
+  const NodeId u = selection.node;
+  double neighbour_sum = 0.0;
+  for (const NodeId v : selection.sample) {
+    OPINDYN_EXPECTS(state_.graph().has_edge(u, v),
+                    "selection sample contains a non-neighbour");
+    neighbour_sum += state_.value(v);
+  }
+  const double neighbour_mean =
+      neighbour_sum / static_cast<double>(selection.sample.size());
+  state_.set_value(u,
+                   alpha_ * state_.value(u) + (1.0 - alpha_) * neighbour_mean);
+}
+
+}  // namespace opindyn

@@ -1,0 +1,62 @@
+// Abstract interface shared by the two averaging processes of the paper
+// (NodeModel, Definition 2.1; EdgeModel, Definition 2.3).  The experiment
+// harness drives either through this interface; `step_recorded`/`apply`
+// expose the selection sequence chi for the duality machinery of
+// Section 5.
+#ifndef OPINDYN_CORE_PROCESS_H
+#define OPINDYN_CORE_PROCESS_H
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/opinion_state.h"
+#include "src/core/selection.h"
+#include "src/graph/graph.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+
+class AveragingProcess {
+ public:
+  virtual ~AveragingProcess() = default;
+
+  AveragingProcess(const AveragingProcess&) = delete;
+  AveragingProcess& operator=(const AveragingProcess&) = delete;
+
+  /// Advances the process one time step using `rng` for all choices.
+  void step(Rng& rng);
+
+  /// Advances one step and returns the selection chi(t) that was made
+  /// (empty sample = lazy no-op).
+  virtual NodeSelection step_recorded(Rng& rng) = 0;
+
+  /// Applies a fixed selection deterministically (replay; Lemma 5.2).
+  void apply(const NodeSelection& selection);
+
+  /// Number of steps taken so far (t).
+  std::int64_t time() const noexcept { return time_; }
+
+  const Graph& graph() const noexcept { return state_.graph(); }
+  const OpinionState& state() const noexcept { return state_; }
+  OpinionState& mutable_state() noexcept { return state_; }
+
+  /// Weight (1 - alpha) given to the sampled neighbours.
+  double alpha() const noexcept { return alpha_; }
+
+ protected:
+  /// `graph` must outlive the process.
+  AveragingProcess(const Graph& graph, std::vector<double> initial,
+                   double alpha, bool track_extrema);
+
+  /// The common update rule: xi_u <- alpha*xi_u + (1-alpha)*mean(sample).
+  void apply_update(const NodeSelection& selection);
+
+ private:
+  OpinionState state_;
+  double alpha_;
+  std::int64_t time_ = 0;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_PROCESS_H

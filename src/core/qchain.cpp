@@ -1,0 +1,170 @@
+#include "src/core/qchain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/algorithms.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+QStationaryValues q_stationary_closed_form(std::int64_t n, std::int64_t d,
+                                           std::int64_t k, double alpha) {
+  OPINDYN_EXPECTS(n >= 2, "need n >= 2");
+  OPINDYN_EXPECTS(d >= 2 && d < n, "closed form needs 2 <= d < n");
+  OPINDYN_EXPECTS(k >= 1 && k <= d, "need 1 <= k <= d");
+  OPINDYN_EXPECTS(alpha > 0.0 && alpha < 1.0, "need alpha in (0, 1)");
+  const auto nd = static_cast<double>(n);
+  const auto dd = static_cast<double>(d);
+  const auto kd = static_cast<double>(k);
+
+  QStationaryValues v;
+  v.gamma = kd * (1.0 + alpha) - (1.0 - alpha);
+  const double dg2ak = dd * v.gamma - 2.0 * alpha * kd;
+  v.ell = 1.0 / (nd * (nd * dg2ak + 2.0 * (1.0 - alpha) * (dd - kd)));
+  v.mu0 = 2.0 * kd * (dd - 1.0) * v.ell;
+  v.mu1 = (dd - 1.0) * v.gamma * v.ell;
+  v.mu_plus = dg2ak * v.ell;
+  return v;
+}
+
+QChain::QChain(const Graph& graph, double alpha, std::int64_t k)
+    : graph_(&graph),
+      alpha_(alpha),
+      k_(k),
+      q_(static_cast<std::size_t>(graph.node_count()) *
+             static_cast<std::size_t>(graph.node_count()),
+         static_cast<std::size_t>(graph.node_count()) *
+             static_cast<std::size_t>(graph.node_count()),
+         0.0) {
+  OPINDYN_EXPECTS(alpha > 0.0 && alpha < 1.0, "need alpha in (0, 1)");
+  OPINDYN_EXPECTS(k >= 1 && k <= graph.min_degree(),
+                  "need 1 <= k <= min degree");
+  OPINDYN_EXPECTS(graph.node_count() <= 64,
+                  "QChain dense matrix limited to n <= 64 (n^4 memory)");
+
+  const auto n = graph.node_count();
+  const double node_prob = 1.0 / static_cast<double>(n);
+  const double a = alpha;
+  const double b = 1.0 - alpha;
+  const auto kd = static_cast<double>(k);
+
+  // Exact one-step law, derived from the shared-B(t) walk semantics
+  // (equivalently Eqs. (14)-(21) generalised to per-node degrees):
+  for (NodeId x = 0; x < n; ++x) {
+    const auto dx = static_cast<double>(graph.degree(x));
+    for (NodeId y = 0; y < n; ++y) {
+      const std::size_t from = state_index(x, y);
+      double outflow = 0.0;
+
+      if (x == y) {
+        // Selected node must be x for anything to move (prob 1/n).
+        // Both stay: alpha^2 (accumulated into the self-loop below).
+        // One walk moves to a neighbour u: each direction
+        //   a*b * P(u picked) = a*b * (k/d)(1/k) = a*b/d.
+        for (const NodeId u : graph_->neighbors(x)) {
+          const double one_moves = node_prob * a * b / dx;
+          q_.at(from, state_index(u, y)) += one_moves;  // walk 1 moves
+          q_.at(from, state_index(x, u)) += one_moves;  // walk 2 moves
+          outflow += 2.0 * one_moves;
+        }
+        // Both move to the same u: b^2 * (k/d)(1/k^2) = b^2/(k d).
+        for (const NodeId u : graph_->neighbors(x)) {
+          const double both_same = node_prob * b * b / (kd * dx);
+          q_.at(from, state_index(u, u)) += both_same;
+          outflow += both_same;
+        }
+        // Both move, to distinct neighbours u != v (requires k >= 2):
+        // b^2 * [k(k-1)/(d(d-1))] * (1/k^2) per ordered pair.
+        if (k_ >= 2) {
+          const double both_distinct =
+              node_prob * b * b * (kd - 1.0) / (kd * dx * (dx - 1.0));
+          for (const NodeId u : graph_->neighbors(x)) {
+            for (const NodeId v : graph_->neighbors(x)) {
+              if (u == v) {
+                continue;
+              }
+              q_.at(from, state_index(u, v)) += both_distinct;
+              outflow += both_distinct;
+            }
+          }
+        }
+      } else {
+        // Walk 1 (at x) moves only if x is selected: b * (1/d_x) per
+        // neighbour; walk 2 symmetric.  Note the destination may equal
+        // the other walk's node -- that is how pairs coalesce to S_0.
+        for (const NodeId u : graph_->neighbors(x)) {
+          const double move = node_prob * b / dx;
+          q_.at(from, state_index(u, y)) += move;
+          outflow += move;
+        }
+        const auto dy = static_cast<double>(graph.degree(y));
+        for (const NodeId v : graph_->neighbors(y)) {
+          const double move = node_prob * b / dy;
+          q_.at(from, state_index(x, v)) += move;
+          outflow += move;
+        }
+      }
+      // Everything else (other node selected, or walks stayed put).
+      q_.at(from, from) += 1.0 - outflow;
+    }
+  }
+  OPINDYN_ENSURES(q_.stochasticity_defect() < 1e-12,
+                  "Q transition matrix must be row-stochastic");
+}
+
+std::size_t QChain::state_index(NodeId x, NodeId y) const {
+  OPINDYN_EXPECTS(x >= 0 && x < graph_->node_count(), "x out of range");
+  OPINDYN_EXPECTS(y >= 0 && y < graph_->node_count(), "y out of range");
+  return static_cast<std::size_t>(x) *
+             static_cast<std::size_t>(graph_->node_count()) +
+         static_cast<std::size_t>(y);
+}
+
+std::vector<double> QChain::closed_form_stationary() const {
+  OPINDYN_EXPECTS(graph_->is_regular(),
+                  "Lemma 5.7 closed form needs a regular graph");
+  const QStationaryValues v = q_stationary_closed_form(
+      graph_->node_count(), graph_->min_degree(), k_, alpha_);
+  const auto distances = all_pairs_distances(*graph_);
+  const auto n = static_cast<std::size_t>(graph_->node_count());
+  std::vector<double> mu(n * n, 0.0);
+  for (std::size_t s = 0; s < n * n; ++s) {
+    const NodeId dist = distances[s];
+    OPINDYN_ENSURES(dist >= 0, "graph must be connected");
+    mu[s] = dist == 0 ? v.mu0 : (dist == 1 ? v.mu1 : v.mu_plus);
+  }
+  return mu;
+}
+
+double QChain::closed_form_residual() const {
+  const std::vector<double> mu = closed_form_stationary();
+  const std::vector<double> mu_q = q_.left_multiply(mu);
+  double residual = 0.0;
+  for (std::size_t s = 0; s < mu.size(); ++s) {
+    residual = std::max(residual, std::abs(mu_q[s] - mu[s]));
+  }
+  return residual;
+}
+
+StationaryResult QChain::numerical_stationary(double tolerance,
+                                              int max_iterations) const {
+  return stationary_distribution(q_, tolerance, max_iterations);
+}
+
+double QChain::second_moment(const std::vector<double>& stationary,
+                             const std::vector<double>& xi0) const {
+  const auto n = static_cast<std::size_t>(graph_->node_count());
+  OPINDYN_EXPECTS(stationary.size() == n * n,
+                  "stationary vector has wrong size");
+  OPINDYN_EXPECTS(xi0.size() == n, "xi0 has wrong size");
+  double total = 0.0;
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      total += stationary[x * n + y] * xi0[x] * xi0[y];
+    }
+  }
+  return total;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,95 @@
+#include "src/core/selection.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+namespace {
+
+double binomial(std::int64_t n, std::int64_t k) {
+  double result = 1.0;
+  for (std::int64_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<WeightedSelection> enumerate_node_selections(const Graph& graph,
+                                                         std::int64_t k) {
+  OPINDYN_EXPECTS(k >= 1, "k must be >= 1");
+  OPINDYN_EXPECTS(k <= graph.min_degree(),
+                  "k must be <= the minimum degree");
+  std::vector<WeightedSelection> result;
+  const double node_prob = 1.0 / static_cast<double>(graph.node_count());
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    const auto row = graph.neighbors(u);
+    const auto d = static_cast<std::int64_t>(row.size());
+    const double subset_prob = 1.0 / binomial(d, k);
+    std::vector<NodeId> subset;
+    // Recursive enumeration of all k-subsets of the neighbour row.
+    const std::function<void(std::int64_t)> recurse =
+        [&](std::int64_t next) {
+          if (static_cast<std::int64_t>(subset.size()) == k) {
+            result.push_back(
+                {NodeSelection{u, subset}, node_prob * subset_prob});
+            return;
+          }
+          const auto remaining =
+              k - static_cast<std::int64_t>(subset.size());
+          for (std::int64_t i = next; i <= d - remaining; ++i) {
+            subset.push_back(row[static_cast<std::size_t>(i)]);
+            recurse(i + 1);
+            subset.pop_back();
+          }
+        };
+    recurse(0);
+  }
+  return result;
+}
+
+std::vector<WeightedSelection> enumerate_node_selections_with_replacement(
+    const Graph& graph, std::int64_t k) {
+  OPINDYN_EXPECTS(k >= 1 && k <= 4,
+                  "with-replacement enumeration limited to k <= 4");
+  std::vector<WeightedSelection> result;
+  const double node_prob = 1.0 / static_cast<double>(graph.node_count());
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    const auto row = graph.neighbors(u);
+    const auto d = static_cast<std::int64_t>(row.size());
+    const double tuple_prob =
+        1.0 / std::pow(static_cast<double>(d), static_cast<double>(k));
+    std::vector<NodeId> tuple;
+    const std::function<void()> recurse = [&]() {
+      if (static_cast<std::int64_t>(tuple.size()) == k) {
+        result.push_back({NodeSelection{u, tuple}, node_prob * tuple_prob});
+        return;
+      }
+      for (std::int64_t i = 0; i < d; ++i) {
+        tuple.push_back(row[static_cast<std::size_t>(i)]);
+        recurse();
+        tuple.pop_back();
+      }
+    };
+    recurse();
+  }
+  return result;
+}
+
+std::vector<WeightedSelection> enumerate_edge_selections(const Graph& graph) {
+  std::vector<WeightedSelection> result;
+  const double arc_prob = 1.0 / static_cast<double>(graph.arc_count());
+  result.reserve(static_cast<std::size_t>(graph.arc_count()));
+  for (ArcId j = 0; j < graph.arc_count(); ++j) {
+    result.push_back(
+        {NodeSelection{graph.arc_source(j), {graph.arc_target(j)}},
+         arc_prob});
+  }
+  return result;
+}
+
+}  // namespace opindyn

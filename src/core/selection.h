@@ -1,0 +1,53 @@
+// A single step's random choice chi(t) = (u(t), S(t)) -- the updating node
+// and its sampled neighbours -- in the notation of Proposition 5.1.
+// Recording these choices is what makes the duality testable: the
+// Averaging Process replayed forward on chi and the Diffusion Process
+// replayed on the reverse of chi must produce identical vectors
+// (Lemma 5.2), bit-for-bit up to floating point.
+#ifndef OPINDYN_CORE_SELECTION_H
+#define OPINDYN_CORE_SELECTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace opindyn {
+
+struct NodeSelection {
+  /// The node u(t) whose value updates.
+  NodeId node = 0;
+  /// The sampled neighbours v_1..v_k (size 1 for the EdgeModel).
+  /// Empty means "lazy no-op step".
+  std::vector<NodeId> sample;
+
+  bool is_noop() const noexcept { return sample.empty(); }
+};
+
+using SelectionSequence = std::vector<NodeSelection>;
+
+/// A selection together with its probability under the model's one-step
+/// distribution; used for exact expectation tests and small-case
+/// enumeration.
+struct WeightedSelection {
+  NodeSelection selection;
+  double probability = 0.0;
+};
+
+/// Enumerates every possible NodeModel selection (u, S) with
+/// P = (1/n) * 1/C(d_u, k) for without-replacement sampling.
+/// Requires k <= min_degree and small degrees (C(d,k) enumerable).
+std::vector<WeightedSelection> enumerate_node_selections(const Graph& graph,
+                                                         std::int64_t k);
+
+/// Enumerates every ordered k-tuple for with-replacement sampling with
+/// P = (1/n) * (1/d_u)^k.  Exponential in k; for tests only.
+std::vector<WeightedSelection> enumerate_node_selections_with_replacement(
+    const Graph& graph, std::int64_t k);
+
+/// Enumerates every EdgeModel selection (directed arc) with P = 1/(2m).
+std::vector<WeightedSelection> enumerate_edge_selections(const Graph& graph);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_SELECTION_H

@@ -1,0 +1,204 @@
+#include "src/core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace theory {
+
+double expected_pi_norm_sq_after_step(const Graph& graph,
+                                      const std::vector<double>& xi,
+                                      double alpha, std::int64_t k,
+                                      SamplingMode mode) {
+  const auto n = graph.node_count();
+  OPINDYN_EXPECTS(xi.size() == static_cast<std::size_t>(n),
+                  "xi size must equal node count");
+  OPINDYN_EXPECTS(k >= 1, "k must be >= 1");
+  if (mode == SamplingMode::without_replacement) {
+    OPINDYN_EXPECTS(k <= graph.min_degree(),
+                    "k must be <= min degree without replacement");
+  }
+  const double a = alpha;
+  const double b = 1.0 - alpha;
+  const auto kd = static_cast<double>(k);
+
+  // ||xi'||^2_pi - ||xi||^2_pi changes only in coordinate X:
+  //   E[...] = (1/n) sum_x pi_x ( E[(a xi_x + b A_x)^2] - xi_x^2 )
+  // where A_x is the mean of the k sampled neighbour values:
+  //   E[A_x]   = m1(x)
+  //   E[A_x^2] = m2(x)/k + (1 - 1/k) * cross(x)
+  // cross(x) = m1(x)^2 with replacement, and the exact pair moment
+  // (d m1^2 - m2/d ... ) / (d-1) without replacement.
+  double total = 0.0;
+  for (NodeId x = 0; x < n; ++x) {
+    const auto row = graph.neighbors(x);
+    const auto d = static_cast<double>(row.size());
+    double s1 = 0.0;
+    double s2 = 0.0;
+    for (const NodeId y : row) {
+      const double v = xi[static_cast<std::size_t>(y)];
+      s1 += v;
+      s2 += v * v;
+    }
+    const double m1 = s1 / d;
+    const double m2 = s2 / d;
+    double cross = m1 * m1;
+    if (mode == SamplingMode::without_replacement && k >= 2) {
+      // E[xi_Y xi_Y' | Y != Y'] = (s1^2 - s2) / (d(d-1)).
+      cross = (s1 * s1 - s2) / (d * (d - 1.0));
+    }
+    const double e_a2 = m2 / kd + (1.0 - 1.0 / kd) * cross;
+    const double xv = xi[static_cast<std::size_t>(x)];
+    const double e_new_sq = a * a * xv * xv + 2.0 * a * b * xv * m1 +
+                            b * b * e_a2;
+    total += graph.stationary(x) * (e_new_sq - xv * xv);
+  }
+  double base = 0.0;
+  for (NodeId x = 0; x < n; ++x) {
+    base += graph.stationary(x) * xi[static_cast<std::size_t>(x)] *
+            xi[static_cast<std::size_t>(x)];
+  }
+  return base + total / static_cast<double>(n);
+}
+
+double expected_sum_sq_after_step_edge(const Graph& graph,
+                                       const std::vector<double>& xi,
+                                       double alpha) {
+  OPINDYN_EXPECTS(xi.size() == static_cast<std::size_t>(graph.node_count()),
+                  "xi size must equal node count");
+  double sum_sq = 0.0;
+  for (const double v : xi) {
+    sum_sq += v * v;
+  }
+  const double quad = laplacian_quadratic_form(graph, xi);
+  return sum_sq - alpha * (1.0 - alpha) /
+                      static_cast<double>(graph.edge_count()) * quad;
+}
+
+double node_model_rho(double lambda2_lazy_p, double alpha, std::int64_t k,
+                      std::int64_t n, bool lazy) {
+  OPINDYN_EXPECTS(n >= 2, "need n >= 2");
+  OPINDYN_EXPECTS(k >= 1, "k must be >= 1");
+  const double l2 = lambda2_lazy_p;
+  const double a = alpha;
+  const double kd = static_cast<double>(k);
+  const double rho = (1.0 - a) * (1.0 - l2) *
+                     (2.0 * a + (1.0 - a) * (1.0 + l2) * (1.0 - 1.0 / kd)) /
+                     static_cast<double>(n);
+  return lazy ? rho / 2.0 : rho;
+}
+
+double edge_model_rho(double lambda2_laplacian, double alpha, std::int64_t m,
+                      bool lazy) {
+  OPINDYN_EXPECTS(m >= 1, "need m >= 1");
+  const double rho =
+      alpha * (1.0 - alpha) * lambda2_laplacian / static_cast<double>(m);
+  return lazy ? rho / 2.0 : rho;
+}
+
+double steps_to_epsilon(double rho, double phi0, double eps) {
+  OPINDYN_EXPECTS(rho > 0.0 && rho < 1.0, "rho must be in (0, 1)");
+  OPINDYN_EXPECTS(phi0 > 0.0 && eps > 0.0, "phi0 and eps must be positive");
+  if (phi0 <= eps) {
+    return 0.0;
+  }
+  return std::log(phi0 / eps) / -std::log1p(-rho);
+}
+
+double node_convergence_bound(std::int64_t n, double xi0_l2_squared,
+                              double eps, double lambda2_lazy_p) {
+  OPINDYN_EXPECTS(eps > 0.0, "eps must be positive");
+  OPINDYN_EXPECTS(lambda2_lazy_p < 1.0, "need a positive spectral gap");
+  const double nd = static_cast<double>(n);
+  return nd * std::log(nd * xi0_l2_squared / eps) / (1.0 - lambda2_lazy_p);
+}
+
+double edge_convergence_bound(std::int64_t n, std::int64_t m,
+                              double xi0_l2_squared, double eps,
+                              double lambda2_laplacian) {
+  OPINDYN_EXPECTS(eps > 0.0, "eps must be positive");
+  OPINDYN_EXPECTS(lambda2_laplacian > 0.0, "need lambda2(L) > 0");
+  return static_cast<double>(m) *
+         std::log(static_cast<double>(n) * xi0_l2_squared / eps) /
+         lambda2_laplacian;
+}
+
+double variance_exact(const Graph& graph, double alpha, std::int64_t k,
+                      const std::vector<double>& xi0) {
+  OPINDYN_EXPECTS(graph.is_regular(),
+                  "Prop. 5.8 variance formula needs a regular graph");
+  const QStationaryValues mu = q_stationary_closed_form(
+      graph.node_count(), graph.min_degree(), k, alpha);
+  double sum_sq = 0.0;
+  for (const double v : xi0) {
+    sum_sq += v * v;
+  }
+  const double edge_corr = directed_edge_correlation(graph, xi0);
+  return (mu.mu0 - mu.mu_plus) * sum_sq + (mu.mu1 - mu.mu_plus) * edge_corr;
+}
+
+double variance_upper_coeff(std::int64_t n, std::int64_t d, std::int64_t k,
+                            double alpha) {
+  const QStationaryValues mu = q_stationary_closed_form(n, d, k, alpha);
+  return (mu.mu0 - mu.mu_plus) -
+         static_cast<double>(d) * (mu.mu1 - mu.mu_plus);
+}
+
+double variance_lower_coeff(std::int64_t n, std::int64_t d, std::int64_t k,
+                            double alpha) {
+  const QStationaryValues mu = q_stationary_closed_form(n, d, k, alpha);
+  return (mu.mu0 - mu.mu_plus) +
+         static_cast<double>(d) * (mu.mu1 - mu.mu_plus);
+}
+
+double cheeger_lambda2_lower_bound(double isoperimetric_number,
+                                   std::int64_t max_degree) {
+  OPINDYN_EXPECTS(max_degree >= 1, "need max degree >= 1");
+  return isoperimetric_number * isoperimetric_number /
+         (2.0 * static_cast<double>(max_degree));
+}
+
+double node_var_m_time_bound(std::int64_t t, double discrepancy,
+                             std::int64_t max_degree, std::int64_t m) {
+  OPINDYN_EXPECTS(t >= 0, "time must be >= 0");
+  const double step = static_cast<double>(max_degree) * discrepancy /
+                      (2.0 * static_cast<double>(m));
+  return static_cast<double>(t) * step * step;
+}
+
+double edge_var_avg_time_bound(std::int64_t t, double discrepancy,
+                               std::int64_t n) {
+  OPINDYN_EXPECTS(t >= 0, "time must be >= 0");
+  return static_cast<double>(t) * discrepancy * discrepancy /
+         (static_cast<double>(n) * static_cast<double>(n));
+}
+
+double directed_edge_correlation(const Graph& graph,
+                                 const std::vector<double>& xi) {
+  OPINDYN_EXPECTS(xi.size() == static_cast<std::size_t>(graph.node_count()),
+                  "xi size must equal node count");
+  double total = 0.0;
+  for (ArcId j = 0; j < graph.arc_count(); ++j) {
+    total += xi[static_cast<std::size_t>(graph.arc_source(j))] *
+             xi[static_cast<std::size_t>(graph.arc_target(j))];
+  }
+  return total;
+}
+
+double laplacian_quadratic_form(const Graph& graph,
+                                const std::vector<double>& xi) {
+  OPINDYN_EXPECTS(xi.size() == static_cast<std::size_t>(graph.node_count()),
+                  "xi size must equal node count");
+  double total = 0.0;
+  for (const auto& [u, v] : graph.undirected_edges()) {
+    const double d = xi[static_cast<std::size_t>(u)] -
+                     xi[static_cast<std::size_t>(v)];
+    total += d * d;
+  }
+  return total;
+}
+
+}  // namespace theory
+}  // namespace opindyn

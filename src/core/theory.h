@@ -1,0 +1,109 @@
+// Closed-form quantities from the paper's analysis, used by the benches to
+// print the "paper prediction" column next to measurements and by the
+// tests to verify exact identities.
+//
+// Contents map:
+//   * expected_pi_norm_sq_after_step  -- the exact one-step identity
+//     behind Prop. B.1 (Eq. 39), for both sampling modes.
+//   * expected_sum_sq_after_step_edge -- the exact EdgeModel one-step
+//     identity (Eq. 57 in Prop. D.1).
+//   * node_model_rho / edge_model_rho -- per-step contraction factors of
+//     E[phi] (Prop. B.1 / Prop. D.1.ii).
+//   * convergence-time bounds of Theorems 2.2(1) / 2.4(1).
+//   * variance_exact / envelopes -- Prop. 5.8 via Lemma 5.7's mu values.
+//   * Corollary E.2's Cheeger-style bound and time-t variance envelopes.
+#ifndef OPINDYN_CORE_THEORY_H
+#define OPINDYN_CORE_THEORY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/node_model.h"
+#include "src/core/qchain.h"
+#include "src/graph/graph.h"
+
+namespace opindyn {
+namespace theory {
+
+/// Exact E[ ||xi'||_pi^2 | xi ] after one (non-lazy) NodeModel step.
+/// For SamplingMode::with_replacement this equals Eq. (39):
+///   ||xi||_pi^2 - (2 a (1-a)/n) <xi,(I-P)xi>_pi
+///                - ((1-a)^2/n)(1 - 1/k) <xi,(I-P^2)xi>_pi
+/// with P the non-lazy walk matrix; for without_replacement the
+/// neighbour-pair term uses the exact without-replacement cross moment.
+double expected_pi_norm_sq_after_step(const Graph& graph,
+                                      const std::vector<double>& xi,
+                                      double alpha, std::int64_t k,
+                                      SamplingMode mode);
+
+/// Exact E[ sum_u xi_u'^2 | xi ] after one (non-lazy) EdgeModel step:
+/// sum xi^2 - (alpha(1-alpha)/m) xi^T L xi  (Eq. 57).
+double expected_sum_sq_after_step_edge(const Graph& graph,
+                                       const std::vector<double>& xi,
+                                       double alpha);
+
+/// Per-step potential contraction factor rho for the lazy NodeModel
+/// (Prop. B.1): E[phi(t+1)] <= (1 - rho) phi(t), with
+/// rho = (1-a)(1-l2)[2a + (1-a)(1+l2)(1 - 1/k)] / n and l2 = lambda2 of
+/// the lazy walk matrix, all divided by 2 for the laziness coin.
+double node_model_rho(double lambda2_lazy_p, double alpha, std::int64_t k,
+                      std::int64_t n, bool lazy);
+
+/// Per-step contraction of E[phi_V] for the EdgeModel (Prop. D.1.ii):
+/// rho = alpha(1-alpha) lambda2(L) / m, halved when lazy.
+double edge_model_rho(double lambda2_laplacian, double alpha, std::int64_t m,
+                      bool lazy);
+
+/// Predicted eps-convergence time from a per-step factor: the smallest t
+/// with (1-rho)^t * phi0 <= eps.
+double steps_to_epsilon(double rho, double phi0, double eps);
+
+/// Theorem 2.2(1) upper-bound scale: n log(n ||xi0||^2 / eps)/(1 - l2(P)).
+double node_convergence_bound(std::int64_t n, double xi0_l2_squared,
+                              double eps, double lambda2_lazy_p);
+
+/// Theorem 2.4(1) upper-bound scale: m log(n ||xi0||^2 / eps)/lambda2(L).
+double edge_convergence_bound(std::int64_t n, std::int64_t m,
+                              double xi0_l2_squared, double eps,
+                              double lambda2_laplacian);
+
+/// Exact asymptotic Var(F) of Prop. 5.8 (d-regular graph, Avg(0) = 0,
+/// error +-1/n^5):
+///   (mu0 - mu+) sum_u xi_u^2 + (mu1 - mu+) sum_{(u,v) in E+} xi_u xi_v.
+double variance_exact(const Graph& graph, double alpha, std::int64_t k,
+                      const std::vector<double>& xi0);
+
+/// Theta-envelope coefficients: Var(F) in
+/// [lower_coeff, upper_coeff] * ||xi0||^2 (+-1/n^5).
+/// upper = (mu0-mu+) - d(mu1-mu+); lower = (mu0-mu+) + d(mu1-mu+)
+/// (which simplifies to 2(1-alpha)(d-k) ell and so degenerates at k = d;
+/// the exact formula above stays tight there).
+double variance_upper_coeff(std::int64_t n, std::int64_t d, std::int64_t k,
+                            double alpha);
+double variance_lower_coeff(std::int64_t n, std::int64_t d, std::int64_t k,
+                            double alpha);
+
+/// Corollary E.2(i): lambda_2(L) >= i(G)^2 / (2 d_max).
+double cheeger_lambda2_lower_bound(double isoperimetric_number,
+                                   std::int64_t max_degree);
+
+/// Corollary E.2(ii): Var(M(t)) <= t (d_max K / 2m)^2 (NodeModel).
+double node_var_m_time_bound(std::int64_t t, double discrepancy,
+                             std::int64_t max_degree, std::int64_t m);
+
+/// Corollary E.2(iii): Var(Avg(t)) <= t K^2 / n^2 (EdgeModel).
+double edge_var_avg_time_bound(std::int64_t t, double discrepancy,
+                               std::int64_t n);
+
+/// sum_{(u,v) in E+} xi_u xi_v over directed arcs (= 2 * undirected sum).
+double directed_edge_correlation(const Graph& graph,
+                                 const std::vector<double>& xi);
+
+/// xi^T L xi = sum_{{u,v} in E} (xi_u - xi_v)^2.
+double laplacian_quadratic_form(const Graph& graph,
+                                const std::vector<double>& xi);
+
+}  // namespace theory
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_THEORY_H

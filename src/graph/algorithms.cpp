@@ -1,0 +1,128 @@
+#include "src/graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+std::vector<NodeId> bfs_distances(const Graph& graph, NodeId source) {
+  OPINDYN_EXPECTS(source >= 0 && source < graph.node_count(),
+                  "BFS source out of range");
+  std::vector<NodeId> dist(static_cast<std::size_t>(graph.node_count()), -1);
+  std::queue<NodeId> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : graph.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] =
+            static_cast<NodeId>(dist[static_cast<std::size_t>(u)] + 1);
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& graph) {
+  const auto dist = bfs_distances(graph, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](NodeId d) { return d < 0; });
+}
+
+std::vector<NodeId> all_pairs_distances(const Graph& graph) {
+  const auto n = static_cast<std::size_t>(graph.node_count());
+  std::vector<NodeId> result(n * n, -1);
+  for (NodeId s = 0; s < graph.node_count(); ++s) {
+    const auto dist = bfs_distances(graph, s);
+    std::copy(dist.begin(), dist.end(),
+              result.begin() + static_cast<std::ptrdiff_t>(
+                                   static_cast<std::size_t>(s) * n));
+  }
+  return result;
+}
+
+NodeId diameter(const Graph& graph) {
+  NodeId best = 0;
+  for (NodeId s = 0; s < graph.node_count(); ++s) {
+    const auto dist = bfs_distances(graph, s);
+    for (const NodeId d : dist) {
+      if (d < 0) {
+        return -1;
+      }
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+bool is_bipartite(const Graph& graph) {
+  std::vector<int> color(static_cast<std::size_t>(graph.node_count()), -1);
+  for (NodeId start = 0; start < graph.node_count(); ++start) {
+    if (color[static_cast<std::size_t>(start)] >= 0) {
+      continue;
+    }
+    color[static_cast<std::size_t>(start)] = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const NodeId v : graph.neighbors(u)) {
+        if (color[static_cast<std::size_t>(v)] < 0) {
+          color[static_cast<std::size_t>(v)] =
+              1 - color[static_cast<std::size_t>(u)];
+          frontier.push(v);
+        } else if (color[static_cast<std::size_t>(v)] ==
+                   color[static_cast<std::size_t>(u)]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+int component_count(const Graph& graph) {
+  std::vector<bool> seen(static_cast<std::size_t>(graph.node_count()), false);
+  int components = 0;
+  for (NodeId start = 0; start < graph.node_count(); ++start) {
+    if (seen[static_cast<std::size_t>(start)]) {
+      continue;
+    }
+    ++components;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    seen[static_cast<std::size_t>(start)] = true;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const NodeId v : graph.neighbors(u)) {
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = true;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+double degree_weighted_average(const Graph& graph,
+                               const std::vector<double>& value) {
+  OPINDYN_EXPECTS(value.size() ==
+                      static_cast<std::size_t>(graph.node_count()),
+                  "value vector size must equal node count");
+  double sum = 0.0;
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    sum += static_cast<double>(graph.degree(u)) *
+           value[static_cast<std::size_t>(u)];
+  }
+  return sum / static_cast<double>(graph.arc_count());
+}
+
+}  // namespace opindyn

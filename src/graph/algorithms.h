@@ -1,0 +1,39 @@
+// Elementary graph algorithms needed by the experiments: connectivity,
+// BFS distances (the Q-chain's distance classes S_0 / S_1 / S_+ of
+// Definition 5.6), diameter, bipartiteness.
+#ifndef OPINDYN_GRAPH_ALGORITHMS_H
+#define OPINDYN_GRAPH_ALGORITHMS_H
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace opindyn {
+
+/// True iff the graph is connected (BFS from node 0).
+bool is_connected(const Graph& graph);
+
+/// BFS distances from `source`; unreachable nodes get -1.
+std::vector<NodeId> bfs_distances(const Graph& graph, NodeId source);
+
+/// All-pairs shortest-path distances via n BFS runs (O(n*m)); row-major
+/// n x n matrix.  Intended for the small graphs of the Q-chain experiments.
+std::vector<NodeId> all_pairs_distances(const Graph& graph);
+
+/// Largest finite BFS distance over all pairs; -1 if disconnected.
+NodeId diameter(const Graph& graph);
+
+/// True iff the graph is bipartite (2-colouring BFS).
+bool is_bipartite(const Graph& graph);
+
+/// Number of connected components.
+int component_count(const Graph& graph);
+
+/// Sum over u of d_u * value[u] / (2m): the degree-weighted average M from
+/// Eq. (1) of the paper, provided here for graph-side consumers.
+double degree_weighted_average(const Graph& graph,
+                               const std::vector<double>& value);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_GRAPH_ALGORITHMS_H

@@ -1,0 +1,31 @@
+#include "src/graph/builder.h"
+
+#include <algorithm>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+GraphBuilder::GraphBuilder(NodeId node_count) : node_count_(node_count) {
+  OPINDYN_EXPECTS(node_count > 0, "graph needs at least one node");
+}
+
+bool GraphBuilder::add_edge(NodeId u, NodeId v) {
+  OPINDYN_EXPECTS(u >= 0 && u < node_count_, "edge endpoint out of range");
+  OPINDYN_EXPECTS(v >= 0 && v < node_count_, "edge endpoint out of range");
+  OPINDYN_EXPECTS(u != v, "self-loops are not allowed");
+  return edges_.emplace(std::min(u, v), std::max(u, v)).second;
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  return edges_.count({std::min(u, v), std::max(u, v)}) > 0;
+}
+
+Graph GraphBuilder::build(std::string name) const {
+  std::vector<std::pair<NodeId, NodeId>> edges(edges_.begin(), edges_.end());
+  Graph graph(node_count_, edges);
+  graph.set_name(std::move(name));
+  return graph;
+}
+
+}  // namespace opindyn

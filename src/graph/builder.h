@@ -1,0 +1,38 @@
+// Incremental edge-set builder used by generators and file readers.
+// Deduplicates edges, rejects self-loops, and produces an immutable Graph.
+#ifndef OPINDYN_GRAPH_BUILDER_H
+#define OPINDYN_GRAPH_BUILDER_H
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace opindyn {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId node_count);
+
+  /// Adds undirected edge {u, v}; returns false if it already exists.
+  bool add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+  std::int64_t edge_count() const noexcept {
+    return static_cast<std::int64_t>(edges_.size());
+  }
+  NodeId node_count() const noexcept { return node_count_; }
+
+  /// Finalises into an immutable Graph carrying `name`.
+  Graph build(std::string name = {}) const;
+
+ private:
+  NodeId node_count_;
+  std::set<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_GRAPH_BUILDER_H

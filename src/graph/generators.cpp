@@ -1,0 +1,318 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/builder.h"
+#include "src/support/assert.h"
+#include "src/support/sampling.h"
+
+namespace opindyn {
+namespace gen {
+
+Graph path(NodeId n) {
+  OPINDYN_EXPECTS(n >= 2, "path needs n >= 2");
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    builder.add_edge(i, i + 1);
+  }
+  return builder.build("path(" + std::to_string(n) + ")");
+}
+
+Graph cycle(NodeId n) {
+  OPINDYN_EXPECTS(n >= 3, "cycle needs n >= 3");
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i < n; ++i) {
+    builder.add_edge(i, static_cast<NodeId>((i + 1) % n));
+  }
+  return builder.build("cycle(" + std::to_string(n) + ")");
+}
+
+Graph complete(NodeId n) {
+  OPINDYN_EXPECTS(n >= 2, "complete graph needs n >= 2");
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
+      builder.add_edge(u, v);
+    }
+  }
+  return builder.build("complete(" + std::to_string(n) + ")");
+}
+
+Graph star(NodeId n) {
+  OPINDYN_EXPECTS(n >= 2, "star needs n >= 2");
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) {
+    builder.add_edge(0, v);
+  }
+  return builder.build("star(" + std::to_string(n) + ")");
+}
+
+Graph double_star(NodeId leaves_per_hub) {
+  OPINDYN_EXPECTS(leaves_per_hub >= 1, "double star needs >= 1 leaf per hub");
+  const NodeId n = static_cast<NodeId>(2 + 2 * leaves_per_hub);
+  GraphBuilder builder(n);
+  builder.add_edge(0, 1);
+  for (NodeId i = 0; i < leaves_per_hub; ++i) {
+    builder.add_edge(0, static_cast<NodeId>(2 + i));
+    builder.add_edge(1, static_cast<NodeId>(2 + leaves_per_hub + i));
+  }
+  return builder.build("double_star(" + std::to_string(leaves_per_hub) + ")");
+}
+
+namespace {
+NodeId grid_id(NodeId r, NodeId c, NodeId cols) {
+  return static_cast<NodeId>(r * cols + c);
+}
+}  // namespace
+
+Graph grid(NodeId rows, NodeId cols) {
+  OPINDYN_EXPECTS(rows >= 1 && cols >= 1 &&
+                      static_cast<std::int64_t>(rows) * cols >= 2,
+                  "grid needs at least two nodes");
+  GraphBuilder builder(static_cast<NodeId>(rows * cols));
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        builder.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
+      }
+      if (r + 1 < rows) {
+        builder.add_edge(grid_id(r, c, cols), grid_id(r + 1, c, cols));
+      }
+    }
+  }
+  return builder.build("grid(" + std::to_string(rows) + "x" +
+                       std::to_string(cols) + ")");
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  OPINDYN_EXPECTS(rows >= 3 && cols >= 3,
+                  "torus needs rows, cols >= 3 for 4-regularity");
+  GraphBuilder builder(static_cast<NodeId>(rows * cols));
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      builder.add_edge(grid_id(r, c, cols),
+                       grid_id(r, static_cast<NodeId>((c + 1) % cols), cols));
+      builder.add_edge(grid_id(r, c, cols),
+                       grid_id(static_cast<NodeId>((r + 1) % rows), c, cols));
+    }
+  }
+  return builder.build("torus(" + std::to_string(rows) + "x" +
+                       std::to_string(cols) + ")");
+}
+
+Graph hypercube(int dimensions) {
+  OPINDYN_EXPECTS(dimensions >= 1 && dimensions <= 20,
+                  "hypercube dimension must be in [1, 20]");
+  const NodeId n = static_cast<NodeId>(1) << dimensions;
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int b = 0; b < dimensions; ++b) {
+      const NodeId v = static_cast<NodeId>(u ^ (1 << b));
+      if (u < v) {
+        builder.add_edge(u, v);
+      }
+    }
+  }
+  return builder.build("hypercube(" + std::to_string(dimensions) + ")");
+}
+
+Graph circulant(NodeId n, const std::vector<NodeId>& strides) {
+  OPINDYN_EXPECTS(n >= 3, "circulant needs n >= 3");
+  OPINDYN_EXPECTS(!strides.empty(), "circulant needs at least one stride");
+  GraphBuilder builder(n);
+  for (const NodeId s : strides) {
+    OPINDYN_EXPECTS(s >= 1 && s < n, "stride out of range");
+    for (NodeId i = 0; i < n; ++i) {
+      builder.add_edge(i, static_cast<NodeId>((i + s) % n));
+    }
+  }
+  std::string name = "circulant(" + std::to_string(n) + ";";
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    name += (i > 0 ? "," : "") + std::to_string(strides[i]);
+  }
+  name += ")";
+  return builder.build(std::move(name));
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  OPINDYN_EXPECTS(a >= 1 && b >= 1, "complete bipartite needs a, b >= 1");
+  GraphBuilder builder(static_cast<NodeId>(a + b));
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) {
+      builder.add_edge(u, static_cast<NodeId>(a + v));
+    }
+  }
+  return builder.build("complete_bipartite(" + std::to_string(a) + "," +
+                       std::to_string(b) + ")");
+}
+
+Graph binary_tree(NodeId n) {
+  OPINDYN_EXPECTS(n >= 2, "binary tree needs n >= 2");
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) {
+    builder.add_edge(v, static_cast<NodeId>((v - 1) / 2));
+  }
+  return builder.build("binary_tree(" + std::to_string(n) + ")");
+}
+
+Graph petersen() {
+  GraphBuilder builder(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    builder.add_edge(i, static_cast<NodeId>((i + 1) % 5));       // outer C5
+    builder.add_edge(static_cast<NodeId>(5 + i),
+                     static_cast<NodeId>(5 + (i + 2) % 5));      // inner star
+    builder.add_edge(i, static_cast<NodeId>(5 + i));             // spokes
+  }
+  return builder.build("petersen");
+}
+
+Graph barbell(NodeId clique_size, NodeId path_len) {
+  OPINDYN_EXPECTS(clique_size >= 3, "barbell needs clique size >= 3");
+  OPINDYN_EXPECTS(path_len >= 0, "path length must be >= 0");
+  const NodeId n = static_cast<NodeId>(2 * clique_size + path_len);
+  GraphBuilder builder(n);
+  auto add_clique = [&](NodeId base) {
+    for (NodeId u = 0; u < clique_size; ++u) {
+      for (NodeId v = static_cast<NodeId>(u + 1); v < clique_size; ++v) {
+        builder.add_edge(static_cast<NodeId>(base + u),
+                         static_cast<NodeId>(base + v));
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(static_cast<NodeId>(clique_size + path_len));
+  // Bridge: last node of clique A -> path -> first node of clique B.
+  NodeId prev = static_cast<NodeId>(clique_size - 1);
+  for (NodeId i = 0; i < path_len; ++i) {
+    const NodeId next = static_cast<NodeId>(clique_size + i);
+    builder.add_edge(prev, next);
+    prev = next;
+  }
+  builder.add_edge(prev, static_cast<NodeId>(clique_size + path_len));
+  return builder.build("barbell(" + std::to_string(clique_size) + "," +
+                       std::to_string(path_len) + ")");
+}
+
+Graph lollipop(NodeId clique_size, NodeId path_len) {
+  OPINDYN_EXPECTS(clique_size >= 3, "lollipop needs clique size >= 3");
+  OPINDYN_EXPECTS(path_len >= 1, "lollipop needs path length >= 1");
+  const NodeId n = static_cast<NodeId>(clique_size + path_len);
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < clique_size; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < clique_size; ++v) {
+      builder.add_edge(u, v);
+    }
+  }
+  NodeId prev = static_cast<NodeId>(clique_size - 1);
+  for (NodeId i = 0; i < path_len; ++i) {
+    const NodeId next = static_cast<NodeId>(clique_size + i);
+    builder.add_edge(prev, next);
+    prev = next;
+  }
+  return builder.build("lollipop(" + std::to_string(clique_size) + "," +
+                       std::to_string(path_len) + ")");
+}
+
+Graph random_regular(Rng& rng, NodeId n, NodeId d) {
+  OPINDYN_EXPECTS(n >= 2 && d >= 1 && d < n, "need 1 <= d < n");
+  OPINDYN_EXPECTS((static_cast<std::int64_t>(n) * d) % 2 == 0,
+                  "n*d must be even for a d-regular graph");
+  // Pairing (configuration) model: create d half-edges ("stubs") per node,
+  // pair them via a uniform perfect matching, reject on self-loops,
+  // multi-edges, or disconnectedness.  For fixed d the acceptance
+  // probability is bounded below by a constant, so this terminates fast.
+  const std::int64_t stubs = static_cast<std::int64_t>(n) * d;
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const std::vector<std::int32_t> perm = random_permutation(rng, stubs);
+    GraphBuilder builder(n);
+    bool simple = true;
+    for (std::int64_t i = 0; i < stubs && simple; i += 2) {
+      const NodeId u = static_cast<NodeId>(
+          perm[static_cast<std::size_t>(i)] / d);
+      const NodeId v = static_cast<NodeId>(
+          perm[static_cast<std::size_t>(i + 1)] / d);
+      if (u == v || builder.has_edge(u, v)) {
+        simple = false;
+        break;
+      }
+      builder.add_edge(u, v);
+    }
+    if (!simple) {
+      continue;
+    }
+    Graph graph = builder.build("random_regular(" + std::to_string(n) + "," +
+                                std::to_string(d) + ")");
+    if (is_connected(graph)) {
+      return graph;
+    }
+  }
+  throw std::runtime_error(
+      "random_regular: failed to generate a simple connected graph "
+      "(parameters too tight?)");
+}
+
+Graph erdos_renyi_connected(Rng& rng, NodeId n, double p, int max_attempts) {
+  OPINDYN_EXPECTS(n >= 2, "G(n,p) needs n >= 2");
+  OPINDYN_EXPECTS(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    GraphBuilder builder(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
+        if (rng.next_bool(p)) {
+          builder.add_edge(u, v);
+        }
+      }
+    }
+    if (builder.edge_count() == 0) {
+      continue;
+    }
+    Graph graph = builder.build("gnp(" + std::to_string(n) + ")");
+    if (is_connected(graph)) {
+      return graph;
+    }
+  }
+  throw std::runtime_error(
+      "erdos_renyi_connected: no connected sample; raise p or attempts");
+}
+
+Graph preferential_attachment(Rng& rng, NodeId n, NodeId attach) {
+  OPINDYN_EXPECTS(attach >= 1, "attachment count must be >= 1");
+  OPINDYN_EXPECTS(n > attach + 1, "need n > attach + 1");
+  GraphBuilder builder(n);
+  // Repeated-endpoint list: sampling an element uniformly samples a node
+  // proportionally to its current degree.
+  std::vector<NodeId> endpoints;
+  for (NodeId u = 0; u <= attach; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v <= attach; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<NodeId> targets;
+  for (NodeId w = static_cast<NodeId>(attach + 1); w < n; ++w) {
+    targets.clear();
+    while (static_cast<NodeId>(targets.size()) < attach) {
+      const NodeId candidate = endpoints[static_cast<std::size_t>(
+          rng.next_below(endpoints.size()))];
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (const NodeId t : targets) {
+      builder.add_edge(w, t);
+      endpoints.push_back(w);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.build("pref_attach(" + std::to_string(n) + "," +
+                       std::to_string(attach) + ")");
+}
+
+}  // namespace gen
+}  // namespace opindyn

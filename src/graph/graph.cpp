@@ -1,0 +1,112 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+Graph::Graph(NodeId node_count,
+             const std::vector<std::pair<NodeId, NodeId>>& edges)
+    : node_count_(node_count),
+      edge_count_(static_cast<std::int64_t>(edges.size())) {
+  OPINDYN_EXPECTS(node_count > 0, "graph needs at least one node");
+  offsets_.assign(static_cast<std::size_t>(node_count) + 1, 0);
+
+  for (const auto& [u, v] : edges) {
+    OPINDYN_EXPECTS(u >= 0 && u < node_count, "edge endpoint out of range");
+    OPINDYN_EXPECTS(v >= 0 && v < node_count, "edge endpoint out of range");
+    OPINDYN_EXPECTS(u != v, "self-loops are not allowed");
+    ++offsets_[static_cast<std::size_t>(u) + 1];
+    ++offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  adjacency_.assign(static_cast<std::size_t>(offsets_.back()), 0);
+  arc_source_.assign(adjacency_.size(), 0);
+
+  std::vector<ArcId> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)])] =
+        v;
+    ++cursor[static_cast<std::size_t>(u)];
+    adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)])] =
+        u;
+    ++cursor[static_cast<std::size_t>(v)];
+  }
+  min_degree_ = node_count;
+  max_degree_ = 0;
+  for (NodeId u = 0; u < node_count; ++u) {
+    const auto begin =
+        adjacency_.begin() + offsets_[static_cast<std::size_t>(u)];
+    const auto end =
+        adjacency_.begin() + offsets_[static_cast<std::size_t>(u) + 1];
+    std::sort(begin, end);
+    OPINDYN_EXPECTS(std::adjacent_find(begin, end) == end,
+                    "duplicate edges are not allowed");
+    const auto deg = static_cast<NodeId>(end - begin);
+    min_degree_ = std::min(min_degree_, deg);
+    max_degree_ = std::max(max_degree_, deg);
+    for (auto it = begin; it != end; ++it) {
+      arc_source_[static_cast<std::size_t>(it - adjacency_.begin())] = u;
+    }
+  }
+}
+
+NodeId Graph::degree(NodeId u) const {
+  OPINDYN_EXPECTS(u >= 0 && u < node_count_, "node id out of range");
+  return static_cast<NodeId>(offsets_[static_cast<std::size_t>(u) + 1] -
+                             offsets_[static_cast<std::size_t>(u)]);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  OPINDYN_EXPECTS(u >= 0 && u < node_count_, "node id out of range");
+  const auto begin = static_cast<std::size_t>(
+      offsets_[static_cast<std::size_t>(u)]);
+  const auto end = static_cast<std::size_t>(
+      offsets_[static_cast<std::size_t>(u) + 1]);
+  return {adjacency_.data() + begin, end - begin};
+}
+
+NodeId Graph::neighbor(NodeId u, NodeId i) const {
+  const auto row = neighbors(u);
+  OPINDYN_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < row.size(),
+                  "neighbour index out of range");
+  return row[static_cast<std::size_t>(i)];
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+NodeId Graph::arc_source(ArcId j) const {
+  OPINDYN_EXPECTS(j >= 0 && j < arc_count(), "arc id out of range");
+  return arc_source_[static_cast<std::size_t>(j)];
+}
+
+NodeId Graph::arc_target(ArcId j) const {
+  OPINDYN_EXPECTS(j >= 0 && j < arc_count(), "arc id out of range");
+  return adjacency_[static_cast<std::size_t>(j)];
+}
+
+double Graph::stationary(NodeId u) const {
+  return static_cast<double>(degree(u)) /
+         static_cast<double>(arc_count());
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::undirected_edges() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(edge_count_));
+  for (NodeId u = 0; u < node_count_; ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (u < v) {
+        edges.emplace_back(u, v);
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,79 @@
+// Immutable undirected graph in compressed-sparse-row (CSR) form.
+//
+// The averaging processes of the paper only ever need two operations in
+// their hot loop: "list the neighbours of u" and "give me the v of a
+// uniformly random directed arc".  CSR provides both in O(1)/O(deg):
+// `adjacency_[offsets_[u] .. offsets_[u+1])` are u's neighbours, and arc j
+// is the pair (arc_source_[j], adjacency_[j]).  Graphs are built once via
+// GraphBuilder and never mutated afterwards, so the simulation layer can
+// share one Graph across replicas and threads without synchronisation.
+#ifndef OPINDYN_GRAPH_GRAPH_H
+#define OPINDYN_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace opindyn {
+
+using NodeId = std::int32_t;
+using ArcId = std::int64_t;
+
+class Graph {
+ public:
+  /// Builds a graph from an explicit edge list over nodes {0..n-1}.
+  /// Duplicate edges and self-loops are rejected (ContractError).
+  Graph(NodeId node_count,
+        const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  NodeId node_count() const noexcept { return node_count_; }
+  /// Number of undirected edges m.
+  std::int64_t edge_count() const noexcept { return edge_count_; }
+  /// Number of directed arcs (2m).
+  ArcId arc_count() const noexcept {
+    return static_cast<ArcId>(adjacency_.size());
+  }
+
+  NodeId degree(NodeId u) const;
+  NodeId min_degree() const noexcept { return min_degree_; }
+  NodeId max_degree() const noexcept { return max_degree_; }
+  bool is_regular() const noexcept { return min_degree_ == max_degree_; }
+
+  /// Neighbours of u, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  /// i-th neighbour of u (0 <= i < degree(u)).
+  NodeId neighbor(NodeId u, NodeId i) const;
+
+  /// True iff {u, v} is an edge (binary search, O(log deg)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Source / target of directed arc j in [0, 2m).
+  NodeId arc_source(ArcId j) const;
+  NodeId arc_target(ArcId j) const;
+
+  /// Stationary probability of the (lazy) random walk at u: d_u / 2m.
+  double stationary(NodeId u) const;
+
+  /// All undirected edges, each once with u < v.
+  std::vector<std::pair<NodeId, NodeId>> undirected_edges() const;
+
+  /// Optional human-readable name set by generators ("cycle(16)", ...).
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  NodeId node_count_ = 0;
+  std::int64_t edge_count_ = 0;
+  NodeId min_degree_ = 0;
+  NodeId max_degree_ = 0;
+  std::vector<ArcId> offsets_;       // size n+1
+  std::vector<NodeId> adjacency_;    // size 2m, sorted within each row
+  std::vector<NodeId> arc_source_;   // size 2m: arc j -> its source node
+  std::string name_;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_GRAPH_GRAPH_H

@@ -1,0 +1,82 @@
+#include "src/graph/isoperimetric.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <numeric>
+
+#include "src/support/assert.h"
+#include "src/support/sampling.h"
+
+namespace opindyn {
+
+std::int64_t cut_size(const Graph& graph, std::uint64_t subset_mask) {
+  OPINDYN_EXPECTS(graph.node_count() <= 63, "cut_size needs n <= 63");
+  std::int64_t cut = 0;
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    const bool u_in = (subset_mask >> u) & 1ULL;
+    for (const NodeId v : graph.neighbors(u)) {
+      if (u < v) {
+        const bool v_in = (subset_mask >> v) & 1ULL;
+        cut += (u_in != v_in) ? 1 : 0;
+      }
+    }
+  }
+  return cut;
+}
+
+double isoperimetric_number_exact(const Graph& graph) {
+  const NodeId n = graph.node_count();
+  OPINDYN_EXPECTS(n <= 24, "exact isoperimetric number limited to n <= 24");
+  OPINDYN_EXPECTS(n >= 2, "isoperimetric number needs n >= 2");
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    const int size = std::popcount(mask);
+    if (size > n / 2) {
+      continue;
+    }
+    const double ratio = static_cast<double>(cut_size(graph, mask)) /
+                         static_cast<double>(size);
+    best = std::min(best, ratio);
+  }
+  return best;
+}
+
+double isoperimetric_number_upper_bound(const Graph& graph, Rng& rng,
+                                        int trials) {
+  const NodeId n = graph.node_count();
+  OPINDYN_EXPECTS(n >= 2 && n <= 63, "sweep bound needs 2 <= n <= 63");
+  double best = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    // BFS sweep from a random root: prefixes of a BFS order are natural
+    // low-cut candidates.
+    const NodeId root = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    std::vector<NodeId> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::vector<NodeId> queue_storage{root};
+    seen[static_cast<std::size_t>(root)] = true;
+    for (std::size_t head = 0; head < queue_storage.size(); ++head) {
+      const NodeId u = queue_storage[head];
+      order.push_back(u);
+      for (const NodeId v : graph.neighbors(u)) {
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = true;
+          queue_storage.push_back(v);
+        }
+      }
+    }
+    std::uint64_t mask = 0;
+    for (NodeId i = 0; i < n / 2; ++i) {
+      mask |= 1ULL << order[static_cast<std::size_t>(i)];
+      const double ratio = static_cast<double>(cut_size(graph, mask)) /
+                           static_cast<double>(i + 1);
+      best = std::min(best, ratio);
+    }
+  }
+  return best;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,25 @@
+// Exact isoperimetric number i(G) = min_{0 < |S| <= n/2} |E(S, V\S)| / |S|
+// by subset enumeration (Corollary E.2 relates lambda_2(L) >= i(G)^2 / 2d).
+// Exponential in n, so restricted to n <= 24; a randomized sweep provides
+// an upper bound for larger graphs.
+#ifndef OPINDYN_GRAPH_ISOPERIMETRIC_H
+#define OPINDYN_GRAPH_ISOPERIMETRIC_H
+
+#include "src/graph/graph.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+
+/// Exact i(G); requires node_count() <= 24 (2^24 subsets).
+double isoperimetric_number_exact(const Graph& graph);
+
+/// Upper bound on i(G) from `trials` random/greedy sweep cuts.
+double isoperimetric_number_upper_bound(const Graph& graph, Rng& rng,
+                                        int trials = 200);
+
+/// Cut size |E(S, V\S)| for the subset encoded as a bitmask (n <= 63).
+std::int64_t cut_size(const Graph& graph, std::uint64_t subset_mask);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_GRAPH_ISOPERIMETRIC_H

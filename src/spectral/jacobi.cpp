@@ -1,0 +1,97 @@
+#include "src/spectral/jacobi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+EigenDecomposition jacobi_eigen(const Matrix& symmetric, double tolerance,
+                                int max_sweeps) {
+  OPINDYN_EXPECTS(symmetric.is_square(), "eigen solver needs square matrix");
+  OPINDYN_EXPECTS(symmetric.symmetry_defect() <= 1e-9,
+                  "eigen solver needs a symmetric matrix");
+  const std::size_t n = symmetric.rows();
+  Matrix a = symmetric;
+  Matrix v = Matrix::identity(n);
+
+  auto off_diagonal_norm = [&]() {
+    double sum = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        sum += a.at(p, q) * a.at(p, q);
+      }
+    }
+    return std::sqrt(sum);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tolerance) {
+      break;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) <= tolerance * 1e-3) {
+          continue;
+        }
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Rutishauser's stable rotation parameters.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        const double tau = s / (1.0 + c);
+
+        a.at(p, p) = app - t * apq;
+        a.at(q, q) = aqq + t * apq;
+        a.at(p, q) = 0.0;
+        a.at(q, p) = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i != p && i != q) {
+            const double aip = a.at(i, p);
+            const double aiq = a.at(i, q);
+            a.at(i, p) = aip - s * (aiq + tau * aip);
+            a.at(p, i) = a.at(i, p);
+            a.at(i, q) = aiq + s * (aip - tau * aiq);
+            a.at(q, i) = a.at(i, q);
+          }
+          const double vip = v.at(i, p);
+          const double viq = v.at(i, q);
+          v.at(i, p) = vip - s * (viq + tau * vip);
+          v.at(i, q) = viq + s * (vip - tau * viq);
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a.at(x, x) < a.at(y, y);
+  });
+
+  EigenDecomposition result;
+  result.values.reserve(n);
+  result.vectors.reserve(n);
+  for (const std::size_t k : order) {
+    result.values.push_back(a.at(k, k));
+    std::vector<double> column(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      column[i] = v.at(i, k);
+    }
+    const double len = norm2(column);
+    if (len > 0.0) {
+      scale(column, 1.0 / len);
+    }
+    result.vectors.push_back(std::move(column));
+  }
+  return result;
+}
+
+}  // namespace opindyn

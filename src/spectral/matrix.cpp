@@ -1,0 +1,166 @@
+#include "src/spectral/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  OPINDYN_EXPECTS(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.at(i, i) = 1.0;
+  }
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  OPINDYN_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  OPINDYN_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double* Matrix::row(std::size_t r) {
+  OPINDYN_EXPECTS(r < rows_, "row index out of range");
+  return data_.data() + r * cols_;
+}
+
+const double* Matrix::row(std::size_t r) const {
+  OPINDYN_EXPECTS(r < rows_, "row index out of range");
+  return data_.data() + r * cols_;
+}
+
+double Matrix::symmetry_defect() const {
+  OPINDYN_EXPECTS(is_square(), "symmetry defect needs a square matrix");
+  double defect = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      defect = std::max(defect, std::abs(at(r, c) - at(c, r)));
+    }
+  }
+  return defect;
+}
+
+double Matrix::stochasticity_defect() const {
+  double defect = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      sum += at(r, c);
+    }
+    defect = std::max(defect, std::abs(sum - 1.0));
+  }
+  return defect;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t.at(c, r) = at(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  OPINDYN_EXPECTS(cols_ == other.rows_, "matrix dimension mismatch");
+  Matrix result(rows_, other.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) {
+        continue;
+      }
+      const double* other_row = other.row(k);
+      double* result_row = result.row(r);
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        result_row[c] += a * other_row[c];
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  OPINDYN_EXPECTS(v.size() == cols_, "matrix-vector dimension mismatch");
+  std::vector<double> result(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = row(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      sum += row_ptr[c] * v[c];
+    }
+    result[r] = sum;
+  }
+  return result;
+}
+
+std::vector<double> Matrix::left_multiply(const std::vector<double>& v) const {
+  OPINDYN_EXPECTS(v.size() == rows_, "vector-matrix dimension mismatch");
+  std::vector<double> result(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double a = v[r];
+    if (a == 0.0) {
+      continue;
+    }
+    const double* row_ptr = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      result[c] += a * row_ptr[c];
+    }
+  }
+  return result;
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+  OPINDYN_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_,
+                  "matrix dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double norm2(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (const double x : v) {
+    sum += x * x;
+  }
+  return std::sqrt(sum);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  OPINDYN_EXPECTS(a.size() == b.size(), "dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+void scale(std::vector<double>& v, double factor) {
+  for (double& x : v) {
+    x *= factor;
+  }
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  OPINDYN_EXPECTS(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+}  // namespace opindyn

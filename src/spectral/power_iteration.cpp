@@ -1,0 +1,54 @@
+#include "src/spectral/power_iteration.h"
+
+#include <cmath>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+StationaryResult stationary_distribution(const Matrix& transition,
+                                         double tolerance,
+                                         int max_iterations) {
+  OPINDYN_EXPECTS(transition.is_square(),
+                  "stationary distribution needs a square matrix");
+  OPINDYN_EXPECTS(transition.stochasticity_defect() <= 1e-9,
+                  "transition matrix must be row-stochastic");
+  const std::size_t n = transition.rows();
+
+  StationaryResult result;
+  std::vector<double> mu(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next;
+  for (int it = 0; it < max_iterations; ++it) {
+    next = transition.left_multiply(mu);
+    // Renormalise to counteract floating-point mass leakage.
+    double total = 0.0;
+    for (const double x : next) {
+      total += x;
+    }
+    if (total > 0.0) {
+      for (double& x : next) {
+        x /= total;
+      }
+    }
+    double step_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      step_change += std::abs(next[i] - mu[i]);
+    }
+    mu.swap(next);
+    result.iterations = it + 1;
+    if (step_change <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  next = transition.left_multiply(mu);
+  double residual = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    residual += std::abs(next[i] - mu[i]);
+  }
+  result.residual = residual;
+  result.distribution = std::move(mu);
+  return result;
+}
+
+}  // namespace opindyn

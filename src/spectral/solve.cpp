@@ -1,0 +1,56 @@
+#include "src/spectral/solve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+std::vector<double> solve_dense(Matrix a, std::vector<double> b) {
+  OPINDYN_EXPECTS(a.is_square(), "solve needs a square matrix");
+  OPINDYN_EXPECTS(b.size() == a.rows(), "dimension mismatch");
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-13) {
+      throw std::runtime_error("solve_dense: matrix is singular");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(col, c), a.at(pivot, c));
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / diag;
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) {
+      sum -= a.at(ri, c) * x[c];
+    }
+    x[ri] = sum / a.at(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace opindyn

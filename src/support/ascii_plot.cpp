@@ -1,0 +1,114 @@
+#include "src/support/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace opindyn {
+
+namespace {
+
+bool usable(double v, bool log_axis) {
+  if (!std::isfinite(v)) {
+    return false;
+  }
+  return !log_axis || v > 0.0;
+}
+
+double transform(double v, bool log_axis) {
+  return log_axis ? std::log10(v) : v;
+}
+
+}  // namespace
+
+std::string ascii_plot(const std::vector<Series>& series,
+                       const PlotOptions& options) {
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y)) {
+        continue;
+      }
+      any = true;
+      min_x = std::min(min_x, transform(s.x[i], options.log_x));
+      max_x = std::max(max_x, transform(s.x[i], options.log_x));
+      min_y = std::min(min_y, transform(s.y[i], options.log_y));
+      max_y = std::max(max_y, transform(s.y[i], options.log_y));
+    }
+  }
+  std::ostringstream out;
+  if (!options.title.empty()) {
+    out << options.title << "\n";
+  }
+  if (!any) {
+    out << "(no plottable points)\n";
+    return out.str();
+  }
+  if (max_x == min_x) {
+    max_x = min_x + 1.0;
+  }
+  if (max_y == min_y) {
+    max_y = min_y + 1.0;
+  }
+
+  const std::size_t w = std::max<std::size_t>(options.width, 8);
+  const std::size_t h = std::max<std::size_t>(options.height, 4);
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y)) {
+        continue;
+      }
+      const double tx = transform(s.x[i], options.log_x);
+      const double ty = transform(s.y[i], options.log_y);
+      auto col = static_cast<std::size_t>(
+          std::llround((tx - min_x) / (max_x - min_x) *
+                       static_cast<double>(w - 1)));
+      auto row = static_cast<std::size_t>(
+          std::llround((ty - min_y) / (max_y - min_y) *
+                       static_cast<double>(h - 1)));
+      col = std::min(col, w - 1);
+      row = std::min(row, h - 1);
+      canvas[h - 1 - row][col] = s.marker;
+    }
+  }
+
+  auto fmt = [&](double v, bool log_axis) {
+    std::ostringstream s;
+    s << std::setprecision(3) << std::scientific
+      << (log_axis ? std::pow(10.0, v) : v);
+    return s.str();
+  };
+  out << options.y_label << (options.log_y ? " (log)" : "") << "\n";
+  for (std::size_t r = 0; r < h; ++r) {
+    if (r == 0) {
+      out << std::setw(11) << fmt(max_y, options.log_y) << " |";
+    } else if (r == h - 1) {
+      out << std::setw(11) << fmt(min_y, options.log_y) << " |";
+    } else {
+      out << std::string(11, ' ') << " |";
+    }
+    out << canvas[r] << "\n";
+  }
+  out << std::string(12, ' ') << "+" << std::string(w, '-') << "\n";
+  out << std::string(13, ' ') << fmt(min_x, options.log_x)
+      << std::string(w > 30 ? w - 26 : 4, ' ') << fmt(max_x, options.log_x)
+      << "\n";
+  out << std::string(13, ' ') << options.x_label
+      << (options.log_x ? " (log)" : "") << "\n";
+  for (const auto& s : series) {
+    out << "  '" << s.marker << "' " << s.label << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace opindyn

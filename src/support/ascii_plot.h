@@ -1,0 +1,36 @@
+// Terminal scatter/line plots.  The offline environment has no plotting
+// stack, so every "figure" reproduction renders its series as an ASCII
+// chart (log or linear axes) in addition to the markdown table.
+#ifndef OPINDYN_SUPPORT_ASCII_PLOT_H
+#define OPINDYN_SUPPORT_ASCII_PLOT_H
+
+#include <string>
+#include <vector>
+
+namespace opindyn {
+
+struct Series {
+  std::string label;
+  char marker = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  std::size_t width = 72;
+  std::size_t height = 20;
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  std::string title;
+};
+
+/// Renders one or more series on a shared canvas with axis annotations.
+/// Non-finite or non-positive values (on log axes) are skipped.
+std::string ascii_plot(const std::vector<Series>& series,
+                       const PlotOptions& options);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_ASCII_PLOT_H

@@ -1,0 +1,32 @@
+#include "src/support/assert.h"
+
+#include <sstream>
+
+namespace opindyn {
+
+namespace {
+std::string format_message(const char* kind, const char* condition,
+                           const char* file, int line,
+                           const std::string& message) {
+  std::ostringstream out;
+  out << kind << " violated: `" << condition << "` at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " -- " << message;
+  }
+  return out.str();
+}
+}  // namespace
+
+ContractError::ContractError(const char* kind, const char* condition,
+                             const char* file, int line,
+                             const std::string& message)
+    : std::logic_error(format_message(kind, condition, file, line, message)) {}
+
+namespace detail {
+void contract_failure(const char* kind, const char* condition,
+                      const char* file, int line, const std::string& message) {
+  throw ContractError(kind, condition, file, line, message);
+}
+}  // namespace detail
+
+}  // namespace opindyn

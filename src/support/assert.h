@@ -1,0 +1,47 @@
+// Contract-checking macros in the spirit of the GSL `Expects`/`Ensures`
+// (C++ Core Guidelines I.6/I.8).  Violations throw `opindyn::ContractError`
+// so that tests can assert on misuse and applications can fail loudly with
+// a useful message instead of undefined behaviour.
+#ifndef OPINDYN_SUPPORT_ASSERT_H
+#define OPINDYN_SUPPORT_ASSERT_H
+
+#include <stdexcept>
+#include <string>
+
+namespace opindyn {
+
+/// Thrown when a precondition, postcondition, or internal invariant of the
+/// library is violated by the caller or by a library bug.
+class ContractError : public std::logic_error {
+ public:
+  ContractError(const char* kind, const char* condition, const char* file,
+                int line, const std::string& message);
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* condition,
+                                   const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace opindyn
+
+/// Precondition: the caller must guarantee `cond`.
+#define OPINDYN_EXPECTS(cond, message)                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::opindyn::detail::contract_failure("precondition", #cond, __FILE__,   \
+                                          __LINE__, (message));              \
+    }                                                                        \
+  } while (false)
+
+/// Postcondition / internal invariant: the library must guarantee `cond`.
+#define OPINDYN_ENSURES(cond, message)                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::opindyn::detail::contract_failure("invariant", #cond, __FILE__,      \
+                                          __LINE__, (message));              \
+    }                                                                        \
+  } while (false)
+
+#endif  // OPINDYN_SUPPORT_ASSERT_H

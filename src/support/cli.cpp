@@ -1,0 +1,61 @@
+#include "src/support/cli.h"
+
+#include <stdexcept>
+
+namespace opindyn {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "true";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return fallback;
+  }
+  return std::stoll(it->second);
+}
+
+double CliArgs::get(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return fallback;
+  }
+  return std::stod(it->second);
+}
+
+bool CliArgs::get(const std::string& name, bool fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return fallback;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace opindyn

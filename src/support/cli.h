@@ -1,0 +1,36 @@
+// Tiny command-line parsing for the example/bench binaries:
+// `--name=value` or `--flag` options plus positional arguments.
+#ifndef OPINDYN_SUPPORT_CLI_H
+#define OPINDYN_SUPPORT_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opindyn {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get(const std::string& name, std::int64_t fallback) const;
+  double get(const std::string& name, double fallback) const;
+  bool get(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_CLI_H

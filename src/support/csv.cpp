@@ -1,0 +1,65 @@
+#include "src/support/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : path_(path), columns_(columns.size()), out_(path) {
+  OPINDYN_EXPECTS(!columns.empty(), "CSV needs at least one column");
+  if (!out_) {
+    throw std::runtime_error("cannot open CSV file for writing: " + path);
+  }
+  std::vector<std::string> escaped;
+  escaped.reserve(columns.size());
+  for (const auto& c : columns) {
+    escaped.push_back(csv_escape(c));
+  }
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    out_ << (i > 0 ? "," : "") << escaped[i];
+  }
+  out_ << "\n";
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& values) {
+  OPINDYN_EXPECTS(values.size() == columns_,
+                  "CSV row width does not match header");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << (i > 0 ? "," : "") << csv_escape(values[i]);
+  }
+  out_ << "\n";
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  std::vector<std::string> as_text;
+  as_text.reserve(values.size());
+  for (const double v : values) {
+    std::ostringstream s;
+    s.precision(12);
+    s << v;
+    as_text.push_back(s.str());
+  }
+  write_row(as_text);
+}
+
+}  // namespace opindyn

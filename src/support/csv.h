@@ -1,0 +1,38 @@
+// Minimal CSV writer for exporting experiment series (one file per figure)
+// so the tables can be re-plotted outside this repository.
+#ifndef OPINDYN_SUPPORT_CSV_H
+#define OPINDYN_SUPPORT_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace opindyn {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; `values.size()` must equal the number of columns.
+  void write_row(const std::vector<std::string>& values);
+  void write_row(const std::vector<double>& values);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t columns_;
+  std::ofstream out_;
+};
+
+/// Quotes a CSV field if it contains separators/quotes/newlines.
+std::string csv_escape(const std::string& field);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_CSV_H

@@ -1,0 +1,91 @@
+#include "src/support/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  OPINDYN_EXPECTS(hi > lo, "histogram range must be non-empty");
+  OPINDYN_EXPECTS(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+std::int64_t Histogram::count(std::size_t bin) const {
+  OPINDYN_EXPECTS(bin < counts_.size(), "bin index out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  OPINDYN_EXPECTS(bin < counts_.size(), "bin index out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return bin_low(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+  OPINDYN_EXPECTS(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (total_ == 0) {
+    return lo_;
+  }
+  const auto target = static_cast<std::int64_t>(
+      q * static_cast<double>(total_));
+  std::int64_t seen = underflow_;
+  if (seen > target) {
+    return lo_;
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (seen > target) {
+      return 0.5 * (bin_low(b) + bin_high(b));
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  const std::int64_t peak =
+      std::max<std::int64_t>(1, *std::max_element(counts_.begin(),
+                                                  counts_.end()));
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << std::setw(12) << std::scientific << std::setprecision(2)
+        << bin_low(b) << " | " << std::string(bar, '#') << " " << counts_[b]
+        << "\n";
+  }
+  if (underflow_ > 0) {
+    out << "underflow: " << underflow_ << "\n";
+  }
+  if (overflow_ > 0) {
+    out << "overflow: " << overflow_ << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace opindyn

@@ -1,0 +1,45 @@
+// Fixed-bin histogram for distribution summaries of the convergence value F
+// and of hitting times.
+#ifndef OPINDYN_SUPPORT_HISTOGRAM_H
+#define OPINDYN_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opindyn {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal-width cells; out-of-range samples land
+  /// in saturating under/overflow cells.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::int64_t total() const noexcept { return total_; }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::int64_t count(std::size_t bin) const;
+  std::int64_t underflow() const noexcept { return underflow_; }
+  std::int64_t overflow() const noexcept { return overflow_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+  /// Approximate quantile from bin midpoints (q in [0,1]).
+  double quantile(double q) const;
+
+  /// Renders a vertical ASCII bar chart, `width` chars for the largest bin.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_HISTOGRAM_H

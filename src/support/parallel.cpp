@@ -1,0 +1,67 @@
+#include "src/support/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opindyn {
+
+std::size_t default_parallelism() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::int64_t count,
+                  const std::function<void(std::int64_t)>& body,
+                  std::size_t threads) {
+  if (count <= 0) {
+    return;
+  }
+  if (threads == 0) {
+    threads = default_parallelism();
+  }
+  threads = std::min<std::size_t>(threads, static_cast<std::size_t>(count));
+  if (threads <= 1) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::int64_t chunk =
+      (count + static_cast<std::int64_t>(threads) - 1) /
+      static_cast<std::int64_t>(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    const std::int64_t begin = static_cast<std::int64_t>(w) * chunk;
+    const std::int64_t end = std::min<std::int64_t>(begin + chunk, count);
+    if (begin >= end) {
+      break;
+    }
+    workers.emplace_back([&, begin, end] {
+      try {
+        for (std::int64_t i = begin; i < end; ++i) {
+          body(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace opindyn

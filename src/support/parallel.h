@@ -1,0 +1,24 @@
+// parallel_for over an index range with static chunking.  Exceptions thrown
+// by items are propagated to the caller (first one wins).
+#ifndef OPINDYN_SUPPORT_PARALLEL_H
+#define OPINDYN_SUPPORT_PARALLEL_H
+
+#include <cstdint>
+#include <functional>
+
+namespace opindyn {
+
+/// Runs body(i) for i in [0, count) across `threads` workers (0 = all
+/// hardware threads).  Each worker processes a contiguous chunk, so
+/// per-item cost should be roughly uniform.  `body` must be safe to call
+/// concurrently for distinct i.
+void parallel_for(std::int64_t count,
+                  const std::function<void(std::int64_t)>& body,
+                  std::size_t threads = 0);
+
+/// Number of workers parallel_for(threads=0) would use.
+std::size_t default_parallelism() noexcept;
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_PARALLEL_H

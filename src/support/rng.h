@@ -1,0 +1,66 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The library uses xoshiro256++ (Blackman & Vigna) seeded through
+// splitmix64, which is the recommended seeding procedure for the xoshiro
+// family.  Compared to std::mt19937_64 it is ~2x faster and has a tiny
+// state, which matters because Monte-Carlo experiments run billions of
+// process steps.  Every experiment takes an explicit 64-bit seed so runs
+// are exactly reproducible; per-replica streams are derived with
+// `Rng::fork`, which walks an independent splitmix64 sequence.
+#ifndef OPINDYN_SUPPORT_RNG_H
+#define OPINDYN_SUPPORT_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace opindyn {
+
+/// splitmix64 step: used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound).  Uses Lemire's multiply-shift rejection
+  /// method, which is unbiased and avoids the modulo.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double next_gaussian() noexcept;
+
+  /// Bernoulli(p).
+  bool next_bool(double p) noexcept;
+
+  /// Derives the i-th independent child stream of this generator's seed.
+  /// Deterministic: fork(s, i) always yields the same stream.
+  static Rng fork(std::uint64_t seed, std::uint64_t stream_index) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_RNG_H

@@ -1,0 +1,103 @@
+#include "src/support/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+void sample_without_replacement(Rng& rng, std::int64_t population,
+                                std::int64_t k,
+                                std::vector<std::int32_t>& out) {
+  OPINDYN_EXPECTS(k >= 0, "sample size must be non-negative");
+  OPINDYN_EXPECTS(k <= population, "sample size exceeds population");
+  out.clear();
+  out.reserve(static_cast<std::size_t>(k));
+  // Floyd's algorithm: for j = population-k .. population-1, draw
+  // t uniform in [0, j]; insert t unless already present, else insert j.
+  for (std::int64_t j = population - k; j < population; ++j) {
+    const auto t = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(static_cast<std::int32_t>(j));
+    }
+  }
+}
+
+std::vector<std::int32_t> random_permutation(Rng& rng, std::int64_t n) {
+  OPINDYN_EXPECTS(n >= 0, "permutation size must be non-negative");
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+std::vector<std::int64_t> reservoir_sample(Rng& rng, std::int64_t n,
+                                           std::int64_t k) {
+  OPINDYN_EXPECTS(k >= 0 && k <= n, "reservoir size must be within stream");
+  std::vector<std::int64_t> reservoir(static_cast<std::size_t>(k));
+  std::iota(reservoir.begin(), reservoir.end(), 0);
+  for (std::int64_t i = k; i < n; ++i) {
+    const auto j = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    if (j < k) {
+      reservoir[static_cast<std::size_t>(j)] = i;
+    }
+  }
+  return reservoir;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  OPINDYN_EXPECTS(!weights.empty(), "alias table needs at least one weight");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  OPINDYN_EXPECTS(total > 0.0, "alias table weights must sum to > 0");
+  const auto n = weights.size();
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    OPINDYN_EXPECTS(weights[i] >= 0.0, "alias table weights must be >= 0");
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = static_cast<std::int64_t>(l);
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::size_t i : large) {
+    probability_[i] = 1.0;
+  }
+  for (const std::size_t i : small) {
+    probability_[i] = 1.0;  // numerical leftovers
+  }
+}
+
+std::int64_t AliasTable::sample(Rng& rng) const {
+  const auto i = static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint64_t>(probability_.size())));
+  if (rng.next_double() < probability_[i]) {
+    return static_cast<std::int64_t>(i);
+  }
+  return alias_[i];
+}
+
+}  // namespace opindyn

@@ -1,0 +1,56 @@
+// Sampling primitives used by the averaging processes.
+//
+// The NodeModel needs a uniformly random k-subset of a node's neighbour
+// list on every step, without replacement.  `sample_without_replacement`
+// implements Robert Floyd's algorithm: O(k) expected draws independent of
+// the population size, exact uniform-subset semantics.  For the tiny k used
+// in practice (k <= 8) membership testing is a linear scan over the output,
+// which beats any hash set.
+#ifndef OPINDYN_SUPPORT_SAMPLING_H
+#define OPINDYN_SUPPORT_SAMPLING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace opindyn {
+
+/// Writes a uniformly random size-`k` subset of {0, 1, ..., population-1}
+/// into `out` (resized to k).  Order of elements is unspecified but the
+/// subset is exactly uniform among all C(population, k) subsets.
+/// Precondition: 0 <= k <= population.
+void sample_without_replacement(Rng& rng, std::int64_t population,
+                                std::int64_t k, std::vector<std::int32_t>& out);
+
+/// Returns a uniformly random permutation of {0, ..., n-1} (Fisher-Yates).
+std::vector<std::int32_t> random_permutation(Rng& rng, std::int64_t n);
+
+/// Reservoir-samples `k` items uniformly from a stream of `n` indices;
+/// used by graph generators that stream candidate edges.
+std::vector<std::int64_t> reservoir_sample(Rng& rng, std::int64_t n,
+                                           std::int64_t k);
+
+/// Discrete distribution sampling in O(1) via Walker/Vose alias tables.
+/// Used for degree-proportional node picks (equivalent to uniform directed
+/// arcs) when a process wants node-first sampling.
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights (not all zero).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Samples index i with probability weights[i] / sum(weights).
+  std::int64_t sample(Rng& rng) const;
+
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(probability_.size());
+  }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<std::int64_t> alias_;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_SAMPLING_H

@@ -1,0 +1,98 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opindyn {
+
+void RunningStats::add(double x) noexcept {
+  // Welford's update extended to third and fourth central moments
+  // (Pebay 2008).
+  const std::int64_t n1 = count_;
+  count_ += 1;
+  const auto n = static_cast<double>(count_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * static_cast<double>(n1);
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double mean = mean_ + delta * nb / n;
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ +
+                    delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 =
+      m4_ + other.m4_ +
+      delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ = mean;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::population_variance() const noexcept {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sum() const noexcept {
+  return mean_ * static_cast<double>(count_);
+}
+
+double RunningStats::mean_ci_halfwidth(double z) const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return z * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::variance_ci_halfwidth(double z) const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  // Asymptotic SE of sample variance: sqrt((mu4 - sigma^4) / n).
+  const auto n = static_cast<double>(count_);
+  const double sigma2 = population_variance();
+  const double mu4 = m4_ / n;
+  const double se2 = (mu4 - sigma2 * sigma2) / n;
+  return se2 > 0.0 ? z * std::sqrt(se2) : 0.0;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,53 @@
+// Online statistics (Welford) with exact merging, used by the Monte-Carlo
+// harness to accumulate per-thread results without synchronisation and
+// combine them afterwards.
+#ifndef OPINDYN_SUPPORT_STATS_H
+#define OPINDYN_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace opindyn {
+
+/// Numerically stable running mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (Chan et al. pairwise
+  /// update); associative and exact up to floating point.
+  void merge(const RunningStats& other) noexcept;
+
+  std::int64_t count() const noexcept { return count_; }
+  double mean() const noexcept;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const noexcept;
+  /// Population variance (n denominator); 0 for n < 1.
+  double population_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept;
+
+  /// Half-width of a normal-approximation confidence interval for the mean
+  /// at the given z (1.96 ~ 95%).
+  double mean_ci_halfwidth(double z = 1.96) const noexcept;
+
+  /// Half-width of a normal-approximation CI for the *variance* based on
+  /// the asymptotic distribution of the sample variance (requires the 4th
+  /// central moment, which we track).
+  double variance_ci_halfwidth(double z = 1.96) const noexcept;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_STATS_H

@@ -1,0 +1,87 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  OPINDYN_EXPECTS(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::new_row() {
+  OPINDYN_EXPECTS(cells_.empty() || cells_.back().size() == headers_.size(),
+                  "previous row is incomplete");
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& value) {
+  OPINDYN_EXPECTS(!cells_.empty(), "call new_row() before add()");
+  OPINDYN_EXPECTS(cells_.back().size() < headers_.size(),
+                  "row already has all columns");
+  cells_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string(value)); }
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+Table& Table::add(double value, int digits) {
+  std::ostringstream out;
+  out << std::setprecision(digits) << value;
+  return add(out.str());
+}
+
+Table& Table::add_sci(double value, int digits) {
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(digits) << value;
+  return add(out.str());
+}
+
+Table& Table::add_fixed(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return add(out.str());
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : cells_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const { out << to_markdown(); }
+
+}  // namespace opindyn

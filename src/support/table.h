@@ -1,0 +1,45 @@
+// Markdown table rendering.  All benches print their results as
+// GitHub-flavoured markdown tables so EXPERIMENTS.md can quote the output
+// verbatim.
+#ifndef OPINDYN_SUPPORT_TABLE_H
+#define OPINDYN_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace opindyn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; values are appended with `add`.
+  Table& new_row();
+  Table& add(const std::string& value);
+  Table& add(const char* value);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value);
+  /// Formats with `digits` significant digits (general format).
+  Table& add(double value, int digits = 5);
+  /// Scientific notation with `digits` digits after the point.
+  Table& add_sci(double value, int digits = 3);
+  /// Fixed-point with `digits` digits after the point.
+  Table& add_fixed(double value, int digits = 3);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+
+  /// Renders an aligned markdown table.
+  std::string to_markdown() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_TABLE_H

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/degroot.h"
+#include "src/baselines/friedkin_johnsen.h"
+#include "src/core/initial_values.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/spectral/solve.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace {
+
+TEST(SolveDense, MatchesHandSolvedSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const auto x = solve_dense(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveDense, PivotsOnZeroDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const auto x = solve_dense(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveDense, DetectsSingularity) {
+  Matrix a(2, 2, 1.0);  // rank 1
+  EXPECT_THROW(solve_dense(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(SolveDense, ResidualIsSmallOnRandomSystem) {
+  Rng rng(3);
+  const std::size_t n = 20;
+  Matrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    b[r] = rng.next_gaussian();
+    for (std::size_t c = 0; c < n; ++c) {
+      a.at(r, c) = rng.next_gaussian() + (r == c ? 5.0 : 0.0);
+    }
+  }
+  const auto x = solve_dense(a, b);
+  const auto ax = a.multiply(x);
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_NEAR(ax[r], b[r], 1e-10);
+  }
+}
+
+TEST(DeGroot, PreservesDegreeWeightedAverageEachRound) {
+  const Graph g = gen::lollipop(4, 3);
+  Rng rng(5);
+  DeGrootModel model(g, initial::gaussian(rng, g.node_count(), 1.0, 2.0),
+                     /*lazy=*/false);
+  const double invariant = model.weighted_average();
+  for (int round = 0; round < 50; ++round) {
+    model.step();
+    EXPECT_NEAR(model.weighted_average(), invariant, 1e-10);
+  }
+}
+
+TEST(DeGroot, ConvergesToDegreeWeightedAverage) {
+  const Graph g = gen::petersen();
+  Rng rng(7);
+  const auto xi = initial::uniform(rng, 10, -3.0, 3.0);
+  const double target = degree_weighted_average(g, xi);
+  DeGrootModel model(g, xi, /*lazy=*/false);  // non-bipartite: converges
+  for (int round = 0; round < 300; ++round) {
+    model.step();
+  }
+  EXPECT_LT(model.discrepancy(), 1e-9);
+  for (const double v : model.values()) {
+    EXPECT_NEAR(v, target, 1e-8);
+  }
+}
+
+TEST(DeGroot, BipartiteNeedsLaziness) {
+  // Even cycle: the non-lazy synchronous dynamic oscillates forever on
+  // the alternating vector; the lazy variant converges.
+  const Graph g = gen::cycle(8);
+  const auto xi = initial::alternating(8);
+  DeGrootModel oscillating(g, xi, /*lazy=*/false);
+  for (int round = 0; round < 100; ++round) {
+    oscillating.step();
+  }
+  EXPECT_NEAR(oscillating.discrepancy(), 2.0, 1e-9);  // still +-1
+
+  DeGrootModel lazy(g, xi, /*lazy=*/true);
+  for (int round = 0; round < 400; ++round) {
+    lazy.step();
+  }
+  EXPECT_LT(lazy.discrepancy(), 1e-6);
+}
+
+TEST(FriedkinJohnsen, IterationConvergesToDenseSolveEquilibrium) {
+  const Graph g = gen::lollipop(5, 3);
+  Rng rng(9);
+  const auto s = initial::uniform(rng, g.node_count(), 0.0, 1.0);
+  FriedkinJohnsen model(g, s, 0.7);
+  const auto star = model.equilibrium();
+  for (int round = 0; round < 400; ++round) {
+    model.step();
+  }
+  EXPECT_LT(model.distance_to(star), 1e-10);
+}
+
+TEST(FriedkinJohnsen, StubbornAgentsPreventConsensus) {
+  // Two camps with opposite private opinions never agree.
+  const Graph g = gen::complete_bipartite(3, 3);
+  std::vector<double> s{1, 1, 1, -1, -1, -1};
+  FriedkinJohnsen model(g, s, 0.5);
+  const auto star = model.equilibrium();
+  double spread = 0.0;
+  for (const double z : star) {
+    spread = std::max(spread, std::abs(z));
+  }
+  EXPECT_GT(spread, 0.1);  // persistent disagreement
+  // And expressed opinions stay strictly between private extremes.
+  for (std::size_t i = 0; i < star.size(); ++i) {
+    EXPECT_LT(std::abs(star[i]), 1.0);
+    EXPECT_GT(star[i] * s[i], 0.0);  // same sign as own private opinion
+  }
+}
+
+TEST(FriedkinJohnsen, HighSusceptibilityApproachesDeGrootConsensus) {
+  const Graph g = gen::complete(6);
+  Rng rng(11);
+  const auto s = initial::uniform(rng, 6, 0.0, 10.0);
+  FriedkinJohnsen nearly_degroot(g, s, 0.99);
+  const auto star = nearly_degroot.equilibrium();
+  double lo = star[0];
+  double hi = star[0];
+  for (const double z : star) {
+    lo = std::min(lo, z);
+    hi = std::max(hi, z);
+  }
+  EXPECT_LT(hi - lo, 0.5);  // near-consensus
+  FriedkinJohnsen stubborn(g, s, 0.1);
+  const auto star2 = stubborn.equilibrium();
+  double lo2 = star2[0];
+  double hi2 = star2[0];
+  for (const double z : star2) {
+    lo2 = std::min(lo2, z);
+    hi2 = std::max(hi2, z);
+  }
+  EXPECT_GT(hi2 - lo2, hi - lo);  // stubbornness preserves spread
+}
+
+TEST(RandomizedFJ, ConvergesInExpectationToSynchronousEquilibrium) {
+  const Graph g = gen::petersen();
+  Rng init_rng(13);
+  const auto s = initial::uniform(init_rng, 10, -1.0, 1.0);
+  FriedkinJohnsen reference(g, s, 0.6);
+  const auto star = reference.equilibrium();
+
+  // Average the randomized iterate over many steps after burn-in.
+  RandomizedFJ randomized(g, s, 0.6, 2);
+  Rng rng(17);
+  for (int t = 0; t < 20000; ++t) {
+    randomized.step(rng);
+  }
+  std::vector<double> time_average(10, 0.0);
+  constexpr int samples = 200000;
+  for (int t = 0; t < samples; ++t) {
+    randomized.step(rng);
+    for (std::size_t u = 0; u < 10; ++u) {
+      time_average[u] += randomized.expressed()[u] / samples;
+    }
+  }
+  for (std::size_t u = 0; u < 10; ++u) {
+    EXPECT_NEAR(time_average[u], star[u], 0.05) << "node " << u;
+  }
+}
+
+TEST(Baselines, ParameterValidation) {
+  const Graph g = gen::cycle(5);
+  EXPECT_THROW(DeGrootModel(g, std::vector<double>(3, 0.0), false),
+               ContractError);
+  EXPECT_THROW(FriedkinJohnsen(g, std::vector<double>(5, 0.0), 1.0),
+               ContractError);
+  EXPECT_THROW(RandomizedFJ(g, std::vector<double>(5, 0.0), 0.5, 3),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace opindyn

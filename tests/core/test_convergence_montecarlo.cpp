@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/convergence.h"
+#include "src/core/initial_values.h"
+#include "src/core/montecarlo.h"
+#include "src/core/theory.h"
+#include "src/graph/generators.h"
+#include "src/spectral/spectra.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace {
+
+TEST(Convergence, ReachesEpsilonAndReportsCommonValue) {
+  const Graph g = gen::complete(16);
+  Rng init_rng(1);
+  auto xi = initial::uniform(init_rng, 16, -1.0, 1.0);
+  NodeModelParams params;
+  params.alpha = 0.5;
+  params.k = 1;
+  NodeModel model(g, xi, params);
+  Rng rng(2);
+  ConvergenceOptions options;
+  options.epsilon = 1e-16;
+  const ConvergenceResult result = run_until_converged(model, rng, options);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.final_phi, options.epsilon);
+  EXPECT_GT(result.steps, 0);
+  // All node values agree with the reported F to ~sqrt(eps/pi_min).
+  for (NodeId u = 0; u < 16; ++u) {
+    EXPECT_NEAR(model.state().value(u), result.final_value, 1e-6);
+  }
+}
+
+TEST(Convergence, AlreadyConvergedStopsImmediately) {
+  const Graph g = gen::cycle(8);
+  NodeModelParams params;
+  NodeModel model(g, initial::constant(8, 3.0), params);
+  Rng rng(3);
+  ConvergenceOptions options;
+  options.epsilon = 1e-12;
+  const ConvergenceResult result = run_until_converged(model, rng, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_DOUBLE_EQ(result.final_value, 3.0);
+}
+
+TEST(Convergence, MaxStepsCapsWork) {
+  const Graph g = gen::cycle(64);
+  Rng init_rng(4);
+  NodeModelParams params;
+  NodeModel model(g, initial::rademacher(init_rng, 64), params);
+  Rng rng(5);
+  ConvergenceOptions options;
+  options.epsilon = 1e-30;  // unreachable
+  options.max_steps = 1000;
+  const ConvergenceResult result = run_until_converged(model, rng, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LE(result.steps, 1000 + 64);
+}
+
+TEST(Convergence, PlainPotentialModeUsesPhiV) {
+  const Graph g = gen::star(10);
+  Rng init_rng(6);
+  EdgeModelParams params;
+  params.alpha = 0.5;
+  EdgeModel model(g, initial::uniform(init_rng, 10, 0.0, 1.0), params);
+  Rng rng(7);
+  ConvergenceOptions options;
+  options.epsilon = 1e-14;
+  options.use_plain_potential = true;
+  const ConvergenceResult result = run_until_converged(model, rng, options);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(model.state().phi_plain_exact(), options.epsilon);
+}
+
+TEST(MonteCarlo, MeanOfFMatchesMartingaleExpectation) {
+  // E[F] = M(0) for the NodeModel (Lemma 4.1): run on an irregular graph
+  // with xi(0) chosen so Avg(0) != M(0), and check the MC mean picks M(0).
+  const Graph g = gen::star(8);  // hub 0
+  std::vector<double> xi(8, 0.0);
+  xi[0] = 7.0;  // Avg(0) = 7/8; M(0) = (7*7)/(2*7) = 3.5
+  const double m0 = 7.0 * 7.0 / 14.0;
+
+  ModelConfig config;
+  config.kind = ModelKind::node;
+  config.alpha = 0.5;
+  config.k = 1;
+  MonteCarloOptions options;
+  options.replicas = 4000;
+  options.seed = 11;
+  options.convergence.epsilon = 1e-14;
+  const MonteCarloResult result = monte_carlo(g, config, xi, options);
+  EXPECT_EQ(result.replicas, 4000);
+  EXPECT_EQ(result.diverged, 0);
+  EXPECT_NEAR(result.convergence_value.mean(), m0,
+              4.0 * result.convergence_value.mean_ci_halfwidth());
+  // And NOT the plain average.
+  EXPECT_GT(std::abs(result.convergence_value.mean() - 7.0 / 8.0), 0.5);
+}
+
+TEST(MonteCarlo, EdgeModelMeanOfFIsPlainAverageEvenIrregular) {
+  const Graph g = gen::star(8);
+  std::vector<double> xi(8, 0.0);
+  xi[0] = 7.0;  // Avg(0) = 7/8
+  ModelConfig config;
+  config.kind = ModelKind::edge;
+  config.alpha = 0.5;
+  MonteCarloOptions options;
+  options.replicas = 4000;
+  options.seed = 13;
+  options.convergence.epsilon = 1e-14;
+  const MonteCarloResult result = monte_carlo(g, config, xi, options);
+  EXPECT_NEAR(result.convergence_value.mean(), 7.0 / 8.0,
+              4.0 * result.convergence_value.mean_ci_halfwidth());
+}
+
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  const Graph g = gen::cycle(12);
+  Rng init_rng(8);
+  auto xi = initial::rademacher(init_rng, 12);
+  initial::center_plain(xi);
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 1;
+  MonteCarloOptions options;
+  options.replicas = 64;
+  options.seed = 17;
+  options.convergence.epsilon = 1e-12;
+  options.threads = 1;
+  const MonteCarloResult serial = monte_carlo(g, config, xi, options);
+  options.threads = 4;
+  const MonteCarloResult parallel = monte_carlo(g, config, xi, options);
+  EXPECT_EQ(serial.replicas, parallel.replicas);
+  EXPECT_NEAR(serial.convergence_value.mean(),
+              parallel.convergence_value.mean(), 1e-12);
+  EXPECT_NEAR(serial.convergence_value.variance(),
+              parallel.convergence_value.variance(), 1e-12);
+  EXPECT_NEAR(serial.steps.mean(), parallel.steps.mean(), 1e-9);
+}
+
+TEST(MonteCarlo, VarianceOfFMatchesProp58OnCycle) {
+  // The flagship quantitative check: MC Var(F) against the exact Prop 5.8
+  // value on a small cycle.
+  const Graph g = gen::cycle(8);
+  Rng init_rng(9);
+  auto xi = initial::rademacher(init_rng, 8);
+  initial::center_plain(xi);
+  const double predicted = theory::variance_exact(g, 0.5, 1, xi);
+
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 1;
+  MonteCarloOptions options;
+  options.replicas = 20000;
+  options.seed = 19;
+  options.convergence.epsilon = 1e-13;
+  const MonteCarloResult result = monte_carlo(g, config, xi, options);
+  const double measured = result.convergence_value.population_variance();
+  EXPECT_NEAR(measured, predicted,
+              4.0 * result.convergence_value.variance_ci_halfwidth() +
+                  1e-4);
+}
+
+TEST(MonteCarlo, TrajectoryTracksMartingaleAndPhiDecay) {
+  const Graph g = gen::complete(12);
+  Rng init_rng(10);
+  auto xi = initial::gaussian(init_rng, 12, 0.0, 1.0);
+  initial::center_plain(xi);
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 2;
+  const std::vector<std::int64_t> checkpoints{0, 50, 200, 1000, 4000};
+  const TrajectoryResult result =
+      monte_carlo_trajectory(g, config, xi, checkpoints, 500, 21);
+  ASSERT_EQ(result.martingale.size(), checkpoints.size());
+  // M(t) is a martingale: mean stays at M(0) = Avg(0) = 0.
+  for (const auto& stats : result.martingale) {
+    EXPECT_NEAR(stats.mean(), 0.0,
+                4.0 * stats.mean_ci_halfwidth() + 1e-3);
+  }
+  // Var(M(t)) is non-decreasing in t (stated after Prop. 5.8); allow
+  // sampling noise at the later checkpoint's CI scale.
+  for (std::size_t i = 1; i < result.martingale.size(); ++i) {
+    const double slack =
+        3.0 * result.martingale[i].variance_ci_halfwidth() + 1e-4;
+    EXPECT_GE(result.martingale[i].population_variance() + slack,
+              result.martingale[i - 1].population_variance());
+  }
+  // phi decays.
+  EXPECT_LT(result.phi.back().mean(), result.phi.front().mean() * 1e-2);
+}
+
+TEST(MonteCarlo, RejectsBadOptions) {
+  const Graph g = gen::cycle(4);
+  const std::vector<double> xi(4, 0.0);
+  ModelConfig config;
+  MonteCarloOptions options;
+  options.replicas = 0;
+  EXPECT_THROW(monte_carlo(g, config, xi, options), ContractError);
+  EXPECT_THROW(
+      monte_carlo_trajectory(g, config, xi, {10, 5}, 10, 1),
+      ContractError);
+  EXPECT_THROW(monte_carlo_trajectory(g, config, xi, {}, 10, 1),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace opindyn

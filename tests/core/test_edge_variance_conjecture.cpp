@@ -1,0 +1,90 @@
+// A numerically-discovered answer to the paper's Section 6 question
+// "is it possible to bound the concentration ... for irregular graphs?":
+//
+//   CONJECTURE (verified numerically here): for the EdgeModel on ANY
+//   connected graph, with Avg(0) = 0,
+//       Var(F) = (1 - alpha) ||xi(0)||^2 / ( n (alpha n + 1 - alpha) ).
+//
+// For d-regular graphs this is exactly the Prop. 5.8 value at k = 1
+// (where mu_1 = mu_+ makes the edge-correlation term vanish after the
+// algebra); the surprise is that the numerical Q-chain stationary
+// distribution reproduces it on stars, lollipops, trees, and
+// preferential-attachment graphs too -- the EdgeModel's limiting
+// variance appears to be completely structure-independent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/initial_values.h"
+#include "src/core/moments.h"
+#include "src/core/theory.h"
+#include "src/graph/generators.h"
+
+namespace opindyn {
+namespace {
+
+double conjectured_edge_variance(NodeId n, double alpha,
+                                 double xi_norm_sq) {
+  const auto nd = static_cast<double>(n);
+  return (1.0 - alpha) * xi_norm_sq / (nd * (alpha * nd + 1.0 - alpha));
+}
+
+class EdgeVarianceConjecture : public ::testing::TestWithParam<double> {};
+
+TEST_P(EdgeVarianceConjecture, HoldsOnRegularGraphsViaClosedForm) {
+  const double alpha = GetParam();
+  Rng rng(3);
+  for (const auto& g : {gen::cycle(12), gen::complete(9),
+                        gen::petersen()}) {
+    auto xi = initial::gaussian(rng, g.node_count(), 0.0, 1.0);
+    initial::center_plain(xi);
+    const double closed = theory::variance_exact(g, alpha, 1, xi);
+    const double conjectured = conjectured_edge_variance(
+        g.node_count(), alpha, initial::l2_squared(xi));
+    EXPECT_NEAR(closed, conjectured, std::abs(conjectured) * 1e-10)
+        << g.name();
+  }
+}
+
+TEST_P(EdgeVarianceConjecture, HoldsOnIrregularGraphsViaNumericalQChain) {
+  const double alpha = GetParam();
+  Rng rng(5);
+  Rng graph_rng(7);
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::star(8));
+  graphs.push_back(gen::double_star(3));
+  graphs.push_back(gen::lollipop(4, 4));
+  graphs.push_back(gen::binary_tree(9));
+  graphs.push_back(gen::path(10));
+  graphs.push_back(gen::preferential_attachment(graph_rng, 10, 2));
+  for (const auto& g : graphs) {
+    auto xi = initial::gaussian(rng, g.node_count(), 0.0, 1.0);
+    initial::center_plain(xi);
+    const double numerical = predicted_variance_any_graph_edge(g, alpha, xi);
+    const double conjectured = conjectured_edge_variance(
+        g.node_count(), alpha, initial::l2_squared(xi));
+    EXPECT_NEAR(numerical, conjectured, std::abs(conjectured) * 1e-6)
+        << g.name() << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EdgeVarianceConjecture,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.65, 0.9));
+
+TEST(EdgeVarianceConjecture, NodeModelDoesNotShareTheProperty) {
+  // Control: the NodeModel's variance on the star differs from the
+  // regular-graph value (its martingale weights the hub by 1/2), so the
+  // structure-independence really is an EdgeModel phenomenon.
+  const Graph g = gen::star(8);
+  Rng rng(9);
+  auto xi = initial::gaussian(rng, 8, 0.0, 1.0);
+  initial::center_degree_weighted(g, xi);
+  const double node_var = predicted_variance_any_graph(g, 0.5, 1, xi);
+  const double conjectured =
+      conjectured_edge_variance(8, 0.5, initial::l2_squared(xi));
+  EXPECT_GT(std::abs(node_var - conjectured),
+            std::abs(conjectured) * 0.2);
+}
+
+}  // namespace
+}  // namespace opindyn

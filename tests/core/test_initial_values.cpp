@@ -1,0 +1,107 @@
+#include "src/core/initial_values.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace {
+
+TEST(InitialValues, ConstantAndSpike) {
+  const auto c = initial::constant(5, 3.0);
+  for (const double v : c) {
+    EXPECT_DOUBLE_EQ(v, 3.0);
+  }
+  const auto s = initial::spike(5, 2, 7.0);
+  EXPECT_DOUBLE_EQ(s[2], 7.0);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(initial::l2_squared(s), 49.0);
+}
+
+TEST(InitialValues, RademacherIsPlusMinusOne) {
+  Rng rng(3);
+  const auto r = initial::rademacher(rng, 1000);
+  int plus = 0;
+  for (const double v : r) {
+    EXPECT_TRUE(v == 1.0 || v == -1.0);
+    plus += v > 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(plus, 500, 80);
+  EXPECT_DOUBLE_EQ(initial::l2_squared(r), 1000.0);
+}
+
+TEST(InitialValues, UniformRangeAndGaussianMoments) {
+  Rng rng(5);
+  const auto u = initial::uniform(rng, 10000, 2.0, 4.0);
+  double sum = 0.0;
+  for (const double v : u) {
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 4.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 3.0, 0.03);
+
+  const auto gauss = initial::gaussian(rng, 10000, -1.0, 2.0);
+  double gsum = 0.0;
+  double gsq = 0.0;
+  for (const double v : gauss) {
+    gsum += v;
+    gsq += (v + 1.0) * (v + 1.0);
+  }
+  EXPECT_NEAR(gsum / 10000.0, -1.0, 0.08);
+  EXPECT_NEAR(gsq / 10000.0, 4.0, 0.15);
+}
+
+TEST(InitialValues, AlternatingAndRamp) {
+  const auto alt = initial::alternating(6);
+  EXPECT_DOUBLE_EQ(alt[0], 1.0);
+  EXPECT_DOUBLE_EQ(alt[1], -1.0);
+  EXPECT_DOUBLE_EQ(alt[5], -1.0);
+  const auto r = initial::ramp(5, 8.0);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[4], 8.0);
+  EXPECT_DOUBLE_EQ(r[2], 4.0);
+}
+
+TEST(InitialValues, CenterPlainZeroesAverage) {
+  Rng rng(7);
+  auto v = initial::uniform(rng, 100, 5.0, 9.0);
+  initial::center_plain(v);
+  double sum = 0.0;
+  for (const double x : v) {
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-10);
+}
+
+TEST(InitialValues, CenterDegreeWeightedZeroesM) {
+  const Graph g = gen::lollipop(5, 4);
+  Rng rng(9);
+  auto v = initial::gaussian(rng, g.node_count(), 2.0, 1.0);
+  initial::center_degree_weighted(g, v);
+  EXPECT_NEAR(degree_weighted_average(g, v), 0.0, 1e-12);
+}
+
+TEST(InitialValues, ScaledEigenvector) {
+  const std::vector<double> f2{0.5, -0.5, 0.0};
+  const auto scaled = initial::scaled_eigenvector(f2, 4.0);
+  EXPECT_DOUBLE_EQ(scaled[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaled[1], -2.0);
+  EXPECT_DOUBLE_EQ(scaled[2], 0.0);
+}
+
+TEST(InitialValues, Validation) {
+  Rng rng(1);
+  EXPECT_THROW(initial::constant(0, 1.0), ContractError);
+  EXPECT_THROW(initial::spike(3, 3, 1.0), ContractError);
+  EXPECT_THROW(initial::ramp(1, 1.0), ContractError);
+  std::vector<double> empty;
+  EXPECT_THROW(initial::center_plain(empty), ContractError);
+}
+
+}  // namespace
+}  // namespace opindyn

@@ -1,0 +1,175 @@
+// Tests for the Section 6 "future work" extensions: the r-walk joint
+// chain, numerical Var(F) on arbitrary (incl. irregular) graphs, and the
+// third moment of F.
+#include "src/core/moments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/initial_values.h"
+#include "src/core/qchain.h"
+#include "src/core/theory.h"
+#include "src/graph/generators.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace {
+
+TEST(JointWalkChain, TwoWalkNodeChainEqualsQChain) {
+  // The generic r = 2 construction must reproduce the dedicated QChain
+  // transition matrix entry for entry.
+  for (const auto& g : {gen::cycle(6), gen::petersen()}) {
+    for (const std::int64_t k : {std::int64_t{1}, std::int64_t{2}}) {
+      if (k > g.min_degree()) {
+        continue;
+      }
+      ModelConfig config;
+      config.alpha = 0.4;
+      config.k = k;
+      const JointWalkChain generic(g, config, 2);
+      const QChain dedicated(g, 0.4, k);
+      EXPECT_LT(
+          generic.transition().frobenius_distance(dedicated.transition()),
+          1e-12)
+          << g.name() << " k=" << k;
+    }
+  }
+}
+
+TEST(JointWalkChain, SingleWalkStationaryIsUniformOnRegularGraphs) {
+  // One walk under the NodeModel law: stationary distribution is uniform
+  // on regular graphs.
+  const Graph g = gen::cycle(8);
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 1;
+  const JointWalkChain chain(g, config, 1);
+  const auto mu = chain.stationary();
+  ASSERT_TRUE(mu.converged);
+  for (const double x : mu.distribution) {
+    EXPECT_NEAR(x, 1.0 / 8.0, 1e-9);
+  }
+}
+
+TEST(JointWalkChain, RowStochasticForEdgeModelToo) {
+  const Graph g = gen::star(5);
+  ModelConfig config;
+  config.kind = ModelKind::edge;
+  config.alpha = 0.3;
+  const JointWalkChain chain(g, config, 2);
+  EXPECT_LT(chain.transition().stochasticity_defect(), 1e-11);
+  const auto mu = chain.stationary();
+  EXPECT_TRUE(mu.converged);
+}
+
+TEST(Moments, VarianceAnyGraphMatchesClosedFormOnRegularGraphs) {
+  Rng rng(3);
+  for (const auto& g : {gen::cycle(10), gen::complete(7),
+                        gen::petersen()}) {
+    for (const std::int64_t k : {std::int64_t{1}, std::int64_t{2}}) {
+      if (k > g.min_degree()) {
+        continue;
+      }
+      auto xi = initial::gaussian(rng, g.node_count(), 0.0, 1.0);
+      initial::center_plain(xi);
+      const double numerical =
+          predicted_variance_any_graph(g, 0.5, k, xi);
+      const double closed = theory::variance_exact(g, 0.5, k, xi);
+      EXPECT_NEAR(numerical, closed, 1e-8) << g.name() << " k=" << k;
+    }
+  }
+}
+
+TEST(Moments, IrregularVarianceMatchesMonteCarlo) {
+  // The open-problem case: star graph, NodeModel.  The numerical Q-chain
+  // prediction must match Monte Carlo.
+  const Graph g = gen::star(6);
+  std::vector<double> xi{0.0, 5.0, -1.0, 2.0, -3.0, -3.0};
+  initial::center_degree_weighted(g, xi);
+  const double predicted = predicted_variance_any_graph(g, 0.5, 1, xi);
+  EXPECT_GT(predicted, 0.0);
+
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 1;
+  MonteCarloOptions options;
+  options.replicas = 20000;
+  options.seed = 5;
+  options.convergence.epsilon = 1e-13;
+  const MonteCarloResult result = monte_carlo(g, config, xi, options);
+  EXPECT_NEAR(result.convergence_value.population_variance(), predicted,
+              4.0 * result.convergence_value.variance_ci_halfwidth() +
+                  1e-3);
+}
+
+TEST(Moments, EdgeModelIrregularVarianceMatchesMonteCarlo) {
+  const Graph g = gen::star(6);
+  std::vector<double> xi{0.0, 5.0, -1.0, 2.0, -3.0, -3.0};
+  initial::center_plain(xi);
+  const double predicted = predicted_variance_any_graph_edge(g, 0.5, xi);
+  EXPECT_GT(predicted, 0.0);
+
+  ModelConfig config;
+  config.kind = ModelKind::edge;
+  config.alpha = 0.5;
+  MonteCarloOptions options;
+  options.replicas = 20000;
+  options.seed = 7;
+  options.convergence.epsilon = 1e-13;
+  options.convergence.use_plain_potential = true;
+  const MonteCarloResult result = monte_carlo(g, config, xi, options);
+  EXPECT_NEAR(result.convergence_value.population_variance(), predicted,
+              4.0 * result.convergence_value.variance_ci_halfwidth() +
+                  1e-3);
+}
+
+TEST(Moments, ThirdMomentMatchesMonteCarloOnSmallGraph) {
+  // Asymmetric initial values give F a skewed distribution; the 3-walk
+  // chain predicts E[(F - E F)^3].
+  const Graph g = gen::complete(5);
+  std::vector<double> xi{4.0, -1.0, -1.0, -1.0, -1.0};
+  initial::center_plain(xi);  // already centered; no-op safety
+  const double predicted = predicted_moment(g, 0.5, 1, xi, 3);
+
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 1;
+  // Monte-Carlo estimate of E[F^3] with a self-calibrated error bar:
+  // se^2 = (E[F^6] - E[F^3]^2) / R, both moments estimated empirically
+  // (F^3 is heavy-tailed for spiked initials, so sigma^3-based bars
+  // undercover).
+  double sum3 = 0.0;
+  double sum6 = 0.0;
+  const int replicas = 60000;
+  for (int r = 0; r < replicas; ++r) {
+    Rng rng = Rng::fork(11, static_cast<std::uint64_t>(r));
+    auto process = make_process(g, config, xi);
+    ConvergenceOptions conv;
+    conv.epsilon = 1e-13;
+    const ConvergenceResult one = run_until_converged(*process, rng, conv);
+    const double f = one.final_value;
+    const double f3 = f * f * f;
+    sum3 += f3;
+    sum6 += f3 * f3;
+  }
+  const double measured3 = sum3 / replicas;
+  const double m6 = sum6 / replicas;
+  const double se =
+      std::sqrt(std::max(0.0, m6 - measured3 * measured3) /
+                static_cast<double>(replicas));
+  EXPECT_NEAR(measured3, predicted, 5.0 * se + 1e-4);
+  // The skew should be visibly positive (one node starts far above).
+  EXPECT_GT(predicted, 0.0);
+}
+
+TEST(Moments, RejectsOversizedStateSpace) {
+  const Graph g = gen::cycle(40);
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 1;
+  EXPECT_THROW(JointWalkChain(g, config, 3), ContractError);  // 64000 states
+}
+
+}  // namespace
+}  // namespace opindyn

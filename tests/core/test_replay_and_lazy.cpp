@@ -1,0 +1,166 @@
+// Replay determinism and lazy-variant properties: recorded selection
+// sequences fully determine the trajectory (the foundation of the
+// duality machinery), including no-op lazy steps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/diffusion.h"
+#include "src/core/edge_model.h"
+#include "src/core/initial_values.h"
+#include "src/core/node_model.h"
+#include "src/graph/generators.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace {
+
+TEST(Replay, RecordedSequenceReproducesTrajectoryExactly) {
+  const Graph g = gen::petersen();
+  Rng init_rng(1);
+  const auto xi = initial::gaussian(init_rng, 10, 0.0, 1.0);
+  NodeModelParams params;
+  params.alpha = 0.35;
+  params.k = 2;
+
+  NodeModel original(g, xi, params);
+  Rng rng(7);
+  SelectionSequence chi;
+  for (int t = 0; t < 500; ++t) {
+    chi.push_back(original.step_recorded(rng));
+  }
+
+  NodeModel replayed(g, xi, params);
+  for (const auto& sel : chi) {
+    replayed.apply(sel);
+  }
+  EXPECT_EQ(replayed.time(), original.time());
+  for (NodeId u = 0; u < 10; ++u) {
+    EXPECT_DOUBLE_EQ(replayed.state().value(u), original.state().value(u));
+  }
+}
+
+TEST(Replay, EdgeModelSequenceReplaysExactly) {
+  const Graph g = gen::lollipop(4, 3);
+  Rng init_rng(2);
+  const auto xi = initial::uniform(init_rng, g.node_count(), -1.0, 1.0);
+  EdgeModelParams params;
+  params.alpha = 0.6;
+
+  EdgeModel original(g, xi, params);
+  Rng rng(9);
+  SelectionSequence chi;
+  for (int t = 0; t < 300; ++t) {
+    chi.push_back(original.step_recorded(rng));
+  }
+  EdgeModel replayed(g, xi, params);
+  for (const auto& sel : chi) {
+    replayed.apply(sel);
+  }
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    EXPECT_DOUBLE_EQ(replayed.state().value(u), original.state().value(u));
+  }
+}
+
+TEST(LazyDuality, DualityHoldsWithNoopStepsInTheSequence) {
+  // The lazy variant records no-op selections; the diffusion replay must
+  // treat them as identity matrices and the duality still holds.
+  const Graph g = gen::cycle(9);
+  Rng init_rng(3);
+  const auto xi = initial::gaussian(init_rng, 9, 0.0, 2.0);
+  NodeModelParams params;
+  params.alpha = 0.5;
+  params.k = 1;
+  params.lazy = true;
+
+  NodeModel averaging(g, xi, params);
+  Rng rng(11);
+  SelectionSequence chi;
+  int noops = 0;
+  for (int t = 0; t < 400; ++t) {
+    chi.push_back(averaging.step_recorded(rng));
+    noops += chi.back().is_noop() ? 1 : 0;
+  }
+  ASSERT_GT(noops, 100);  // the lazy coin actually fired
+
+  DiffusionProcess diffusion(g, 0.5);
+  diffusion.apply_reversed(chi);
+  const auto w = diffusion.costs(xi);
+  for (NodeId u = 0; u < 9; ++u) {
+    EXPECT_NEAR(w[static_cast<std::size_t>(u)],
+                averaging.state().value(u), 1e-10);
+  }
+  EXPECT_EQ(diffusion.time(), 400);
+}
+
+TEST(LazyDuality, LazyAndEagerReachSameStateOnEffectiveSubsequence) {
+  // Filtering the no-ops out of a lazy run and applying the remainder to
+  // an eager process yields the identical end state.
+  const Graph g = gen::complete(6);
+  Rng init_rng(4);
+  const auto xi = initial::gaussian(init_rng, 6, 0.0, 1.0);
+  NodeModelParams lazy_params;
+  lazy_params.alpha = 0.4;
+  lazy_params.k = 2;
+  lazy_params.lazy = true;
+  NodeModel lazy_model(g, xi, lazy_params);
+  Rng rng(13);
+  SelectionSequence effective;
+  for (int t = 0; t < 600; ++t) {
+    const auto sel = lazy_model.step_recorded(rng);
+    if (!sel.is_noop()) {
+      effective.push_back(sel);
+    }
+  }
+  NodeModelParams eager_params = lazy_params;
+  eager_params.lazy = false;
+  NodeModel eager_model(g, xi, eager_params);
+  for (const auto& sel : effective) {
+    eager_model.apply(sel);
+  }
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_DOUBLE_EQ(eager_model.state().value(u),
+                     lazy_model.state().value(u));
+  }
+}
+
+TEST(Diffusion, NoopSelectionIsIdentity) {
+  const Graph g = gen::path(4);
+  DiffusionProcess diffusion(g, 0.5);
+  const Matrix before = diffusion.load_matrix();
+  diffusion.apply(NodeSelection{});
+  EXPECT_EQ(diffusion.time(), 1);
+  EXPECT_DOUBLE_EQ(diffusion.load_matrix().frobenius_distance(before), 0.0);
+}
+
+TEST(Diffusion, RejectsBadSelections) {
+  const Graph g = gen::path(4);
+  DiffusionProcess diffusion(g, 0.5);
+  EXPECT_THROW(diffusion.apply(NodeSelection{0, {3}}), ContractError);
+  EXPECT_THROW(diffusion.apply(NodeSelection{7, {1}}), ContractError);
+}
+
+TEST(Diffusion, CommodityLoadsAreDistributions) {
+  const Graph g = gen::torus(3, 3);
+  NodeModelParams params;
+  params.alpha = 0.25;
+  params.k = 3;
+  NodeModel model(g, std::vector<double>(9, 0.0), params);
+  Rng rng(15);
+  DiffusionProcess diffusion(g, 0.25);
+  for (int t = 0; t < 200; ++t) {
+    diffusion.apply(model.step_recorded(rng));
+  }
+  for (NodeId u = 0; u < 9; ++u) {
+    const auto load = diffusion.commodity_load(u);
+    double total = 0.0;
+    for (const double x : load) {
+      EXPECT_GE(x, -1e-12);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace opindyn

@@ -1,0 +1,121 @@
+#include "src/graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/isoperimetric.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = gen::path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(u)], u);
+  }
+  const auto dist2 = bfs_distances(g, 3);
+  EXPECT_EQ(dist2[0], 3);
+  EXPECT_EQ(dist2[5], 2);
+}
+
+TEST(Bfs, DisconnectedMarksUnreachable) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(component_count(g), 2);
+  EXPECT_EQ(diameter(g), -1);
+}
+
+TEST(AllPairs, MatchesDefinitionOnCycle) {
+  const Graph g = gen::cycle(6);
+  const auto dist = all_pairs_distances(g);
+  const auto n = static_cast<std::size_t>(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      const int direct = std::abs(u - v);
+      const int wrap = 6 - direct;
+      EXPECT_EQ(dist[static_cast<std::size_t>(u) * n +
+                     static_cast<std::size_t>(v)],
+                std::min(direct, wrap));
+    }
+  }
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(gen::complete(7)), 1);
+  EXPECT_EQ(diameter(gen::cycle(9)), 4);
+  EXPECT_EQ(diameter(gen::cycle(10)), 5);
+  EXPECT_EQ(diameter(gen::star(12)), 2);
+  EXPECT_EQ(diameter(gen::hypercube(5)), 5);
+  EXPECT_EQ(diameter(gen::petersen()), 2);
+}
+
+TEST(Bipartite, KnownFamilies) {
+  EXPECT_TRUE(is_bipartite(gen::path(9)));
+  EXPECT_TRUE(is_bipartite(gen::cycle(10)));
+  EXPECT_FALSE(is_bipartite(gen::cycle(9)));
+  EXPECT_FALSE(is_bipartite(gen::complete(4)));
+  EXPECT_TRUE(is_bipartite(gen::complete_bipartite(3, 5)));
+  EXPECT_TRUE(is_bipartite(gen::hypercube(3)));
+}
+
+TEST(DegreeWeightedAverage, MatchesDefinition) {
+  const Graph g = gen::star(4);  // hub degree 3, leaves degree 1; 2m = 6
+  const std::vector<double> values{6.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(degree_weighted_average(g, values), 3.0);
+  const std::vector<double> uniform(4, 2.5);
+  EXPECT_DOUBLE_EQ(degree_weighted_average(g, uniform), 2.5);
+}
+
+TEST(Isoperimetric, CompleteGraphExact) {
+  // K_n: cut of |S|=s is s(n-s); minimum of s(n-s)/s = n - s at s = n/2.
+  const Graph g = gen::complete(8);
+  EXPECT_DOUBLE_EQ(isoperimetric_number_exact(g), 4.0);
+}
+
+TEST(Isoperimetric, CycleExact) {
+  // C_n: best cut takes a contiguous arc: 2 edges cut, |S| = n/2.
+  const Graph g = gen::cycle(12);
+  EXPECT_DOUBLE_EQ(isoperimetric_number_exact(g), 2.0 / 6.0);
+}
+
+TEST(Isoperimetric, StarExact) {
+  // Star: best S = all leaves' half without hub: cut |S| leaves each with
+  // one edge -> ratio 1.
+  const Graph g = gen::star(9);
+  EXPECT_DOUBLE_EQ(isoperimetric_number_exact(g), 1.0);
+}
+
+TEST(Isoperimetric, PathExact) {
+  // P_n: cut the middle edge: 1 edge, n/2 nodes.
+  const Graph g = gen::path(10);
+  EXPECT_DOUBLE_EQ(isoperimetric_number_exact(g), 1.0 / 5.0);
+}
+
+TEST(Isoperimetric, SweepBoundIsUpperBound) {
+  Rng rng(3);
+  for (const NodeId n : {8, 12, 16}) {
+    const Graph g = gen::cycle(n);
+    const double exact = isoperimetric_number_exact(g);
+    const double upper = isoperimetric_number_upper_bound(g, rng, 50);
+    EXPECT_GE(upper + 1e-12, exact);
+    // The BFS sweep finds the contiguous-arc optimum on cycles.
+    EXPECT_NEAR(upper, exact, 1e-12);
+  }
+}
+
+TEST(CutSize, MatchesManualCount) {
+  const Graph g = gen::cycle(4);  // edges 01 12 23 30
+  EXPECT_EQ(cut_size(g, 0b0001), 2);
+  EXPECT_EQ(cut_size(g, 0b0011), 2);
+  EXPECT_EQ(cut_size(g, 0b0101), 4);
+  EXPECT_EQ(cut_size(g, 0b1111), 0);
+}
+
+}  // namespace
+}  // namespace opindyn

@@ -1,0 +1,197 @@
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.node_count(), 5);
+  EXPECT_EQ(g.edge_count(), 4);
+  EXPECT_EQ(g.min_degree(), 1);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Generators, CycleIsTwoRegular) {
+  const Graph g = gen::cycle(8);
+  EXPECT_EQ(g.edge_count(), 8);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 2);
+  EXPECT_EQ(diameter(g), 4);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_FALSE(is_bipartite(gen::cycle(7)));
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(g.edge_count(), 15);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 5);
+  EXPECT_EQ(diameter(g), 1);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = gen::star(10);
+  EXPECT_EQ(g.edge_count(), 9);
+  EXPECT_EQ(g.degree(0), 9);
+  EXPECT_EQ(g.degree(5), 1);
+  EXPECT_EQ(diameter(g), 2);
+}
+
+TEST(Generators, DoubleStarShape) {
+  const Graph g = gen::double_star(4);
+  EXPECT_EQ(g.node_count(), 10);
+  EXPECT_EQ(g.degree(0), 5);  // hub: 4 leaves + other hub
+  EXPECT_EQ(g.degree(1), 5);
+  EXPECT_EQ(g.degree(7), 1);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 3);
+}
+
+TEST(Generators, GridAndTorus) {
+  const Graph grid = gen::grid(3, 4);
+  EXPECT_EQ(grid.node_count(), 12);
+  EXPECT_EQ(grid.edge_count(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_EQ(grid.min_degree(), 2);
+  EXPECT_EQ(grid.max_degree(), 4);
+  EXPECT_TRUE(is_connected(grid));
+
+  const Graph torus = gen::torus(4, 5);
+  EXPECT_EQ(torus.node_count(), 20);
+  EXPECT_TRUE(torus.is_regular());
+  EXPECT_EQ(torus.min_degree(), 4);
+  EXPECT_EQ(torus.edge_count(), 40);
+}
+
+TEST(Generators, HypercubeSpectrumFriendlyShape) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.node_count(), 16);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 4);
+  EXPECT_EQ(diameter(g), 4);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, CirculantDegrees) {
+  const Graph g = gen::circulant(10, {1, 2});
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(g.node_count(), 7);
+  EXPECT_EQ(g.edge_count(), 12);
+  EXPECT_EQ(g.degree(0), 4);
+  EXPECT_EQ(g.degree(3), 3);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = gen::binary_tree(7);
+  EXPECT_EQ(g.edge_count(), 6);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));  // trees are bipartite
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.degree(6), 1);
+}
+
+TEST(Generators, PetersenProperties) {
+  const Graph g = gen::petersen();
+  EXPECT_EQ(g.node_count(), 10);
+  EXPECT_EQ(g.edge_count(), 15);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 3);
+  EXPECT_EQ(diameter(g), 2);
+  EXPECT_FALSE(is_bipartite(g));
+}
+
+TEST(Generators, BarbellAndLollipop) {
+  const Graph bb = gen::barbell(5, 3);
+  EXPECT_EQ(bb.node_count(), 13);
+  EXPECT_TRUE(is_connected(bb));
+  EXPECT_EQ(bb.max_degree(), 5);  // bridge endpoints in the cliques
+
+  const Graph bb0 = gen::barbell(4, 0);
+  EXPECT_EQ(bb0.node_count(), 8);
+  EXPECT_TRUE(is_connected(bb0));
+
+  const Graph lp = gen::lollipop(6, 4);
+  EXPECT_EQ(lp.node_count(), 10);
+  EXPECT_TRUE(is_connected(lp));
+  EXPECT_EQ(lp.min_degree(), 1);
+}
+
+TEST(Generators, RandomRegularIsSimpleConnectedRegular) {
+  Rng rng(123);
+  for (const auto& [n, d] : {std::pair<NodeId, NodeId>{16, 3},
+                             {20, 4},
+                             {30, 5},
+                             {12, 6}}) {
+    const Graph g = gen::random_regular(rng, n, d);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_TRUE(g.is_regular()) << "n=" << n << " d=" << d;
+    EXPECT_EQ(g.min_degree(), d);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  Rng rng(1);
+  EXPECT_THROW(gen::random_regular(rng, 5, 3), ContractError);
+  EXPECT_THROW(gen::random_regular(rng, 5, 5), ContractError);
+}
+
+TEST(Generators, ErdosRenyiConnected) {
+  Rng rng(7);
+  const Graph g = gen::erdos_renyi_connected(rng, 40, 0.2);
+  EXPECT_EQ(g.node_count(), 40);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, PreferentialAttachmentShape) {
+  Rng rng(11);
+  const Graph g = gen::preferential_attachment(rng, 100, 2);
+  EXPECT_EQ(g.node_count(), 100);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(g.min_degree(), 2);
+  // Heavy tail: some node should have degree well above the minimum.
+  EXPECT_GE(g.max_degree(), 8);
+  EXPECT_EQ(g.edge_count(), 3 + 97 * 2);  // K3 seed + 2 per newcomer
+}
+
+TEST(Generators, ParameterValidation) {
+  Rng rng(1);
+  EXPECT_THROW(gen::path(1), ContractError);
+  EXPECT_THROW(gen::cycle(2), ContractError);
+  EXPECT_THROW(gen::torus(2, 5), ContractError);
+  EXPECT_THROW(gen::circulant(10, {}), ContractError);
+  EXPECT_THROW(gen::circulant(10, {0}), ContractError);
+  EXPECT_THROW(gen::barbell(2, 1), ContractError);
+  EXPECT_THROW(gen::preferential_attachment(rng, 3, 3), ContractError);
+}
+
+class RegularFamilies : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(RegularFamilies, GeneratorsProduceConnectedGraphsAcrossSizes) {
+  const NodeId n = GetParam();
+  EXPECT_TRUE(is_connected(gen::cycle(n)));
+  EXPECT_TRUE(is_connected(gen::complete(n)));
+  EXPECT_TRUE(is_connected(gen::path(n)));
+  EXPECT_TRUE(is_connected(gen::star(n)));
+  EXPECT_TRUE(is_connected(gen::binary_tree(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RegularFamilies,
+                         ::testing::Values(3, 4, 5, 8, 16, 33, 64, 127));
+
+}  // namespace
+}  // namespace opindyn

@@ -1,0 +1,119 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/builder.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace {
+
+Graph triangle() { return Graph(3, {{0, 1}, {1, 2}, {0, 2}}); }
+
+TEST(Graph, BasicCountsAndDegrees) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_EQ(g.arc_count(), 6);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_EQ(g.degree(u), 2);
+  }
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const Graph g(4, {{3, 0}, {1, 0}, {2, 0}});
+  const auto row = g.neighbors(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 1);
+  EXPECT_EQ(row[1], 2);
+  EXPECT_EQ(row[2], 3);
+  EXPECT_EQ(g.neighbor(0, 2), 3);
+}
+
+TEST(Graph, HasEdgeIsSymmetric) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(Graph, ArcEnumerationCoversBothDirections) {
+  const Graph g = triangle();
+  std::set<std::pair<NodeId, NodeId>> arcs;
+  for (ArcId j = 0; j < g.arc_count(); ++j) {
+    const NodeId s = g.arc_source(j);
+    const NodeId t = g.arc_target(j);
+    EXPECT_TRUE(g.has_edge(s, t));
+    arcs.emplace(s, t);
+  }
+  EXPECT_EQ(arcs.size(), 6u);  // all distinct directed arcs
+  EXPECT_TRUE(arcs.count({0, 1}) == 1 && arcs.count({1, 0}) == 1);
+}
+
+TEST(Graph, StationaryIsDegreeOver2m) {
+  const Graph g(4, {{0, 1}, {0, 2}, {0, 3}});  // star
+  EXPECT_DOUBLE_EQ(g.stationary(0), 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(g.stationary(1), 1.0 / 6.0);
+  double total = 0.0;
+  for (NodeId u = 0; u < 4; ++u) {
+    total += g.stationary(u);
+  }
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(Graph, UndirectedEdgesRoundTrip) {
+  const Graph g = triangle();
+  const auto edges = g.undirected_edges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) {
+    EXPECT_LT(u, v);
+    EXPECT_TRUE(g.has_edge(u, v));
+  }
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicatesAndOutOfRange) {
+  EXPECT_THROW(Graph(3, {{0, 0}}), ContractError);
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 0}}), ContractError);
+  EXPECT_THROW(Graph(3, {{0, 3}}), ContractError);
+  EXPECT_THROW(Graph(0, {}), ContractError);
+  const Graph g = triangle();
+  EXPECT_THROW(g.degree(3), ContractError);
+  EXPECT_THROW(g.neighbors(-1), ContractError);
+  EXPECT_THROW(g.arc_source(6), ContractError);
+}
+
+TEST(Graph, SingletonIsAllowed) {
+  const Graph g(1, {});
+  EXPECT_EQ(g.node_count(), 1);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g.degree(0), 0);
+}
+
+TEST(GraphBuilder, DeduplicatesEdges) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.add_edge(0, 1));
+  EXPECT_FALSE(builder.add_edge(1, 0));  // same undirected edge
+  EXPECT_TRUE(builder.add_edge(1, 2));
+  EXPECT_EQ(builder.edge_count(), 2);
+  EXPECT_TRUE(builder.has_edge(0, 1));
+  EXPECT_TRUE(builder.has_edge(1, 0));
+  const Graph g = builder.build("test");
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.name(), "test");
+}
+
+TEST(GraphBuilder, RejectsInvalidEdges) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.add_edge(0, 0), ContractError);
+  EXPECT_THROW(builder.add_edge(0, 5), ContractError);
+}
+
+}  // namespace
+}  // namespace opindyn

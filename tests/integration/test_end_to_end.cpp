@@ -1,0 +1,189 @@
+// Cross-module integration properties: convergence times against the
+// spectral bounds, the Theta(||xi||^2/n^2) variance envelope end-to-end,
+// laziness scaling, and the voter-model limit alpha = 0.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/convergence.h"
+#include "src/core/initial_values.h"
+#include "src/core/montecarlo.h"
+#include "src/core/theory.h"
+#include "src/graph/generators.h"
+#include "src/spectral/spectra.h"
+#include "src/support/stats.h"
+
+namespace opindyn {
+namespace {
+
+TEST(EndToEnd, NodeModelConvergenceScalesWithSpectralBound) {
+  // Measured T_eps should be within a constant factor of the predicted
+  // steps from the exact per-step contraction (Prop. B.1).
+  Rng graph_rng(1);
+  for (const auto& g : {gen::cycle(24), gen::complete(24),
+                        gen::random_regular(graph_rng, 24, 4)}) {
+    const auto spec = lazy_walk_spectrum(g);
+    Rng init_rng(2);
+    auto xi = initial::rademacher(init_rng, g.node_count());
+    initial::center_plain(xi);
+
+    ModelConfig config;
+    config.alpha = 0.5;
+    config.k = 1;
+    config.lazy = true;  // the variant Prop. B.1 is stated for
+    MonteCarloOptions options;
+    options.replicas = 40;
+    options.seed = 3;
+    options.convergence.epsilon = 1e-8;
+    const MonteCarloResult result = monte_carlo(g, config, xi, options);
+    ASSERT_EQ(result.diverged, 0) << g.name();
+
+    OpinionState probe(g, xi);
+    const double rho = theory::node_model_rho(spec.lambda2, 0.5, 1,
+                                              g.node_count(), true);
+    const double predicted =
+        theory::steps_to_epsilon(rho, probe.phi_exact(), 1e-8);
+    const double ratio = result.steps.mean() / predicted;
+    EXPECT_GT(ratio, 0.05) << g.name();
+    EXPECT_LT(ratio, 3.0) << g.name();  // bound is an upper bound
+  }
+}
+
+TEST(EndToEnd, EdgeModelConvergenceScalesWithLaplacianBound) {
+  for (const auto& g : {gen::star(16), gen::barbell(6, 2)}) {
+    const double lambda2 = laplacian_spectrum(g).lambda2;
+    Rng init_rng(4);
+    auto xi = initial::uniform(init_rng, g.node_count(), -1.0, 1.0);
+    initial::center_plain(xi);
+
+    ModelConfig config;
+    config.kind = ModelKind::edge;
+    config.alpha = 0.5;
+    MonteCarloOptions options;
+    options.replicas = 40;
+    options.seed = 5;
+    options.convergence.epsilon = 1e-8;
+    options.convergence.use_plain_potential = true;
+    const MonteCarloResult result = monte_carlo(g, config, xi, options);
+    ASSERT_EQ(result.diverged, 0) << g.name();
+
+    OpinionState probe(g, xi);
+    const double rho =
+        theory::edge_model_rho(lambda2, 0.5, g.edge_count(), false);
+    const double predicted =
+        theory::steps_to_epsilon(rho, probe.phi_plain_exact(), 1e-8);
+    const double ratio = result.steps.mean() / predicted;
+    EXPECT_GT(ratio, 0.05) << g.name();
+    EXPECT_LT(ratio, 3.0) << g.name();
+  }
+}
+
+TEST(EndToEnd, LazinessRoughlyDoublesConvergenceTime) {
+  const Graph g = gen::complete(16);
+  Rng init_rng(6);
+  auto xi = initial::rademacher(init_rng, 16);
+  initial::center_plain(xi);
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 1;
+  MonteCarloOptions options;
+  options.replicas = 200;
+  options.seed = 7;
+  options.convergence.epsilon = 1e-8;
+  const MonteCarloResult fast = monte_carlo(g, config, xi, options);
+  config.lazy = true;
+  const MonteCarloResult lazy = monte_carlo(g, config, xi, options);
+  const double ratio = lazy.steps.mean() / fast.steps.mean();
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 2.3);
+}
+
+TEST(EndToEnd, VarianceEnvelopeHoldsAcrossGraphFamiliesAndK) {
+  // Theorem 2.2(2) end to end: n^2 Var(F)/||xi||^2 lands in a narrow
+  // band regardless of graph family or k.
+  Rng graph_rng(8);
+  struct Case {
+    Graph graph;
+    std::int64_t k;
+  };
+  std::vector<Case> cases;
+  cases.push_back({gen::cycle(16), 1});
+  cases.push_back({gen::cycle(16), 2});
+  cases.push_back({gen::complete(16), 1});
+  cases.push_back({gen::complete(16), 8});
+  cases.push_back({gen::random_regular(graph_rng, 16, 4), 3});
+
+  Rng init_rng(9);
+  auto xi = initial::rademacher(init_rng, 16);
+  initial::center_plain(xi);
+  const double norm = initial::l2_squared(xi);
+
+  for (const auto& c : cases) {
+    ModelConfig config;
+    config.alpha = 0.5;
+    config.k = c.k;
+    MonteCarloOptions options;
+    options.replicas = 6000;
+    options.seed = 10;
+    options.convergence.epsilon = 1e-13;
+    const MonteCarloResult result = monte_carlo(c.graph, config, xi, options);
+    const double scaled =
+        result.convergence_value.population_variance() * 16.0 * 16.0 / norm;
+    EXPECT_GT(scaled, 0.2) << c.graph.name() << " k=" << c.k;
+    EXPECT_LT(scaled, 3.0) << c.graph.name() << " k=" << c.k;
+    // And the exact Prop 5.8 prediction is inside the MC error bars.
+    const double predicted =
+        theory::variance_exact(c.graph, 0.5, c.k, xi);
+    EXPECT_NEAR(result.convergence_value.population_variance(), predicted,
+                5.0 * result.convergence_value.variance_ci_halfwidth() +
+                    2e-4)
+        << c.graph.name() << " k=" << c.k;
+  }
+}
+
+TEST(EndToEnd, AlphaZeroK1IsNumericVoterModel) {
+  // With alpha = 0, k = 1 the NodeModel copies neighbour values, so F is
+  // always one of the initial values.
+  const Graph g = gen::complete(8);
+  std::vector<double> xi{10, 20, 30, 40, 50, 60, 70, 80};
+  NodeModelParams params;
+  params.alpha = 0.0;
+  params.k = 1;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    NodeModel model(g, xi, params);
+    Rng rng(seed + 31);
+    ConvergenceOptions options;
+    options.epsilon = 1e-18;
+    const ConvergenceResult result = run_until_converged(model, rng, options);
+    ASSERT_TRUE(result.converged);
+    bool is_initial_value = false;
+    for (const double v : xi) {
+      is_initial_value = is_initial_value ||
+                         std::abs(result.final_value - v) < 1e-9;
+    }
+    EXPECT_TRUE(is_initial_value) << result.final_value;
+  }
+}
+
+TEST(EndToEnd, KHasNegligibleEffectOnVariance) {
+  // The "surprising" claim of Theorem 2.2(2): Var(F) barely moves with k.
+  const Graph g = gen::complete(12);
+  Rng init_rng(11);
+  auto xi = initial::rademacher(init_rng, 12);
+  initial::center_plain(xi);
+  std::vector<double> variances;
+  for (const std::int64_t k : {1, 4, 11}) {
+    const double v = theory::variance_exact(g, 0.5, k, xi);
+    variances.push_back(v);
+  }
+  // "Negligible" in the theorem means within the Theta constants: the
+  // exact k = 1 -> k = d ratio at alpha = 1/2 is ~2.7 (see the envelope
+  // coefficients), never more.
+  for (const double v : variances) {
+    EXPECT_LT(v / variances.front(), 4.0);
+    EXPECT_GT(v / variances.front(), 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace opindyn

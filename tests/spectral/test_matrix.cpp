@@ -1,0 +1,96 @@
+#include "src/spectral/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace {
+
+TEST(Matrix, IdentityAndIndexing) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_EQ(i.rows(), 3u);
+  EXPECT_EQ(i.cols(), 3u);
+  EXPECT_DOUBLE_EQ(i.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i.at(0, 1), 0.0);
+  EXPECT_THROW(i.at(3, 0), ContractError);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      a.at(r, c) = v++;
+    }
+  }
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      b.at(r, c) = v++;
+    }
+  }
+  const Matrix ab = a.multiply(b);
+  EXPECT_DOUBLE_EQ(ab.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(ab.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(ab.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(ab.at(1, 1), 154.0);
+}
+
+TEST(Matrix, MatrixVectorAndVectorMatrix) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  const std::vector<double> x{1.0, -1.0};
+  const auto ax = a.multiply(x);
+  EXPECT_DOUBLE_EQ(ax[0], -1.0);
+  EXPECT_DOUBLE_EQ(ax[1], -1.0);
+  const auto xa = a.left_multiply(x);
+  EXPECT_DOUBLE_EQ(xa[0], -2.0);
+  EXPECT_DOUBLE_EQ(xa[1], -2.0);
+}
+
+TEST(Matrix, TransposeAndDefects) {
+  Matrix a(2, 2);
+  a.at(0, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(a.symmetry_defect(), 5.0);
+  const Matrix at = a.transposed();
+  EXPECT_DOUBLE_EQ(at.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(at.at(0, 1), 0.0);
+
+  Matrix p(2, 2);
+  p.at(0, 0) = 0.25;
+  p.at(0, 1) = 0.75;
+  p.at(1, 0) = 0.5;
+  p.at(1, 1) = 0.5;
+  EXPECT_NEAR(p.stochasticity_defect(), 0.0, 1e-15);
+  p.at(1, 1) = 0.6;
+  EXPECT_NEAR(p.stochasticity_defect(), 0.1, 1e-12);
+}
+
+TEST(Matrix, FrobeniusDistance) {
+  const Matrix a = Matrix::identity(2);
+  Matrix b = Matrix::identity(2);
+  b.at(0, 1) = 3.0;
+  b.at(1, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_distance(b), 5.0);
+}
+
+TEST(VectorOps, NormDotScaleAxpy) {
+  std::vector<double> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(dot(v, v), 25.0);
+  scale(v, 2.0);
+  EXPECT_DOUBLE_EQ(v[0], 6.0);
+  std::vector<double> y{1.0, 1.0};
+  axpy(0.5, v, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  EXPECT_THROW(dot(v, std::vector<double>{1.0}), ContractError);
+}
+
+}  // namespace
+}  // namespace opindyn

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/support/ascii_plot.h"
+#include "src/support/assert.h"
+#include "src/support/histogram.h"
+#include "src/support/parallel.h"
+#include "src/support/thread_pool.h"
+
+namespace opindyn {
+namespace {
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.add(i + 0.5);
+  }
+  h.add(-1.0);
+  h.add(42.0);
+  EXPECT_EQ(h.total(), 12);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.count(b), 1);
+    EXPECT_DOUBLE_EQ(h.bin_low(b), static_cast<double>(b));
+    EXPECT_DOUBLE_EQ(h.bin_high(b), static_cast<double>(b) + 1.0);
+  }
+}
+
+TEST(Histogram, QuantileApproximatesMedian) {
+  Histogram h(0.0, 1.0, 100);
+  for (int i = 0; i < 10000; ++i) {
+    h.add((i % 100) / 100.0);
+  }
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), ContractError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractError);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) {
+    h.add(0.5);
+  }
+  h.add(1.5);
+  const std::string render = h.render(20);
+  EXPECT_NE(render.find("####"), std::string::npos);
+  EXPECT_NE(render.find("10"), std::string::npos);
+}
+
+TEST(AsciiPlot, PlotsPointsWithinCanvas) {
+  Series s;
+  s.label = "data";
+  s.marker = 'o';
+  s.x = {1.0, 2.0, 3.0};
+  s.y = {1.0, 4.0, 9.0};
+  PlotOptions options;
+  options.title = "squares";
+  const std::string plot = ascii_plot({s}, options);
+  EXPECT_NE(plot.find("squares"), std::string::npos);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find("'o' data"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogAxesSkipNonPositive) {
+  Series s;
+  s.x = {0.0, 10.0, 100.0};  // 0 unusable on log axis
+  s.y = {1.0, 10.0, 100.0};
+  PlotOptions options;
+  options.log_x = true;
+  options.log_y = true;
+  const std::string plot = ascii_plot({s}, options);
+  EXPECT_NE(plot.find("(log)"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyInputDoesNotCrash) {
+  const std::string plot = ascii_plot({}, PlotOptions{});
+  EXPECT_NE(plot.find("no plottable points"), std::string::npos);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  constexpr std::int64_t count = 10000;
+  std::vector<std::atomic<int>> visits(count);
+  parallel_for(count, [&](std::int64_t i) {
+    visits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::int64_t i) {
+                     if (i == 57) {
+                       throw std::runtime_error("boom");
+                     }
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ZeroAndSingleThreadWork) {
+  parallel_for(0, [](std::int64_t) { FAIL(); });
+  std::int64_t sum = 0;
+  parallel_for(10, [&](std::int64_t i) { sum += i; }, 1);
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  for (auto& f : futures) {
+    f.wait();
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(DefaultParallelism, IsAtLeastOne) {
+  EXPECT_GE(default_parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace opindyn

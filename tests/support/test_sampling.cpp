@@ -1,0 +1,138 @@
+#include "src/support/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace {
+
+TEST(SampleWithoutReplacement, ProducesDistinctElementsInRange) {
+  Rng rng(1);
+  std::vector<std::int32_t> out;
+  for (int trial = 0; trial < 200; ++trial) {
+    sample_without_replacement(rng, 20, 5, out);
+    ASSERT_EQ(out.size(), 5u);
+    std::set<std::int32_t> distinct(out.begin(), out.end());
+    EXPECT_EQ(distinct.size(), 5u);
+    for (const auto x : out) {
+      EXPECT_GE(x, 0);
+      EXPECT_LT(x, 20);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacement, FullPopulationIsPermutationOfAll) {
+  Rng rng(2);
+  std::vector<std::int32_t> out;
+  sample_without_replacement(rng, 8, 8, out);
+  std::set<std::int32_t> distinct(out.begin(), out.end());
+  EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(SampleWithoutReplacement, ZeroSampleIsEmpty) {
+  Rng rng(3);
+  std::vector<std::int32_t> out{1, 2, 3};
+  sample_without_replacement(rng, 5, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SampleWithoutReplacement, RejectsOversizedSample) {
+  Rng rng(4);
+  std::vector<std::int32_t> out;
+  EXPECT_THROW(sample_without_replacement(rng, 3, 4, out), ContractError);
+}
+
+TEST(SampleWithoutReplacement, SubsetsAreUniform) {
+  // All C(5,2) = 10 subsets of {0..4} should be equally likely.
+  Rng rng(5);
+  std::vector<std::int32_t> out;
+  std::map<std::pair<int, int>, int> counts;
+  constexpr int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    sample_without_replacement(rng, 5, 2, out);
+    auto [lo, hi] = std::minmax(out[0], out[1]);
+    ++counts[{lo, hi}];
+  }
+  ASSERT_EQ(counts.size(), 10u);
+  const double expected = draws / 10.0;
+  double chi2 = 0.0;
+  for (const auto& [subset, c] : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 27.9);  // chi2_{9, 0.999}
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  Rng rng(6);
+  const auto perm = random_permutation(rng, 100);
+  std::set<std::int32_t> distinct(perm.begin(), perm.end());
+  EXPECT_EQ(distinct.size(), 100u);
+  EXPECT_EQ(*distinct.begin(), 0);
+  EXPECT_EQ(*distinct.rbegin(), 99);
+}
+
+TEST(RandomPermutation, FirstElementUniform) {
+  Rng rng(7);
+  std::vector<int> counts(5, 0);
+  constexpr int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    const auto perm = random_permutation(rng, 5);
+    ++counts[static_cast<std::size_t>(perm[0])];
+  }
+  const double expected = draws / 5.0;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 18.5);  // chi2_{4, 0.999}
+}
+
+TEST(ReservoirSample, CorrectSizeAndRange) {
+  Rng rng(8);
+  const auto sample = reservoir_sample(rng, 1000, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<std::int64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  for (const auto x : sample) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 1000);
+  }
+}
+
+TEST(AliasTable, MatchesWeights) {
+  Rng rng(9);
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  std::vector<int> counts(4, 0);
+  constexpr int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(table.sample(rng))];
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / draws, weights[i] / 10.0,
+                0.01);
+  }
+}
+
+TEST(AliasTable, HandlesZeroWeights) {
+  Rng rng(10);
+  AliasTable table({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.sample(rng), 1);
+  }
+}
+
+TEST(AliasTable, RejectsAllZeroAndNegative) {
+  EXPECT_THROW(AliasTable({0.0, 0.0}), ContractError);
+  EXPECT_THROW(AliasTable({1.0, -1.0}), ContractError);
+  EXPECT_THROW(AliasTable(std::vector<double>{}), ContractError);
+}
+
+}  // namespace
+}  // namespace opindyn

@@ -1,0 +1,137 @@
+#include "src/support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace opindyn {
+namespace {
+
+TEST(RunningStats, MatchesClosedFormOnSmallSet) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.population_variance(), 4.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats full;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.next_gaussian() * 3.0 + 1.0;
+    full.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), full.count());
+  EXPECT_NEAR(a.mean(), full.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), full.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), full.min());
+  EXPECT_DOUBLE_EQ(a.max(), full.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(RunningStats, MergeManyPartitionsAssociative) {
+  Rng rng(2);
+  std::vector<double> data(3000);
+  for (double& x : data) {
+    x = rng.next_double(-5.0, 5.0);
+  }
+  RunningStats whole;
+  for (const double x : data) {
+    whole.add(x);
+  }
+  // Merge in 7 uneven chunks.
+  RunningStats merged;
+  std::size_t start = 0;
+  for (const std::size_t len : {100u, 900u, 1u, 499u, 1000u, 250u, 250u}) {
+    RunningStats chunk;
+    for (std::size_t i = start; i < start + len; ++i) {
+      chunk.add(data[i]);
+    }
+    merged.merge(chunk);
+    start += len;
+  }
+  ASSERT_EQ(start, data.size());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-8);
+}
+
+TEST(RunningStats, GaussianCoverageOfMeanCI) {
+  // The 95% CI for the mean should cover the true mean ~95% of the time.
+  int covered = 0;
+  constexpr int experiments = 400;
+  for (int e = 0; e < experiments; ++e) {
+    Rng rng(static_cast<std::uint64_t>(e) + 100);
+    RunningStats stats;
+    for (int i = 0; i < 400; ++i) {
+      stats.add(rng.next_gaussian() * 2.0 + 7.0);
+    }
+    const double half = stats.mean_ci_halfwidth(1.96);
+    if (std::abs(stats.mean() - 7.0) <= half) {
+      ++covered;
+    }
+  }
+  EXPECT_GT(covered, experiments * 0.9);
+  EXPECT_LE(covered, experiments);
+}
+
+TEST(RunningStats, VarianceCIIsPositiveForSpreadData) {
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.add(rng.next_gaussian());
+  }
+  EXPECT_GT(stats.variance_ci_halfwidth(), 0.0);
+  EXPECT_LT(stats.variance_ci_halfwidth(), 0.5);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  // Classic Welford stress: large mean, small variance.
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  }
+  EXPECT_NEAR(stats.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(stats.population_variance(), 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace opindyn

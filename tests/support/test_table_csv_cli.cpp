@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/assert.h"
+#include "src/support/cli.h"
+#include "src/support/csv.h"
+#include "src/support/table.h"
+
+namespace opindyn {
+namespace {
+
+TEST(Table, RendersAlignedMarkdown) {
+  Table t({"graph", "n", "value"});
+  t.new_row().add("cycle").add(std::int64_t{16}).add(3.14159, 3);
+  t.new_row().add("complete_graph").add(std::int64_t{8}).add(2.0, 3);
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| graph "), std::string::npos);
+  EXPECT_NE(md.find("cycle"), std::string::npos);
+  EXPECT_NE(md.find("3.14"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(md.find("|---"), std::string::npos);
+  // All rows have the same number of pipes.
+  std::istringstream lines(md);
+  std::string line;
+  int pipes = -1;
+  while (std::getline(lines, line)) {
+    const auto count = std::count(line.begin(), line.end(), '|');
+    if (pipes < 0) {
+      pipes = static_cast<int>(count);
+    }
+    EXPECT_EQ(count, pipes);
+  }
+}
+
+TEST(Table, FormatsNumbers) {
+  Table t({"a", "b", "c"});
+  t.new_row().add_sci(12345.678, 2).add_fixed(1.23456, 2).add(7);
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("1.23e+04"), std::string::npos);
+  EXPECT_NE(md.find("1.23 "), std::string::npos);
+}
+
+TEST(Table, RejectsMisuse) {
+  Table t({"a"});
+  EXPECT_THROW(t.add("x"), ContractError);  // no row started
+  t.new_row().add("x");
+  EXPECT_THROW(t.add("y"), ContractError);  // row already full
+  EXPECT_THROW(Table(std::vector<std::string>{}), ContractError);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "opindyn_test.csv";
+  {
+    CsvWriter writer(path, {"x", "y"});
+    writer.write_row(std::vector<std::string>{"1", "2"});
+    writer.write_row(std::vector<double>{3.5, 4.25});
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "x,y");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "3.5,4.25");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongRowWidth) {
+  const std::string path = ::testing::TempDir() + "opindyn_test2.csv";
+  CsvWriter writer(path, {"x", "y"});
+  EXPECT_THROW(writer.write_row(std::vector<std::string>{"1"}),
+               ContractError);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesOptionsAndPositionals) {
+  const char* argv[] = {"prog",      "--n=32",      "--alpha=0.25",
+                        "positional", "--flag",     "--name=cycle"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.get("n", std::int64_t{0}), 32);
+  EXPECT_DOUBLE_EQ(args.get("alpha", 0.0), 0.25);
+  EXPECT_TRUE(args.get("flag", false));
+  EXPECT_EQ(args.get("name", std::string{}), "cycle");
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get("missing", std::int64_t{7}), 7);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  CliArgs args(5, argv);
+  EXPECT_TRUE(args.get("a", false));
+  EXPECT_TRUE(args.get("b", false));
+  EXPECT_TRUE(args.get("c", false));
+  EXPECT_FALSE(args.get("d", true));
+}
+
+}  // namespace
+}  // namespace opindyn
