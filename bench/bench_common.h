@@ -1,11 +1,18 @@
-// Shared helpers for the experiment benches: named graph construction and
-// a consistent header format so EXPERIMENTS.md can quote outputs verbatim.
+// Shared harness for the experiment benches: consistent headers/footers
+// (EXPERIMENTS.md quotes outputs verbatim), named graph construction
+// (delegated to the scenario engine so benches and `opindyn` agree on
+// family names), the centered initial states nearly every bench uses,
+// and a wall-clock stopwatch for the timing reports.
 #ifndef OPINDYN_BENCH_BENCH_COMMON_H
 #define OPINDYN_BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "src/core/initial_values.h"
+#include "src/engine/experiment_spec.h"
 #include "src/graph/generators.h"
 #include "src/support/rng.h"
 
@@ -18,36 +25,48 @@ inline void print_header(const std::string& experiment_id,
   std::cout << claim << "\n\n";
 }
 
-/// Builds one of the named graph families used across benches.
+/// The "Reading:" footer that interprets a bench's table.
+inline void print_reading(const std::string& text) {
+  std::cout << "Reading: " << text << "\n";
+}
+
+/// Builds one of the named graph families used across benches (same
+/// names as `opindyn --graph=`).
 inline Graph make_graph(const std::string& family, NodeId n,
                         std::uint64_t seed = 4242) {
-  Rng rng(seed);
-  if (family == "cycle") return gen::cycle(n);
-  if (family == "path") return gen::path(n);
-  if (family == "complete") return gen::complete(n);
-  if (family == "star") return gen::star(n);
-  if (family == "binary_tree") return gen::binary_tree(n);
-  if (family == "hypercube") {
-    int d = 0;
-    while ((NodeId{1} << (d + 1)) <= n) {
-      ++d;
-    }
-    return gen::hypercube(d);
-  }
-  if (family == "torus") {
-    NodeId side = 3;
-    while ((side + 1) * (side + 1) <= n) {
-      ++side;
-    }
-    return gen::torus(side, side);
-  }
-  if (family == "random_regular_4") return gen::random_regular(rng, n, 4);
-  if (family == "pref_attach") return gen::preferential_attachment(rng, n, 2);
-  if (family == "double_star") return gen::double_star((n - 2) / 2);
-  if (family == "barbell") return gen::barbell(n / 2, n - 2 * (n / 2));
-  if (family == "lollipop") return gen::lollipop(n / 2, n - n / 2);
-  throw std::runtime_error("unknown graph family: " + family);
+  engine::GraphSpec spec;
+  spec.family = family;
+  spec.n = n;
+  spec.seed = seed;
+  return engine::build_graph(spec);
 }
+
+/// The canonical bench initial state: Rademacher xi(0) centered so
+/// Avg(0) = 0 (the Section-4 analysis assumption).
+inline std::vector<double> centered_rademacher(const Graph& graph,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xi = initial::rademacher(rng, graph.node_count());
+  initial::center_plain(xi);
+  return xi;
+}
+
+/// Wall-clock stopwatch for throughput/timing reports.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace bench
 }  // namespace opindyn

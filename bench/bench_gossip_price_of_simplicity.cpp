@@ -3,15 +3,16 @@
 // average -- doubly stochastic updates) converges to the exact initial
 // average with Var(F) = 0, while the unilateral NodeModel/EdgeModel pay
 // Var(F) = Theta(||xi||^2/n^2) for their simpler communication.
+//
+// Driver: the engine's `gossip_vs_unilateral` scenario (three rows per
+// graph: gossip / NodeModel / EdgeModel, with the Prop. 5.8 predicted
+// variance alongside) -- equivalent to
+//   opindyn run --scenario=gossip_vs_unilateral --n=16 --replicas=4000 \
+//       --eps=1e-13 --init-seed=5 --sweep=graph:cycle,complete,torus
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/baselines/gossip.h"
-#include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
-#include "src/core/theory.h"
-#include "src/support/stats.h"
-#include "src/support/table.h"
+#include "src/engine/runner.h"
 
 namespace {
 using namespace opindyn;
@@ -24,59 +25,24 @@ int main() {
       "Coordinated gossip preserves Avg exactly (Var = 0); the unilateral "
       "models pay Theta(||xi||^2/n^2) variance but need no coordination.");
 
-  Table table({"graph", "protocol", "E[F]", "Var(F)", "steps to eps",
-               "coordinated?"});
-  for (const std::string family : {"cycle", "complete", "torus"}) {
-    const Graph g = bench::make_graph(family, 16);
-    Rng init_rng(5);
-    auto xi = initial::rademacher(init_rng, g.node_count());
-    initial::center_plain(xi);
+  engine::ExperimentSpec spec;
+  spec.scenario = "gossip_vs_unilateral";
+  spec.graph.n = 16;
+  spec.initial.distribution = "rademacher";
+  spec.initial.seed = 5;
+  spec.model.alpha = 0.5;
+  spec.model.k = 1;
+  spec.replicas = 4000;
+  spec.seed = 101;
+  spec.convergence.epsilon = 1e-13;
+  spec.sweeps = engine::parse_sweeps("graph:cycle,complete,torus");
 
-    // Coordinated gossip.
-    RunningStats gossip_f;
-    RunningStats gossip_steps;
-    for (int r = 0; r < 4000; ++r) {
-      Rng rng = Rng::fork(99, static_cast<std::uint64_t>(r));
-      const GossipRunResult result =
-          run_gossip_to_convergence(g, xi, rng, 1e-13, 100'000'000);
-      gossip_f.add(result.final_value);
-      gossip_steps.add(static_cast<double>(result.steps));
-    }
-    table.new_row()
-        .add(g.name())
-        .add("pairwise gossip")
-        .add_sci(gossip_f.mean(), 2)
-        .add_sci(gossip_f.population_variance(), 2)
-        .add_fixed(gossip_steps.mean(), 0)
-        .add("yes");
-
-    // Unilateral NodeModel and EdgeModel.
-    for (const ModelKind kind : {ModelKind::node, ModelKind::edge}) {
-      ModelConfig config;
-      config.kind = kind;
-      config.alpha = 0.5;
-      config.k = 1;
-      MonteCarloOptions options;
-      options.replicas = 4000;
-      options.seed = 101;
-      options.convergence.epsilon = 1e-13;
-      const MonteCarloResult result = monte_carlo(g, config, xi, options);
-      table.new_row()
-          .add(g.name())
-          .add(kind == ModelKind::node ? "NodeModel" : "EdgeModel")
-          .add_sci(result.convergence_value.mean(), 2)
-          .add_sci(result.convergence_value.population_variance(), 2)
-          .add_fixed(result.steps.mean(), 0)
-          .add("no");
-    }
-    // Theory line for reference.
-    std::cout << g.name() << ": Prop 5.8 predicted unilateral Var(F) = "
-              << theory::variance_exact(g, 0.5, 1, xi) << "\n";
-  }
-  std::cout << "\n" << table.to_markdown() << "\n";
-  std::cout << "Reading: gossip's Var(F) column is ~1e-30 (exact "
-               "average); the unilateral models' variance matches the "
-               "Prop 5.8 prediction -- that gap is the price of "
-               "unilateral simplicity.\n";
+  const bench::Stopwatch timer;
+  engine::run_experiment_with_default_sinks(spec);
+  std::cout << "(grid: " << timer.seconds() << " s)\n\n";
+  bench::print_reading(
+      "gossip's Var(F) column is ~1e-30 (exact average); the unilateral "
+      "models' variance matches the Prop 5.8 prediction -- that gap is "
+      "the price of unilateral simplicity.");
   return 0;
 }

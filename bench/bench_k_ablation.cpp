@@ -4,14 +4,16 @@
 // (Definition 2.1's without-replacement vs the Appendix-B
 // with-replacement analysis variant) to show they are indistinguishable
 // in convergence time.
+//
+// Driver: the scenario engine's `k_ablation` scenario with a
+// k x sampling sweep grid -- equivalent to
+//   opindyn run --scenario=k_ablation --graph=complete --n=32 --lazy=true \
+//       --replicas=60 --eps=1e-8 --sweep='k:1,2,...;sampling:without,with'
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.h"
-#include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
-#include "src/core/theory.h"
-#include "src/spectral/spectra.h"
-#include "src/support/table.h"
+#include "src/engine/runner.h"
 
 namespace {
 using namespace opindyn;
@@ -21,83 +23,47 @@ int main() {
   bench::print_header(
       "KABL: k-dependence ablation (remark after Theorem 2.2)",
       "Complete(32) and random 4-regular(32), alpha = 0.5, eps = 1e-8, "
-      "60 replicas.  Theory: T(k)/T(infty) tracks the Prop. B.1 factor, "
-      "which lies in [1, 2] -- k has a weak effect.");
+      "60 replicas.  Theory: Prop. B.1 is an upper bound, so "
+      "measured/predicted sits below 1 with graph-dependent slack, but "
+      "it should be flat in k; and T(k=1)/T(k=d) should stay within "
+      "~2x -- k has a weak effect.");
 
-  const double eps = 1e-8;
   for (const std::string family : {"complete", "random_regular_4"}) {
-    const Graph g = bench::make_graph(family, 32);
-    const auto spec = lazy_walk_spectrum(g);
-    Rng init_rng(3);
-    auto xi = initial::rademacher(init_rng, g.node_count());
-    initial::center_plain(xi);
-    OpinionState probe(g, xi);
-    const double phi0 = probe.phi_exact();
+    engine::ExperimentSpec spec;
+    spec.scenario = "k_ablation";
+    spec.graph.family = family;
+    spec.graph.n = 32;
+    spec.initial.distribution = "rademacher";
+    spec.initial.seed = 3;
+    spec.model.alpha = 0.5;
+    spec.model.lazy = true;
+    spec.replicas = 60;
+    spec.seed = 11;
+    spec.convergence.epsilon = 1e-8;
+
+    // k = 1, 2, 3, 4, 8, ..., d (the graph's minimum degree).
+    const Graph g = engine::build_graph(spec.graph);
+    engine::SweepAxis ks{"k", {}};
+    for (std::int64_t k = 1; k <= g.min_degree();
+         k = (k < 4 ? k + 1 : k * 2)) {
+      ks.values.push_back(std::to_string(k));
+    }
+    if (ks.values.back() != std::to_string(g.min_degree())) {
+      ks.values.push_back(std::to_string(g.min_degree()));
+    }
+    spec.sweeps = {ks, {"sampling", {"without", "with"}}};
 
     std::cout << "## " << g.name() << " (d = " << g.min_degree() << ")\n\n";
-    Table table({"k", "sampling", "T measured", "+-CI",
-                 "T predicted (B.1)", "T(k)/T(d)", "B.1 factor ratio"});
-    // Reference: largest k.
-    const std::int64_t d = g.min_degree();
-    double t_at_d = 0.0;
-    double pred_at_d = 0.0;
-    std::vector<std::int64_t> ks;
-    for (std::int64_t k = 1; k <= d; k = (k < 4 ? k + 1 : k * 2)) {
-      ks.push_back(k);
-    }
-    if (ks.back() != d) {
-      ks.push_back(d);
-    }
-    struct RowData {
-      std::int64_t k;
-      std::string mode;
-      double measured;
-      double ci;
-      double predicted;
-    };
-    std::vector<RowData> rows;
-    for (const std::int64_t k : ks) {
-      for (const SamplingMode mode : {SamplingMode::without_replacement,
-                                      SamplingMode::with_replacement}) {
-        ModelConfig config;
-        config.alpha = 0.5;
-        config.k = k;
-        config.lazy = true;
-        config.sampling = mode;
-        MonteCarloOptions options;
-        options.replicas = 60;
-        options.seed = 11;
-        options.convergence.epsilon = eps;
-        const MonteCarloResult result = monte_carlo(g, config, xi, options);
-        const double rho = theory::node_model_rho(spec.lambda2, 0.5, k,
-                                                  g.node_count(), true);
-        const double predicted = theory::steps_to_epsilon(rho, phi0, eps);
-        rows.push_back({k,
-                        mode == SamplingMode::without_replacement
-                            ? "w/o repl"
-                            : "with repl",
-                        result.steps.mean(),
-                        result.steps.mean_ci_halfwidth(), predicted});
-        if (k == d && mode == SamplingMode::without_replacement) {
-          t_at_d = result.steps.mean();
-          pred_at_d = predicted;
-        }
-      }
-    }
-    for (const auto& row : rows) {
-      table.new_row()
-          .add(row.k)
-          .add(row.mode)
-          .add_fixed(row.measured, 0)
-          .add_fixed(row.ci, 0)
-          .add_fixed(row.predicted, 0)
-          .add_fixed(row.measured / t_at_d, 3)
-          .add_fixed(row.predicted / pred_at_d, 3);
-    }
-    std::cout << table.to_markdown() << "\n";
+    const bench::Stopwatch timer;
+    engine::run_experiment_with_default_sinks(spec);
+    std::cout << "(" << g.name() << " grid: " << timer.seconds()
+              << " s)\n\n";
   }
-  std::cout << "Reading: T(k)/T(d) stays within [1, ~2] and matches the "
-               "B.1 factor column; the two sampling modes coincide within "
-               "CI -- the paper's analysis variant is harmless.\n";
+  bench::print_reading(
+      "measured/predicted is roughly constant across k (the B.1 bound's "
+      "slack depends on the graph, not on k), both the measured and the "
+      "predicted T vary by at most ~2x between k = 1 and k = d, and the "
+      "two sampling modes coincide within CI -- the paper's analysis "
+      "variant is harmless.");
   return 0;
 }

@@ -33,9 +33,7 @@ struct Row {
 Row run_case(const Graph& g, double alpha, std::int64_t k, double eps,
              std::int64_t replicas, std::uint64_t seed) {
   const auto spec = lazy_walk_spectrum(g);
-  Rng init_rng(seed);
-  auto xi = initial::rademacher(init_rng, g.node_count());
-  initial::center_plain(xi);
+  const auto xi = bench::centered_rademacher(g, seed);
 
   ModelConfig config;
   config.alpha = alpha;

@@ -1,19 +1,16 @@
 // VOTER -- the remark after Theorem 2.2: compared with the voter model's
 // O(n / (1 - lambda_2)) expected consensus time, the averaging process
 // is faster by ~ Omega(n / log n) when the discrepancy and 1/eps are
-// polynomial in n.  We race the discrete voter model against the
-// NodeModel (alpha = 0.5, k = 1) to an eps chosen so eps and K are
-// poly(n), and report the measured speed-up alongside n / log n.
-#include <cmath>
+// polynomial in n.  The engine's `averaging_vs_voter` scenario races the
+// discrete voter model (and its coalescing-walk dual, footnote 2)
+// against the NodeModel run to eps = 1/n^2, over a graph x size grid --
+// equivalent to
+//   opindyn run --scenario=averaging_vs_voter --replicas=30 \
+//       --sweep='graph:complete,cycle,hypercube;n:16,32,64'
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/baselines/voter.h"
-#include "src/core/coalescing.h"
-#include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
-#include "src/support/stats.h"
-#include "src/support/table.h"
+#include "src/engine/runner.h"
 
 namespace {
 using namespace opindyn;
@@ -26,70 +23,25 @@ int main() {
       "NodeModel: xi(0) Rademacher, run to phi <= eps = 1/n^2.  30 voter "
       "runs / 30 averaging runs per graph.");
 
-  Table table({"graph", "n", "voter T (mean)", "coalescence T (mean)",
-               "averaging T (mean)", "speed-up", "n/log n"});
-  for (const std::string family : {"complete", "cycle", "hypercube"}) {
-    for (const NodeId n : {16, 32, 64}) {
-      const Graph g = bench::make_graph(family, n);
-      const auto gn = g.node_count();
+  engine::ExperimentSpec spec;
+  spec.scenario = "averaging_vs_voter";
+  spec.initial.distribution = "rademacher";
+  spec.initial.seed = 3;
+  spec.model.alpha = 0.5;
+  spec.model.k = 1;
+  spec.replicas = 30;
+  spec.seed = 7;
+  spec.convergence.max_steps = 500'000'000;
+  spec.sweeps = engine::parse_sweeps(
+      "graph:complete,cycle,hypercube;n:16,32,64");
 
-      // Voter model runs.
-      RunningStats voter_steps;
-      std::vector<int> opinions(static_cast<std::size_t>(gn));
-      for (NodeId u = 0; u < gn; ++u) {
-        opinions[static_cast<std::size_t>(u)] = u;
-      }
-      for (int r = 0; r < 30; ++r) {
-        Rng rng(static_cast<std::uint64_t>(r) + 1000);
-        const auto result =
-            run_voter_to_consensus(g, opinions, rng, 500'000'000);
-        if (result.reached_consensus) {
-          voter_steps.add(static_cast<double>(result.steps));
-        }
-      }
-
-      // Coalescing random walks (footnote 2 duality: same distribution
-      // as the voter consensus time).
-      RunningStats coalescence_steps;
-      for (int r = 0; r < 30; ++r) {
-        Rng rng(static_cast<std::uint64_t>(r) + 5000);
-        const auto result = run_to_coalescence(g, rng, 500'000'000);
-        if (result.coalesced) {
-          coalescence_steps.add(static_cast<double>(result.steps));
-        }
-      }
-
-      // Averaging runs.
-      Rng init_rng(3);
-      auto xi = initial::rademacher(init_rng, gn);
-      initial::center_plain(xi);
-      ModelConfig config;
-      config.alpha = 0.5;
-      config.k = 1;
-      MonteCarloOptions options;
-      options.replicas = 30;
-      options.seed = 7;
-      options.convergence.epsilon =
-          1.0 / (static_cast<double>(gn) * static_cast<double>(gn));
-      const MonteCarloResult averaging = monte_carlo(g, config, xi, options);
-
-      const double speedup = voter_steps.mean() / averaging.steps.mean();
-      table.new_row()
-          .add(g.name())
-          .add(static_cast<std::int64_t>(gn))
-          .add_fixed(voter_steps.mean(), 0)
-          .add_fixed(coalescence_steps.mean(), 0)
-          .add_fixed(averaging.steps.mean(), 0)
-          .add_fixed(speedup, 2)
-          .add_fixed(static_cast<double>(gn) /
-                         std::log(static_cast<double>(gn)),
-                     2);
-    }
-  }
-  std::cout << table.to_markdown() << "\n";
-  std::cout << "Reading: the speed-up grows with n roughly like n/log n "
-               "(last column), the paper's stated advantage of averaging "
-               "over discrete voting.  The coalescence column matches the "
-               "voter column (footnote 2: identical distributions).\n";
+  const bench::Stopwatch timer;
+  engine::run_experiment_with_default_sinks(spec);
+  std::cout << "(grid: " << timer.seconds() << " s)\n\n";
+  bench::print_reading(
+      "the speed-up grows with n roughly like n/log n (last column), the "
+      "paper's stated advantage of averaging over discrete voting.  The "
+      "coalescence column matches the voter column (footnote 2: "
+      "identical distributions).");
   return 0;
 }

@@ -32,9 +32,7 @@ int main() {
   for (const std::string family : {"cycle", "complete", "star"}) {
     const Graph g = bench::make_graph(family, 24);
     for (const ModelKind kind : {ModelKind::node, ModelKind::edge}) {
-      Rng init_rng(3);
-      auto xi = initial::rademacher(init_rng, g.node_count());
-      initial::center_plain(xi);
+      const auto xi = bench::centered_rademacher(g, 3);
 
       std::vector<double> times;
       for (int r = 0; r < 400; ++r) {

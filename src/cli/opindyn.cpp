@@ -1,0 +1,135 @@
+// The one CLI in front of the scenario engine:
+//
+//   opindyn list
+//   opindyn describe --scenario=node_vs_edge
+//   opindyn run --scenario=node_vs_edge --graph=cycle --n=1024 \
+//       --sweep=k:1,2,4,8 --replicas=100 --csv=out.csv
+//   opindyn run --spec=experiment.spec [flag overrides]
+//
+// `run` accepts every spec key as a --key=value flag (see `opindyn help`)
+// or a spec file of key=value lines; flags override the file.
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <stdexcept>
+
+#include "src/engine/runner.h"
+#include "src/support/cli.h"
+
+namespace {
+
+using namespace opindyn;
+using namespace opindyn::engine;
+
+int cmd_help() {
+  std::cout <<
+      R"(opindyn -- scenario engine for the distributed-averaging experiments
+
+usage:
+  opindyn list                         show registered scenarios
+  opindyn describe --scenario=<name>   show one scenario and its columns
+  opindyn run [--spec=<file>] [--key=value ...]
+                                       run a scenario batch
+  opindyn help                         this text
+
+run flags (every spec key; flags override --spec file entries):
+  --scenario=<name>      which scenario to run          (default node)
+  --graph=<family>       cycle|complete|torus|hypercube|star|...
+  --n=<int>              graph size                     (default 64)
+  --degree, --attach, --p, --graph-seed   family-specific knobs
+  --init=<dist>          rademacher|uniform|gaussian|constant|spike|...
+  --init-a, --init-b, --init-seed, --center=plain|degree|none
+  --alpha=<f>            self-weight of the update      (default 0.5)
+  --k=<int>              sampled neighbours (NodeModel) (default 1)
+  --lazy=<bool>          fair-coin no-op steps
+  --sampling=without|with  neighbour sampling mode
+  --replicas=<int>       Monte-Carlo replicas per item  (default 100)
+  --seed=<int>           base seed (replica r forks stream r)
+  --threads=<int>        worker threads; results are bit-identical
+                         for every value                (default all)
+  --eps, --max-steps, --check-interval, --plain-potential
+  --sweep=key:v1,v2;key2:w1,w2   cartesian sweep grid
+  --csv=<path>           also write rows as CSV
+  --table=<bool>         print the markdown table       (default true)
+
+examples:
+  opindyn run --scenario=node_vs_edge --graph=cycle --n=1024 --sweep=k:1,2,4,8
+  opindyn run --scenario=gossip_vs_unilateral --graph=complete --n=16 \
+      --replicas=4000 --eps=1e-13
+)";
+  return 0;
+}
+
+int cmd_list() {
+  register_builtin_scenarios();
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    std::cout << name << "\n    " << registry.get(name).description()
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_describe(const CliArgs& args) {
+  register_builtin_scenarios();
+  const std::string name = args.get("scenario", std::string{});
+  if (name.empty()) {
+    std::cerr << "describe: missing --scenario=<name>\n";
+    return 2;
+  }
+  const Scenario& scenario = ScenarioRegistry::instance().get(name);
+  std::cout << scenario.name() << ": " << scenario.description() << "\n";
+  std::cout << "result columns:";
+  for (const std::string& column : scenario.columns()) {
+    std::cout << " [" << column << "]";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  // Reject typo'd flags: a misspelled --replicas would otherwise
+  // silently run with the default.
+  const std::vector<std::string> known = spec_keys();
+  for (const std::string& name : args.option_names()) {
+    if (name != "spec" && name != "help" &&
+        std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::runtime_error("unknown flag '--" + name +
+                               "' (see: opindyn help)");
+    }
+  }
+  const ExperimentSpec spec = parse_spec(args);
+  const BatchResult result = run_experiment_with_default_sinks(spec);
+  if (!spec.print_table && spec.csv_path.empty()) {
+    std::cout << result.rows.size() << " rows (no sink configured)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string command =
+      args.positional().empty() ? "help" : args.positional().front();
+  try {
+    if (command == "help" || args.has("help")) {
+      return cmd_help();
+    }
+    if (command == "list") {
+      return cmd_list();
+    }
+    if (command == "describe") {
+      return cmd_describe(args);
+    }
+    if (command == "run") {
+      return cmd_run(args);
+    }
+    std::cerr << "unknown command '" << command
+              << "' (try: opindyn help)\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "opindyn: " << error.what() << "\n";
+    return 1;
+  }
+}

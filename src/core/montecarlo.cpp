@@ -1,11 +1,10 @@
 #include "src/core/montecarlo.h"
 
 #include <algorithm>
-#include <mutex>
+#include <cmath>
 
 #include "src/support/assert.h"
-#include "src/support/parallel.h"
-#include "src/support/rng.h"
+#include "src/support/replica_scheduler.h"
 
 namespace opindyn {
 
@@ -26,51 +25,29 @@ std::unique_ptr<AveragingProcess> make_process(const Graph& graph,
   return std::make_unique<EdgeModel>(graph, std::move(initial), params);
 }
 
+// Both harnesses delegate the sharding and the replica-order fold to
+// ReplicaScheduler, which owns the thread-count-determinism contract.
 MonteCarloResult monte_carlo(const Graph& graph, const ModelConfig& config,
                              const std::vector<double>& initial,
                              const MonteCarloOptions& options) {
   OPINDYN_EXPECTS(options.replicas >= 1, "need at least one replica");
-  const std::size_t threads =
-      options.threads == 0 ? default_parallelism() : options.threads;
-
-  std::vector<MonteCarloResult> partial(threads);
-  const std::int64_t replicas = options.replicas;
-  std::mutex partial_mutex;  // protects nothing hot: one merge per thread
-
-  // Static chunking: replica r deterministically owns stream fork(seed,r).
-  const std::int64_t chunk =
-      (replicas + static_cast<std::int64_t>(threads) - 1) /
-      static_cast<std::int64_t>(threads);
-  parallel_for(
-      static_cast<std::int64_t>(threads),
-      [&](std::int64_t worker) {
-        MonteCarloResult local;
-        const std::int64_t begin = worker * chunk;
-        const std::int64_t end = std::min(begin + chunk, replicas);
-        for (std::int64_t r = begin; r < end; ++r) {
-          Rng rng = Rng::fork(options.seed, static_cast<std::uint64_t>(r));
-          auto process = make_process(graph, config, initial);
-          const ConvergenceResult res =
-              run_until_converged(*process, rng, options.convergence);
-          local.convergence_value.add(res.final_value);
-          local.steps.add(static_cast<double>(res.steps));
-          local.replicas += 1;
-          if (!res.converged) {
-            local.diverged += 1;
-          }
-        }
-        const std::lock_guard<std::mutex> lock(partial_mutex);
-        partial[static_cast<std::size_t>(worker)] = local;
-      },
-      threads);
+  ReplicaScheduler scheduler(options.threads);
+  const std::vector<RunningStats> stats = scheduler.run(
+      options.replicas, options.seed, 3,
+      [&](std::int64_t, Rng& rng, std::span<double> out) {
+        auto process = make_process(graph, config, initial);
+        const ConvergenceResult res =
+            run_until_converged(*process, rng, options.convergence);
+        out[0] = res.final_value;
+        out[1] = static_cast<double>(res.steps);
+        out[2] = res.converged ? 0.0 : 1.0;
+      });
 
   MonteCarloResult total;
-  for (const MonteCarloResult& p : partial) {
-    total.convergence_value.merge(p.convergence_value);
-    total.steps.merge(p.steps);
-    total.replicas += p.replicas;
-    total.diverged += p.diverged;
-  }
+  total.convergence_value = stats[0];
+  total.steps = stats[1];
+  total.replicas = stats[0].count();
+  total.diverged = static_cast<std::int64_t>(std::llround(stats[2].sum()));
   return total;
 }
 
@@ -84,55 +61,34 @@ TrajectoryResult monte_carlo_trajectory(
                   "checkpoints must be sorted ascending");
   OPINDYN_EXPECTS(checkpoints.front() >= 0, "checkpoints must be >= 0");
   OPINDYN_EXPECTS(replicas >= 1, "need at least one replica");
-  if (threads == 0) {
-    threads = default_parallelism();
-  }
 
+  // Metric layout per replica: martingale then phi, per checkpoint.
   const std::size_t cp_count = checkpoints.size();
-  std::vector<std::vector<RunningStats>> partial_m(
-      threads, std::vector<RunningStats>(cp_count));
-  std::vector<std::vector<RunningStats>> partial_phi(
-      threads, std::vector<RunningStats>(cp_count));
-
-  const std::int64_t chunk =
-      (replicas + static_cast<std::int64_t>(threads) - 1) /
-      static_cast<std::int64_t>(threads);
-  parallel_for(
-      static_cast<std::int64_t>(threads),
-      [&](std::int64_t worker) {
-        auto& local_m = partial_m[static_cast<std::size_t>(worker)];
-        auto& local_phi = partial_phi[static_cast<std::size_t>(worker)];
-        const std::int64_t begin = worker * chunk;
-        const std::int64_t end = std::min(begin + chunk, replicas);
-        for (std::int64_t r = begin; r < end; ++r) {
-          Rng rng = Rng::fork(seed, static_cast<std::uint64_t>(r));
-          auto process = make_process(graph, config, initial);
-          std::size_t next_cp = 0;
-          while (next_cp < cp_count) {
-            while (process->time() < checkpoints[next_cp]) {
-              process->step(rng);
-            }
-            // The martingale is M(t) for the NodeModel (Lemma 4.1) and the
-            // plain average for the EdgeModel (Prop. D.1.i).
-            local_m[next_cp].add(config.kind == ModelKind::edge
-                                     ? process->state().average()
-                                     : process->state().weighted_average());
-            local_phi[next_cp].add(process->state().phi_exact());
-            ++next_cp;
+  ReplicaScheduler scheduler(threads);
+  const std::vector<RunningStats> stats = scheduler.run(
+      replicas, seed, cp_count * 2,
+      [&](std::int64_t, Rng& rng, std::span<double> out) {
+        auto process = make_process(graph, config, initial);
+        for (std::size_t c = 0; c < cp_count; ++c) {
+          while (process->time() < checkpoints[c]) {
+            process->step(rng);
           }
+          // The martingale is M(t) for the NodeModel (Lemma 4.1) and the
+          // plain average for the EdgeModel (Prop. D.1.i).
+          out[2 * c] = config.kind == ModelKind::edge
+                           ? process->state().average()
+                           : process->state().weighted_average();
+          out[2 * c + 1] = process->state().phi_exact();
         }
-      },
-      threads);
+      });
 
   TrajectoryResult result;
   result.checkpoints = checkpoints;
-  result.martingale.assign(cp_count, RunningStats{});
-  result.phi.assign(cp_count, RunningStats{});
-  for (std::size_t w = 0; w < threads; ++w) {
-    for (std::size_t c = 0; c < cp_count; ++c) {
-      result.martingale[c].merge(partial_m[w][c]);
-      result.phi[c].merge(partial_phi[w][c]);
-    }
+  result.martingale.reserve(cp_count);
+  result.phi.reserve(cp_count);
+  for (std::size_t c = 0; c < cp_count; ++c) {
+    result.martingale.push_back(stats[2 * c]);
+    result.phi.push_back(stats[2 * c + 1]);
   }
   return result;
 }

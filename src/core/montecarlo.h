@@ -2,8 +2,9 @@
 // model from the same xi(0), collects the convergence value F and the
 // eps-convergence time, and (optionally) the trajectory of the martingale
 // M(t) at fixed checkpoints.  Replica r uses the deterministic child
-// stream Rng::fork(seed, r), so results are reproducible regardless of
-// the thread count or scheduling.
+// stream Rng::fork(seed, r) and writes into its own slot of a per-replica
+// buffer that is folded in replica order, so aggregated results are
+// bit-identical regardless of the thread count or scheduling.
 #ifndef OPINDYN_CORE_MONTECARLO_H
 #define OPINDYN_CORE_MONTECARLO_H
 

@@ -1,0 +1,134 @@
+// Declarative description of one experiment: which scenario to run, over
+// which graph, from which initial opinions, with which model parameters,
+// and which axes to sweep.  A spec is a flat set of key=value pairs, so
+// the same schema parses from CLI flags (`--n=1024`), from a spec file
+// (one `key=value` per line, `#` comments), and round-trips through
+// `to_key_values` for provenance logging.
+#ifndef OPINDYN_ENGINE_EXPERIMENT_SPEC_H
+#define OPINDYN_ENGINE_EXPERIMENT_SPEC_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/convergence.h"
+#include "src/core/montecarlo.h"
+#include "src/graph/graph.h"
+#include "src/support/cli.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+namespace engine {
+
+/// Which graph to build.  `family` is one of the names accepted by
+/// `build_graph`; the auxiliary parameters are only read by the families
+/// that need them.
+struct GraphSpec {
+  std::string family = "cycle";
+  NodeId n = 64;
+  /// Degree for random_regular.
+  NodeId degree = 4;
+  /// Edges per new node for preferential attachment.
+  NodeId attach = 2;
+  /// Edge probability for erdos_renyi.
+  double edge_probability = 0.1;
+  /// Seed for the randomised families.
+  std::uint64_t seed = 4242;
+};
+
+/// Builds one of the named graph families:
+/// cycle, path, complete, star, double_star, binary_tree, hypercube
+/// (largest Q_d with 2^d <= n), torus (largest square <= n), petersen,
+/// random_regular, erdos_renyi, pref_attach, barbell, lollipop.
+/// Throws std::runtime_error for unknown families.
+Graph build_graph(const GraphSpec& spec);
+
+/// Names accepted by `build_graph`, sorted.
+std::vector<std::string> graph_family_names();
+
+/// Which initial opinion vector xi(0) to draw.
+struct InitialSpec {
+  /// constant | uniform | gaussian | rademacher | spike | alternating |
+  /// ramp.
+  std::string distribution = "rademacher";
+  /// First parameter: constant value, uniform lo, gaussian mean,
+  /// spike/ramp magnitude.
+  double param_a = 0.0;
+  /// Second parameter: uniform hi, gaussian stddev.
+  double param_b = 1.0;
+  std::uint64_t seed = 3;
+  /// plain (Avg = 0) | degree (M = 0) | none.
+  std::string center = "plain";
+};
+
+/// Draws xi(0) per the spec (and applies the requested centering).
+/// Throws std::runtime_error for unknown distributions or centerings.
+std::vector<double> build_initial(const InitialSpec& spec,
+                                  const Graph& graph);
+
+/// One sweep axis: the spec key to override and the values to try.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+struct ExperimentSpec {
+  std::string scenario = "node";
+  GraphSpec graph;
+  InitialSpec initial;
+  /// alpha / k / lazy / sampling; `kind` is chosen by the scenario.
+  ModelConfig model;
+  std::int64_t replicas = 100;
+  std::uint64_t seed = 1;
+  /// Worker threads for replica sharding; 0 = hardware concurrency.
+  /// Results are bit-identical for every value (see ReplicaScheduler).
+  std::size_t threads = 0;
+  ConvergenceOptions convergence;
+  std::vector<SweepAxis> sweeps;
+  /// Optional CSV output path ("" = no CSV).
+  std::string csv_path;
+  /// Print the markdown table to stdout.
+  bool print_table = true;
+};
+
+/// The flat key set of the spec schema (also the accepted CLI flags):
+/// scenario, graph, n, degree, attach, p, graph-seed, init, init-a,
+/// init-b, init-seed, center, alpha, k, lazy, sampling, replicas, seed,
+/// threads, eps, max-steps, check-interval, plain-potential, sweep, csv,
+/// table.
+std::vector<std::string> spec_keys();
+
+/// Parses a spec from flat key=value pairs.  Unknown keys and malformed
+/// values throw std::runtime_error.
+ExperimentSpec parse_spec(const std::map<std::string, std::string>& kv);
+
+/// Parses the known spec keys out of CLI flags.  If `--spec=<path>` is
+/// present the file is loaded first and the remaining flags override it.
+ExperimentSpec parse_spec(const CliArgs& args);
+
+/// Parses a spec file: one key=value per line, blank lines and `#`
+/// comments ignored.
+ExperimentSpec parse_spec_file(const std::string& path);
+
+/// Serialises the spec as one `key=value` per line (doubles at full
+/// precision), such that parse_spec(parse of the output) reproduces the
+/// spec exactly.
+std::string to_key_values(const ExperimentSpec& spec);
+
+/// Applies one sweep override (e.g. key="k", value="4") in place.
+/// Accepts the graph/model/initial/convergence keys of the schema;
+/// throws std::runtime_error for keys that cannot be swept.
+void apply_override(ExperimentSpec& spec, const std::string& key,
+                    const std::string& value);
+
+/// Parses a sweep clause "k:1,2,4;alpha:0.3,0.5" into axes.
+std::vector<SweepAxis> parse_sweeps(const std::string& clause);
+
+/// Inverse of parse_sweeps.
+std::string format_sweeps(const std::vector<SweepAxis>& sweeps);
+
+}  // namespace engine
+}  // namespace opindyn
+
+#endif  // OPINDYN_ENGINE_EXPERIMENT_SPEC_H

@@ -1,0 +1,117 @@
+#include "src/engine/runner.h"
+
+#include <iostream>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace engine {
+
+std::vector<SweepPoint> expand_grid(const ExperimentSpec& spec) {
+  std::vector<SweepPoint> grid{SweepPoint{}};
+  for (const SweepAxis& axis : spec.sweeps) {
+    OPINDYN_EXPECTS(!axis.values.empty(), "sweep axis with no values");
+    std::vector<SweepPoint> next;
+    next.reserve(grid.size() * axis.values.size());
+    for (const SweepPoint& point : grid) {
+      for (const std::string& value : axis.values) {
+        SweepPoint extended = point;
+        extended.overrides.emplace_back(axis.key, value);
+        next.push_back(std::move(extended));
+      }
+    }
+    grid = std::move(next);
+  }
+  return grid;
+}
+
+BatchResult run_experiment(const ExperimentSpec& spec,
+                           const std::vector<RowSink*>& sinks) {
+  register_builtin_scenarios();
+  const Scenario& scenario =
+      ScenarioRegistry::instance().get(spec.scenario);
+
+  // Base columns first, then one label column per sweep axis, then the
+  // scenario's own result columns.  Axes over "graph"/"n" get no label
+  // column: the base columns already show the resolved values.
+  const auto is_base_key = [](const std::string& key) {
+    return key == "graph" || key == "n";
+  };
+  BatchResult result;
+  result.columns = {"scenario", "graph", "n", "replicas"};
+  for (const SweepAxis& axis : spec.sweeps) {
+    if (!is_base_key(axis.key)) {
+      result.columns.push_back(axis.key);
+    }
+  }
+  const std::vector<std::string> scenario_columns = scenario.columns();
+  result.columns.insert(result.columns.end(), scenario_columns.begin(),
+                        scenario_columns.end());
+
+  for (RowSink* sink : sinks) {
+    sink->begin(result.columns);
+  }
+
+  // One scheduler (and thus one thread pool) for the whole batch; work
+  // items run sequentially and parallelism lives inside each item's
+  // replica shards.
+  ReplicaScheduler scheduler(spec.threads);
+  const std::vector<SweepPoint> grid = expand_grid(spec);
+  for (const SweepPoint& point : grid) {
+    ExperimentSpec item = spec;
+    item.sweeps.clear();
+    for (const auto& [key, value] : point.overrides) {
+      apply_override(item, key, value);
+    }
+    const Graph graph = build_graph(item.graph);
+    const std::vector<double> initial = build_initial(item.initial, graph);
+    const RunInput input{item, graph, initial, scheduler};
+    const std::vector<std::vector<std::string>> rows = scenario.run(input);
+
+    for (const std::vector<std::string>& scenario_cells : rows) {
+      OPINDYN_EXPECTS(scenario_cells.size() == scenario_columns.size(),
+                      "scenario returned a row of the wrong width");
+      std::vector<std::string> cells = {
+          scenario.name(), graph.name(),
+          std::to_string(graph.node_count()), std::to_string(item.replicas)};
+      for (const auto& [key, value] : point.overrides) {
+        if (!is_base_key(key)) {
+          cells.push_back(value);
+        }
+      }
+      cells.insert(cells.end(), scenario_cells.begin(),
+                   scenario_cells.end());
+      for (RowSink* sink : sinks) {
+        sink->row(cells);
+      }
+      result.rows.push_back(std::move(cells));
+    }
+    result.work_items += 1;
+  }
+
+  for (RowSink* sink : sinks) {
+    sink->finish();
+  }
+  return result;
+}
+
+BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
+  TableSink table(std::cout);
+  CsvSink csv(spec.csv_path);
+  std::vector<RowSink*> sinks;
+  if (spec.print_table) {
+    sinks.push_back(&table);
+  }
+  if (!spec.csv_path.empty()) {
+    sinks.push_back(&csv);
+  }
+  BatchResult result = run_experiment(spec, sinks);
+  if (!spec.csv_path.empty() && spec.print_table) {
+    std::cout << "\nwrote " << result.rows.size() << " rows to "
+              << spec.csv_path << "\n";
+  }
+  return result;
+}
+
+}  // namespace engine
+}  // namespace opindyn

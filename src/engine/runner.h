@@ -1,0 +1,49 @@
+// The batch scheduler: expands an ExperimentSpec's sweep axes into the
+// cartesian grid of work items, runs each item through its scenario with
+// replicas sharded across the thread pool, and streams the aggregated
+// rows to the configured sinks.  Grid expansion, Rng stream assignment
+// and row order are all independent of the thread count, so the emitted
+// CSV is byte-identical for any --threads value.
+#ifndef OPINDYN_ENGINE_RUNNER_H
+#define OPINDYN_ENGINE_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "src/engine/experiment_spec.h"
+#include "src/engine/scenario.h"
+#include "src/engine/sinks.h"
+
+namespace opindyn {
+namespace engine {
+
+/// One grid point: the sweep overrides that produce it, in axis order.
+struct SweepPoint {
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+/// Cartesian product of the spec's sweep axes, row-major with the first
+/// axis slowest.  A spec without sweeps yields one empty point.
+std::vector<SweepPoint> expand_grid(const ExperimentSpec& spec);
+
+struct BatchResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  std::int64_t work_items = 0;
+};
+
+/// Runs the full batch: looks up the scenario, expands the grid, builds
+/// the per-item graph and initial opinions, runs the scenario on each
+/// item, and streams rows to `sinks` (begin/row/finish).  Also returns
+/// everything in the BatchResult for programmatic callers.
+BatchResult run_experiment(const ExperimentSpec& spec,
+                           const std::vector<RowSink*>& sinks = {});
+
+/// Convenience wrapper: renders a markdown table to stdout (unless
+/// spec.print_table is false) and writes spec.csv_path if set.
+BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec);
+
+}  // namespace engine
+}  // namespace opindyn
+
+#endif  // OPINDYN_ENGINE_RUNNER_H

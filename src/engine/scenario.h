@@ -1,0 +1,86 @@
+// The common Runner interface behind the `opindyn` CLI: a Scenario
+// receives one fully-resolved work item (spec + graph + initial opinions
+// + a replica scheduler) and returns one or more result rows.  Scenarios
+// self-register in the ScenarioRegistry via OPINDYN_REGISTER_SCENARIO, so
+// the batch runner and the CLI discover them by name.
+#ifndef OPINDYN_ENGINE_SCENARIO_H
+#define OPINDYN_ENGINE_SCENARIO_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/experiment_spec.h"
+#include "src/engine/shard.h"
+#include "src/graph/graph.h"
+
+namespace opindyn {
+namespace engine {
+
+/// Everything a scenario needs to run one grid point.
+struct RunInput {
+  const ExperimentSpec& spec;
+  const Graph& graph;
+  const std::vector<double>& initial;
+  ReplicaScheduler& scheduler;
+};
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  /// Registry key, e.g. "node_vs_edge".
+  virtual std::string name() const = 0;
+  /// One-line description shown by `opindyn list`.
+  virtual std::string description() const = 0;
+  /// Result columns this scenario appends after the runner's base and
+  /// sweep-label columns.
+  virtual std::vector<std::string> columns() const = 0;
+  /// Runs one work item; each returned row must have columns().size()
+  /// cells.  Most scenarios return a single row; comparison scenarios may
+  /// return one row per contending protocol.
+  virtual std::vector<std::vector<std::string>> run(
+      const RunInput& input) const = 0;
+};
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry (built-in scenarios are registered before
+  /// main via their OPINDYN_REGISTER_SCENARIO registrars).
+  static ScenarioRegistry& instance();
+
+  /// Throws std::runtime_error on duplicate names.
+  void add(std::unique_ptr<Scenario> scenario);
+
+  bool contains(const std::string& name) const;
+
+  /// Throws std::runtime_error naming the known scenarios if absent.
+  const Scenario& get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Scenario>> scenarios_;
+};
+
+/// Registers a scenario at static-initialisation time.
+class ScenarioRegistrar {
+ public:
+  explicit ScenarioRegistrar(std::unique_ptr<Scenario> scenario);
+};
+
+#define OPINDYN_REGISTER_SCENARIO(ClassName)                      \
+  const ::opindyn::engine::ScenarioRegistrar registrar_##ClassName{ \
+      std::make_unique<ClassName>()};
+
+/// Forces the translation unit holding the built-in scenario registrars
+/// to be linked (a static library would otherwise drop it).  Idempotent;
+/// called by the batch runner and the CLI.
+void register_builtin_scenarios();
+
+}  // namespace engine
+}  // namespace opindyn
+
+#endif  // OPINDYN_ENGINE_SCENARIO_H

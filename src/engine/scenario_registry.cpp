@@ -1,0 +1,53 @@
+#include <stdexcept>
+
+#include "src/engine/scenario.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace engine {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
+  OPINDYN_EXPECTS(scenario != nullptr, "cannot register a null scenario");
+  const std::string name = scenario->name();
+  if (!scenarios_.emplace(name, std::move(scenario)).second) {
+    throw std::runtime_error("scenario '" + name + "' is already registered");
+  }
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return scenarios_.count(name) > 0;
+}
+
+const Scenario& ScenarioRegistry::get(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  if (it == scenarios_.end()) {
+    std::string known;
+    for (const auto& [registered, unused] : scenarios_) {
+      known += known.empty() ? registered : ", " + registered;
+    }
+    throw std::runtime_error("unknown scenario '" + name +
+                             "' (known: " + known + ")");
+  }
+  return *it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, unused] : scenarios_) {
+    out.push_back(name);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+ScenarioRegistrar::ScenarioRegistrar(std::unique_ptr<Scenario> scenario) {
+  ScenarioRegistry::instance().add(std::move(scenario));
+}
+
+}  // namespace engine
+}  // namespace opindyn

@@ -1,0 +1,472 @@
+// Built-in scenarios: the paper's two averaging processes and their lazy
+// and k-sample variants, the Section-3 related-work baselines, and the
+// comparison races the benches used to hand-roll.  Each scenario
+// self-registers, so `opindyn list` and the batch runner discover them by
+// name.
+#include <cmath>
+#include <sstream>
+
+#include "src/baselines/degroot.h"
+#include "src/baselines/friedkin_johnsen.h"
+#include "src/baselines/gossip.h"
+#include "src/baselines/voter.h"
+#include "src/core/coalescing.h"
+#include "src/core/convergence.h"
+#include "src/core/montecarlo.h"
+#include "src/core/theory.h"
+#include "src/engine/scenario.h"
+#include "src/graph/algorithms.h"
+#include "src/spectral/spectra.h"
+
+namespace opindyn {
+namespace engine {
+namespace {
+
+std::string fmt(double value, int significant = 6) {
+  std::ostringstream out;
+  out.precision(significant);
+  out << value;
+  return out.str();
+}
+
+std::string fmt_fixed(double value, int digits) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(digits);
+  out << value;
+  return out.str();
+}
+
+std::string fmt_sci(double value, int digits) {
+  std::ostringstream out;
+  out.setf(std::ios::scientific);
+  out.precision(digits);
+  out << value;
+  return out.str();
+}
+
+/// Aggregated eps-convergence statistics of one averaging-process
+/// configuration, gathered through the sharded scheduler (replica r uses
+/// stream fork(subseed(seed, salt), r), so every sub-experiment of a
+/// scenario gets its own independent stream family).
+struct AveragingSummary {
+  RunningStats value;
+  RunningStats steps;
+  std::int64_t diverged = 0;
+};
+
+AveragingSummary run_averaging(const RunInput& in, const ModelConfig& config,
+                               std::uint64_t salt = 0) {
+  const ExperimentSpec& spec = in.spec;
+  std::vector<RunningStats> stats = in.scheduler.run(
+      spec.replicas, salt == 0 ? spec.seed : subseed(spec.seed, salt), 3,
+      [&](std::int64_t, Rng& rng, std::span<double> out) {
+        auto process = make_process(in.graph, config, in.initial);
+        const ConvergenceResult res =
+            run_until_converged(*process, rng, spec.convergence);
+        out[0] = res.final_value;
+        out[1] = static_cast<double>(res.steps);
+        out[2] = res.converged ? 0.0 : 1.0;
+      });
+  AveragingSummary summary;
+  summary.value = stats[0];
+  summary.steps = stats[1];
+  summary.diverged = static_cast<std::int64_t>(std::llround(stats[2].sum()));
+  return summary;
+}
+
+std::vector<std::string> averaging_columns() {
+  return {"E[F]", "+-CI(F)", "Var(F)", "T_eps", "+-CI(T)", "diverged"};
+}
+
+std::vector<std::string> averaging_row(const AveragingSummary& s) {
+  return {fmt(s.value.mean()),
+          fmt(s.value.mean_ci_halfwidth(), 3),
+          fmt_sci(s.value.population_variance(), 3),
+          fmt_fixed(s.steps.mean(), 1),
+          fmt_fixed(s.steps.mean_ci_halfwidth(), 1),
+          std::to_string(s.diverged)};
+}
+
+/// NodeModel (Definition 2.1) run to eps-convergence.
+class NodeScenario final : public Scenario {
+ public:
+  std::string name() const override { return "node"; }
+  std::string description() const override {
+    return "NodeModel (Def 2.1): random node averages with k sampled "
+           "neighbours; reports F and T_eps (Thm 2.2).";
+  }
+  std::vector<std::string> columns() const override {
+    return averaging_columns();
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    ModelConfig config = in.spec.model;
+    config.kind = ModelKind::node;
+    return {averaging_row(run_averaging(in, config))};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(NodeScenario)
+
+/// EdgeModel (Definition 2.3) run to eps-convergence.
+class EdgeScenario final : public Scenario {
+ public:
+  std::string name() const override { return "edge"; }
+  std::string description() const override {
+    return "EdgeModel (Def 2.3): one endpoint of a random arc moves "
+           "toward the other; reports F and T_eps (Thm 2.4).";
+  }
+  std::vector<std::string> columns() const override {
+    return averaging_columns();
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    ModelConfig config = in.spec.model;
+    config.kind = ModelKind::edge;
+    return {averaging_row(run_averaging(in, config))};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(EdgeScenario)
+
+/// Lazy NodeModel: each step is a fair-coin no-op (the Appendix-B
+/// analysis variant; doubles T_eps, leaves F unchanged).
+class LazyScenario final : public Scenario {
+ public:
+  std::string name() const override { return "lazy"; }
+  std::string description() const override {
+    return "Lazy NodeModel: fair-coin no-op per step (Prop B.1 variant); "
+           "same F, ~2x T_eps.";
+  }
+  std::vector<std::string> columns() const override {
+    return averaging_columns();
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    ModelConfig config = in.spec.model;
+    config.kind = ModelKind::node;
+    config.lazy = true;
+    return {averaging_row(run_averaging(in, config))};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(LazyScenario)
+
+/// Both processes on the same input, side by side.
+class NodeVsEdgeScenario final : public Scenario {
+ public:
+  std::string name() const override { return "node_vs_edge"; }
+  std::string description() const override {
+    return "NodeModel vs EdgeModel on the same graph and xi(0): "
+           "convergence times and Var(F) side by side.";
+  }
+  std::vector<std::string> columns() const override {
+    return {"T node", "T edge", "T node/edge", "Var(F) node",
+            "Var(F) edge"};
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    ModelConfig node = in.spec.model;
+    node.kind = ModelKind::node;
+    ModelConfig edge = in.spec.model;
+    edge.kind = ModelKind::edge;
+    const AveragingSummary ns = run_averaging(in, node, 0);
+    const AveragingSummary es = run_averaging(in, edge, 1);
+    return {{fmt_fixed(ns.steps.mean(), 1), fmt_fixed(es.steps.mean(), 1),
+             fmt_fixed(ns.steps.mean() / es.steps.mean(), 3),
+             fmt_sci(ns.value.population_variance(), 3),
+             fmt_sci(es.value.population_variance(), 3)}};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(NodeVsEdgeScenario)
+
+/// NodeModel T_eps against the Prop. B.1 prediction -- sweep k to get the
+/// remark after Theorem 2.2 ((1 + 1/k) dependence).
+class KAblationScenario final : public Scenario {
+ public:
+  std::string name() const override { return "k_ablation"; }
+  std::string description() const override {
+    return "NodeModel T_eps vs the Prop B.1 prediction; sweep k (and "
+           "sampling) for the remark after Thm 2.2.";
+  }
+  std::vector<std::string> columns() const override {
+    return {"T_eps", "+-CI(T)", "T predicted (B.1)", "measured/predicted"};
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    ModelConfig config = in.spec.model;
+    config.kind = ModelKind::node;
+    const AveragingSummary s = run_averaging(in, config);
+    const WalkSpectrum spectrum = lazy_walk_spectrum(in.graph);
+    OpinionState probe(in.graph, in.initial);
+    const double predicted = theory::steps_to_epsilon(
+        theory::node_model_rho(spectrum.lambda2, config.alpha, config.k,
+                               in.graph.node_count(), config.lazy),
+        probe.phi_exact(), in.spec.convergence.epsilon);
+    return {{fmt_fixed(s.steps.mean(), 1),
+             fmt_fixed(s.steps.mean_ci_halfwidth(), 1),
+             fmt_fixed(predicted, 1),
+             fmt_fixed(s.steps.mean() / predicted, 3)}};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(KAblationScenario)
+
+/// Discrete voter model baseline run to consensus.
+class VoterScenario final : public Scenario {
+ public:
+  std::string name() const override { return "voter"; }
+  std::string description() const override {
+    return "Voter model baseline: n distinct opinions to consensus "
+           "(the k=1, alpha=0 special case of Def 2.1).";
+  }
+  std::vector<std::string> columns() const override {
+    return {"consensus T", "+-CI(T)", "consensus rate"};
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    const ExperimentSpec& spec = in.spec;
+    std::vector<int> opinions(
+        static_cast<std::size_t>(in.graph.node_count()));
+    for (std::size_t u = 0; u < opinions.size(); ++u) {
+      opinions[u] = static_cast<int>(u);
+    }
+    const std::vector<RunningStats> stats = in.scheduler.run(
+        spec.replicas, spec.seed, 2,
+        [&](std::int64_t, Rng& rng, std::span<double> out) {
+          const VoterRunResult res = run_voter_to_consensus(
+              in.graph, opinions, rng, spec.convergence.max_steps);
+          if (res.reached_consensus) {
+            out[0] = static_cast<double>(res.steps);
+          }
+          out[1] = res.reached_consensus ? 1.0 : 0.0;
+        });
+    return {{fmt_fixed(stats[0].mean(), 1),
+             fmt_fixed(stats[0].mean_ci_halfwidth(), 1),
+             fmt_fixed(stats[1].mean(), 3)}};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(VoterScenario)
+
+/// Coordinated pairwise gossip baseline (Boyd et al.).
+class GossipScenario final : public Scenario {
+ public:
+  std::string name() const override { return "gossip"; }
+  std::string description() const override {
+    return "Pairwise-averaging gossip baseline: doubly stochastic, "
+           "preserves Avg exactly (Var(F) = 0).";
+  }
+  std::vector<std::string> columns() const override {
+    return {"E[F]", "Var(F)", "T_eps", "+-CI(T)", "avg drift"};
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    const ExperimentSpec& spec = in.spec;
+    const std::vector<RunningStats> stats = in.scheduler.run(
+        spec.replicas, spec.seed, 3,
+        [&](std::int64_t, Rng& rng, std::span<double> out) {
+          const GossipRunResult res = run_gossip_to_convergence(
+              in.graph, in.initial, rng, spec.convergence.epsilon,
+              spec.convergence.max_steps);
+          out[0] = res.final_value;
+          out[1] = static_cast<double>(res.steps);
+          out[2] = res.average_drift;
+        });
+    return {{fmt(stats[0].mean()), fmt_sci(stats[0].population_variance(), 3),
+             fmt_fixed(stats[1].mean(), 1),
+             fmt_fixed(stats[1].mean_ci_halfwidth(), 1),
+             fmt_sci(stats[2].mean(), 2)}};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(GossipScenario)
+
+/// DeGroot baseline: synchronous and deterministic, so one run suffices.
+class DeGrootScenario final : public Scenario {
+ public:
+  std::string name() const override { return "degroot"; }
+  std::string description() const override {
+    return "DeGroot baseline (Section 3): deterministic synchronous "
+           "rounds to the degree-weighted average, zero variance.";
+  }
+  std::vector<std::string> columns() const override {
+    return {"rounds", "limit", "|limit - M(0)|", "final spread"};
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    DeGrootModel model(in.graph, in.initial, /*lazy=*/true);
+    const double eps = in.spec.convergence.epsilon;
+    const std::int64_t max_rounds = in.spec.convergence.max_steps;
+    while (model.discrepancy() > eps && model.rounds() < max_rounds) {
+      model.step();
+    }
+    const double m0 = degree_weighted_average(in.graph, in.initial);
+    return {{std::to_string(model.rounds()), fmt(model.values()[0]),
+             fmt_sci(std::abs(model.values()[0] - m0), 2),
+             fmt_sci(model.discrepancy(), 2)}};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(DeGrootScenario)
+
+/// Friedkin-Johnsen baseline: converges to persistent disagreement.
+/// `alpha` doubles as the susceptibility lambda.
+class FriedkinJohnsenScenario final : public Scenario {
+ public:
+  std::string name() const override { return "friedkin_johnsen"; }
+  std::string description() const override {
+    return "Friedkin-Johnsen baseline (Section 3): stubborn agents, "
+           "no consensus; alpha is the susceptibility lambda.";
+  }
+  std::vector<std::string> columns() const override {
+    return {"rounds", "mean z*", "z* spread", "final distance"};
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    FriedkinJohnsen model(in.graph, in.initial, in.spec.model.alpha);
+    const std::vector<double> star = model.equilibrium();
+    const double eps = in.spec.convergence.epsilon;
+    const std::int64_t max_rounds = in.spec.convergence.max_steps;
+    while (model.distance_to(star) > eps && model.rounds() < max_rounds) {
+      model.step();
+    }
+    double lo = star[0];
+    double hi = star[0];
+    double mean = 0.0;
+    for (const double z : star) {
+      lo = std::min(lo, z);
+      hi = std::max(hi, z);
+      mean += z / static_cast<double>(star.size());
+    }
+    return {{std::to_string(model.rounds()), fmt(mean), fmt(hi - lo),
+             fmt_sci(model.distance_to(star), 2)}};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(FriedkinJohnsenScenario)
+
+/// The Section-2 remark race: voter model and coalescing walks vs the
+/// NodeModel run to eps = 1/n^2 (so eps and K are poly(n)).
+class AveragingVsVoterScenario final : public Scenario {
+ public:
+  std::string name() const override { return "averaging_vs_voter"; }
+  std::string description() const override {
+    return "Race: voter consensus + coalescing walks vs NodeModel to "
+           "eps = 1/n^2; speed-up ~ n/log n (Section 2 remark).";
+  }
+  std::vector<std::string> columns() const override {
+    return {"voter T", "coalescence T", "averaging T", "speed-up",
+            "n/log n"};
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    const ExperimentSpec& spec = in.spec;
+    const double n = static_cast<double>(in.graph.node_count());
+
+    std::vector<int> opinions(
+        static_cast<std::size_t>(in.graph.node_count()));
+    for (std::size_t u = 0; u < opinions.size(); ++u) {
+      opinions[u] = static_cast<int>(u);
+    }
+    const std::vector<RunningStats> voter = in.scheduler.run(
+        spec.replicas, subseed(spec.seed, 1), 1,
+        [&](std::int64_t, Rng& rng, std::span<double> out) {
+          const VoterRunResult res = run_voter_to_consensus(
+              in.graph, opinions, rng, spec.convergence.max_steps);
+          if (res.reached_consensus) {
+            out[0] = static_cast<double>(res.steps);
+          }
+        });
+
+    const std::vector<RunningStats> coalescence = in.scheduler.run(
+        spec.replicas, subseed(spec.seed, 2), 1,
+        [&](std::int64_t, Rng& rng, std::span<double> out) {
+          const CoalescenceResult res = run_to_coalescence(
+              in.graph, rng, spec.convergence.max_steps);
+          if (res.coalesced) {
+            out[0] = static_cast<double>(res.steps);
+          }
+        });
+
+    ModelConfig config = spec.model;
+    config.kind = ModelKind::node;
+    ConvergenceOptions convergence = spec.convergence;
+    convergence.epsilon = 1.0 / (n * n);
+    const std::vector<RunningStats> averaging = in.scheduler.run(
+        spec.replicas, spec.seed, 1,
+        [&](std::int64_t, Rng& rng, std::span<double> out) {
+          auto process = make_process(in.graph, config, in.initial);
+          const ConvergenceResult res =
+              run_until_converged(*process, rng, convergence);
+          out[0] = static_cast<double>(res.steps);
+        });
+
+    return {{fmt_fixed(voter[0].mean(), 1),
+             fmt_fixed(coalescence[0].mean(), 1),
+             fmt_fixed(averaging[0].mean(), 1),
+             fmt_fixed(voter[0].mean() / averaging[0].mean(), 2),
+             fmt_fixed(n / std::log(n), 2)}};
+  }
+};
+OPINDYN_REGISTER_SCENARIO(AveragingVsVoterScenario)
+
+/// The Section-1 "price of simplicity" comparison: three rows per work
+/// item (gossip / NodeModel / EdgeModel) on the same input.
+class GossipVsUnilateralScenario final : public Scenario {
+ public:
+  std::string name() const override { return "gossip_vs_unilateral"; }
+  std::string description() const override {
+    return "Price of simplicity (Section 1): coordinated gossip "
+           "(Var = 0) vs the unilateral models (Var ~ Prop 5.8).";
+  }
+  std::vector<std::string> columns() const override {
+    return {"protocol", "E[F]", "Var(F)", "T_eps", "predicted Var (P5.8)",
+            "coordinated?"};
+  }
+  std::vector<std::vector<std::string>> run(
+      const RunInput& in) const override {
+    const ExperimentSpec& spec = in.spec;
+    std::vector<std::vector<std::string>> rows;
+
+    const std::vector<RunningStats> gossip = in.scheduler.run(
+        spec.replicas, subseed(spec.seed, 1), 2,
+        [&](std::int64_t, Rng& rng, std::span<double> out) {
+          const GossipRunResult res = run_gossip_to_convergence(
+              in.graph, in.initial, rng, spec.convergence.epsilon,
+              spec.convergence.max_steps);
+          out[0] = res.final_value;
+          out[1] = static_cast<double>(res.steps);
+        });
+    rows.push_back({"pairwise gossip", fmt_sci(gossip[0].mean(), 2),
+                    fmt_sci(gossip[0].population_variance(), 2),
+                    fmt_fixed(gossip[1].mean(), 1), fmt_sci(0.0, 2),
+                    "yes"});
+
+    // Prop. 5.8 is stated for regular graphs and the NodeModel only.
+    const std::string predicted =
+        in.graph.is_regular()
+            ? fmt_sci(theory::variance_exact(in.graph, spec.model.alpha,
+                                             spec.model.k, in.initial),
+                      2)
+            : "n/a";
+    for (const ModelKind kind : {ModelKind::node, ModelKind::edge}) {
+      ModelConfig config = spec.model;
+      config.kind = kind;
+      const AveragingSummary s =
+          run_averaging(in, config, kind == ModelKind::node ? 0 : 2);
+      rows.push_back({kind == ModelKind::node ? "NodeModel" : "EdgeModel",
+                      fmt_sci(s.value.mean(), 2),
+                      fmt_sci(s.value.population_variance(), 2),
+                      fmt_fixed(s.steps.mean(), 1),
+                      kind == ModelKind::node ? predicted : "n/a",
+                      "no"});
+    }
+    return rows;
+  }
+};
+OPINDYN_REGISTER_SCENARIO(GossipVsUnilateralScenario)
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  // Registration happens through the file-level registrars above when
+  // this translation unit is linked; referencing this symbol from the
+  // runner keeps the unit alive in static-library builds.
+}
+
+}  // namespace engine
+}  // namespace opindyn

@@ -1,0 +1,19 @@
+// The engine's replica sharding is the library-wide ReplicaScheduler
+// (src/support/replica_scheduler.h) -- the single implementation of the
+// thread-count-determinism contract, shared with the core monte_carlo
+// harness.  This header re-exports it under the engine namespace.
+#ifndef OPINDYN_ENGINE_SHARD_H
+#define OPINDYN_ENGINE_SHARD_H
+
+#include "src/support/replica_scheduler.h"
+
+namespace opindyn {
+namespace engine {
+
+using ::opindyn::ReplicaScheduler;
+using ::opindyn::subseed;
+
+}  // namespace engine
+}  // namespace opindyn
+
+#endif  // OPINDYN_ENGINE_SHARD_H

@@ -1,0 +1,51 @@
+#include "src/engine/sinks.h"
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace engine {
+
+TableSink::TableSink(std::ostream& out) : out_(&out) {}
+
+void TableSink::begin(const std::vector<std::string>& columns) {
+  table_ = std::make_unique<Table>(columns);
+}
+
+void TableSink::row(const std::vector<std::string>& cells) {
+  OPINDYN_EXPECTS(table_ != nullptr, "TableSink::begin was not called");
+  table_->new_row();
+  for (const std::string& cell : cells) {
+    table_->add(cell);
+  }
+}
+
+void TableSink::finish() {
+  OPINDYN_EXPECTS(table_ != nullptr, "TableSink::begin was not called");
+  *out_ << table_->to_markdown();
+  table_.reset();
+}
+
+CsvSink::CsvSink(std::string path) : path_(std::move(path)) {}
+
+void CsvSink::begin(const std::vector<std::string>& columns) {
+  writer_ = std::make_unique<CsvWriter>(path_, columns);
+}
+
+void CsvSink::row(const std::vector<std::string>& cells) {
+  OPINDYN_EXPECTS(writer_ != nullptr, "CsvSink::begin was not called");
+  writer_->write_row(cells);
+}
+
+void CsvSink::finish() { writer_.reset(); }
+
+void MemorySink::begin(const std::vector<std::string>& columns) {
+  columns_ = columns;
+  rows_.clear();
+}
+
+void MemorySink::row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+}  // namespace engine
+}  // namespace opindyn

@@ -1,0 +1,82 @@
+// Row sinks: where the batch runner streams its aggregated result rows.
+// Rows arrive as formatted cells (the scenario controls number
+// formatting), so every sink renders the identical content -- the
+// determinism test compares CSV bytes across thread counts.
+#ifndef OPINDYN_ENGINE_SINKS_H
+#define OPINDYN_ENGINE_SINKS_H
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/support/csv.h"
+#include "src/support/table.h"
+
+namespace opindyn {
+namespace engine {
+
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+
+  /// Called once before the first row.
+  virtual void begin(const std::vector<std::string>& columns) = 0;
+  /// Called once per result row; cells align with `columns`.
+  virtual void row(const std::vector<std::string>& cells) = 0;
+  /// Called once after the last row.
+  virtual void finish() = 0;
+};
+
+/// Renders an aligned markdown table to `out` on finish().
+class TableSink : public RowSink {
+ public:
+  explicit TableSink(std::ostream& out);
+  void begin(const std::vector<std::string>& columns) override;
+  void row(const std::vector<std::string>& cells) override;
+  void finish() override;
+
+ private:
+  std::ostream* out_;
+  std::unique_ptr<Table> table_;
+};
+
+/// Streams rows to a CSV file as they arrive.
+class CsvSink : public RowSink {
+ public:
+  explicit CsvSink(std::string path);
+  void begin(const std::vector<std::string>& columns) override;
+  void row(const std::vector<std::string>& cells) override;
+  void finish() override;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<CsvWriter> writer_;
+};
+
+/// Collects rows in memory (used by tests and by callers that post-process
+/// results).
+class MemorySink : public RowSink {
+ public:
+  void begin(const std::vector<std::string>& columns) override;
+  void row(const std::vector<std::string>& cells) override;
+  void finish() override {}
+
+  const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace engine
+}  // namespace opindyn
+
+#endif  // OPINDYN_ENGINE_SINKS_H

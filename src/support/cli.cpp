@@ -58,4 +58,13 @@ bool CliArgs::get(const std::string& name, bool fallback) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+std::vector<std::string> CliArgs::option_names() const {
+  std::vector<std::string> names;
+  names.reserve(options_.size());
+  for (const auto& [name, unused] : options_) {
+    names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
 }  // namespace opindyn

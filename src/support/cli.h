@@ -25,6 +25,11 @@ class CliArgs {
   }
   const std::string& program() const noexcept { return program_; }
 
+  /// Names of all `--name[=value]` options that were passed, sorted;
+  /// lets callers reject unknown flags instead of silently ignoring
+  /// typos.
+  std::vector<std::string> option_names() const;
+
  private:
   std::string program_;
   std::map<std::string, std::string> options_;

@@ -1,0 +1,81 @@
+#include "src/support/replica_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+
+#include "src/support/assert.h"
+#include "src/support/parallel.h"
+
+namespace opindyn {
+
+std::uint64_t subseed(std::uint64_t seed, std::uint64_t salt) noexcept {
+  // One splitmix64 step over a salted state: the same mixing the Rng
+  // seeding uses, so sub-families are as independent as forked streams.
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+ReplicaScheduler::ReplicaScheduler(std::size_t threads)
+    : threads_(threads == 0 ? default_parallelism() : threads) {}
+
+std::vector<RunningStats> ReplicaScheduler::run(
+    std::int64_t replicas, std::uint64_t seed, std::size_t metrics,
+    const std::function<void(std::int64_t, Rng&, std::span<double>)>& body) {
+  OPINDYN_EXPECTS(replicas >= 1, "need at least one replica");
+  OPINDYN_EXPECTS(metrics >= 1, "need at least one metric");
+
+  std::vector<double> buffer(
+      static_cast<std::size_t>(replicas) * metrics,
+      std::numeric_limits<double>::quiet_NaN());
+  const auto run_range = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t r = begin; r < end; ++r) {
+      Rng rng = Rng::fork(seed, static_cast<std::uint64_t>(r));
+      body(r, rng,
+           std::span<double>(
+               buffer.data() + static_cast<std::size_t>(r) * metrics,
+               metrics));
+    }
+  };
+
+  const std::size_t shards =
+      std::min<std::size_t>(threads_, static_cast<std::size_t>(replicas));
+  if (shards <= 1) {
+    run_range(0, replicas);
+  } else {
+    if (!pool_) {
+      pool_ = std::make_unique<ThreadPool>(threads_);
+    }
+    const std::int64_t chunk =
+        (replicas + static_cast<std::int64_t>(shards) - 1) /
+        static_cast<std::int64_t>(shards);
+    std::vector<std::future<void>> pending;
+    pending.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::int64_t begin = static_cast<std::int64_t>(s) * chunk;
+      const std::int64_t end = std::min(begin + chunk, replicas);
+      if (begin >= end) {
+        break;
+      }
+      pending.push_back(
+          pool_->submit([&run_range, begin, end] { run_range(begin, end); }));
+    }
+    for (std::future<void>& f : pending) {
+      f.get();  // rethrows the shard's exception, if any
+    }
+  }
+
+  std::vector<RunningStats> stats(metrics);
+  for (std::int64_t r = 0; r < replicas; ++r) {
+    for (std::size_t m = 0; m < metrics; ++m) {
+      const double x = buffer[static_cast<std::size_t>(r) * metrics + m];
+      if (!std::isnan(x)) {
+        stats[m].add(x);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,59 @@
+// Sharded replica execution -- the one implementation of the library's
+// thread-count-determinism contract.
+//
+// Monte-Carlo work is always the same shape: run R independent replicas,
+// where replica r draws all randomness from the deterministic child
+// stream Rng::fork(seed, r), and aggregate a few metrics per replica.
+// ReplicaScheduler shards the replica range across a ThreadPool, but
+// writes each replica's metrics into its own slot of a preallocated
+// buffer and folds the buffer in strict replica order afterwards.
+// Because neither the random streams nor the fold order depend on the
+// shard boundaries, the aggregated statistics are bit-identical for
+// every thread count.  Both the core monte_carlo harness and the
+// scenario engine run through this class.
+#ifndef OPINDYN_SUPPORT_REPLICA_SCHEDULER_H
+#define OPINDYN_SUPPORT_REPLICA_SCHEDULER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/support/thread_pool.h"
+
+namespace opindyn {
+
+/// Derives an independent 64-bit sub-seed from (seed, salt); used to give
+/// each sub-experiment of a run (e.g. the voter race vs the averaging
+/// race) its own stream family.
+std::uint64_t subseed(std::uint64_t seed, std::uint64_t salt) noexcept;
+
+class ReplicaScheduler {
+ public:
+  /// 0 = hardware concurrency.  The pool is spawned lazily on the first
+  /// parallel run and reused across work items.
+  explicit ReplicaScheduler(std::size_t threads = 0);
+
+  /// Runs body(r, rng, out) for r in [0, replicas); `rng` is
+  /// Rng::fork(seed, r) and `out` has `metrics` slots (pre-filled with
+  /// NaN).  Returns per-metric statistics folded over replicas in index
+  /// order; NaN slots are skipped (use NaN for "no sample this
+  /// replica", e.g. a run that hit max_steps).  Bit-identical for every
+  /// thread count.
+  std::vector<RunningStats> run(
+      std::int64_t replicas, std::uint64_t seed, std::size_t metrics,
+      const std::function<void(std::int64_t, Rng&, std::span<double>)>& body);
+
+  std::size_t threads() const noexcept { return threads_; }
+
+ private:
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_REPLICA_SCHEDULER_H

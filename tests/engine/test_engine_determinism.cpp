@@ -1,0 +1,130 @@
+// The engine's determinism contract: for a fixed seed, both the core
+// monte_carlo harness and a full engine batch (grid expansion + sharded
+// replicas + CSV emission) produce bit-identical results at any thread
+// count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/initial_values.h"
+#include "src/core/montecarlo.h"
+#include "src/engine/runner.h"
+#include "src/engine/shard.h"
+#include "src/graph/generators.h"
+
+namespace opindyn {
+namespace engine {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(EngineDeterminism, MonteCarloIsBitIdenticalAcrossThreadCounts) {
+  const Graph g = gen::cycle(16);
+  Rng init_rng(8);
+  auto xi = initial::rademacher(init_rng, 16);
+  initial::center_plain(xi);
+  ModelConfig config;
+  config.alpha = 0.5;
+  config.k = 1;
+  MonteCarloOptions options;
+  options.replicas = 48;
+  options.seed = 17;
+  options.convergence.epsilon = 1e-10;
+
+  options.threads = 1;
+  const MonteCarloResult serial = monte_carlo(g, config, xi, options);
+  options.threads = 8;
+  const MonteCarloResult parallel = monte_carlo(g, config, xi, options);
+
+  EXPECT_EQ(serial.replicas, parallel.replicas);
+  EXPECT_EQ(serial.diverged, parallel.diverged);
+  // Bitwise equality, not EXPECT_NEAR: the fold order is fixed.
+  EXPECT_EQ(serial.convergence_value.mean(),
+            parallel.convergence_value.mean());
+  EXPECT_EQ(serial.convergence_value.variance(),
+            parallel.convergence_value.variance());
+  EXPECT_EQ(serial.convergence_value.min(),
+            parallel.convergence_value.min());
+  EXPECT_EQ(serial.convergence_value.max(),
+            parallel.convergence_value.max());
+  EXPECT_EQ(serial.steps.mean(), parallel.steps.mean());
+  EXPECT_EQ(serial.steps.variance(), parallel.steps.variance());
+}
+
+TEST(EngineDeterminism, ReplicaSchedulerFoldsInReplicaOrder) {
+  ReplicaScheduler serial(1);
+  ReplicaScheduler parallel(8);
+  const auto body = [](std::int64_t r, Rng& rng, std::span<double> out) {
+    out[0] = rng.next_double() + static_cast<double>(r) * 1e-6;
+  };
+  const auto a = serial.run(100, 5, 1, body);
+  const auto b = parallel.run(100, 5, 1, body);
+  EXPECT_EQ(a[0].mean(), b[0].mean());
+  EXPECT_EQ(a[0].variance(), b[0].variance());
+  EXPECT_EQ(a[0].count(), 100);
+}
+
+TEST(EngineDeterminism, BatchCsvIsByteIdenticalAcrossThreadCounts) {
+  ExperimentSpec spec;
+  spec.scenario = "node_vs_edge";
+  spec.graph.family = "cycle";
+  spec.graph.n = 16;
+  spec.replicas = 24;
+  spec.seed = 7;
+  spec.convergence.epsilon = 1e-8;
+  spec.sweeps = parse_sweeps("k:1,2");
+  spec.print_table = false;
+
+  std::string outputs[3];
+  const std::size_t thread_counts[3] = {1, 3, 8};
+  for (int i = 0; i < 3; ++i) {
+    spec.threads = thread_counts[i];
+    const std::string path = ::testing::TempDir() +
+                             "opindyn_determinism_" + std::to_string(i) +
+                             ".csv";
+    CsvSink csv(path);
+    std::vector<RowSink*> sinks{&csv};
+    const BatchResult result = run_experiment(spec, sinks);
+    EXPECT_EQ(result.work_items, 2);
+    EXPECT_EQ(result.rows.size(), 2u);
+    outputs[i] = read_file(path);
+    std::remove(path.c_str());
+    EXPECT_FALSE(outputs[i].empty());
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(EngineDeterminism, BaselineScenarioIsDeterministicToo) {
+  ExperimentSpec spec;
+  spec.scenario = "voter";
+  spec.graph.family = "complete";
+  spec.graph.n = 12;
+  spec.replicas = 32;
+  spec.seed = 21;
+  spec.print_table = false;
+
+  MemorySink a;
+  spec.threads = 1;
+  std::vector<RowSink*> sink_a{&a};
+  run_experiment(spec, sink_a);
+
+  MemorySink b;
+  spec.threads = 6;
+  std::vector<RowSink*> sink_b{&b};
+  run_experiment(spec, sink_b);
+
+  EXPECT_EQ(a.columns(), b.columns());
+  EXPECT_EQ(a.rows(), b.rows());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace opindyn

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/engine/experiment_spec.h"
+#include "src/engine/runner.h"
+
+namespace opindyn {
+namespace engine {
+namespace {
+
+TEST(ExperimentSpec, DefaultsRoundTripThroughSpecFile) {
+  ExperimentSpec spec;
+  spec.scenario = "node_vs_edge";
+  spec.graph.family = "torus";
+  spec.graph.n = 256;
+  spec.model.alpha = 0.25;
+  spec.model.k = 3;
+  spec.model.lazy = true;
+  spec.model.sampling = SamplingMode::with_replacement;
+  spec.replicas = 12;
+  spec.seed = 99;
+  spec.threads = 2;
+  spec.convergence.epsilon = 1e-9;
+  spec.sweeps = parse_sweeps("k:1,2,4;alpha:0.3,0.5");
+  spec.csv_path = "out.csv";
+
+  const std::string text = to_key_values(spec);
+  const std::string path =
+      ::testing::TempDir() + "opindyn_spec_roundtrip.spec";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n\n" << text;
+  }
+  const ExperimentSpec reparsed = parse_spec_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(to_key_values(reparsed), text);
+  EXPECT_EQ(reparsed.scenario, "node_vs_edge");
+  EXPECT_EQ(reparsed.graph.n, 256);
+  EXPECT_TRUE(reparsed.model.lazy);
+  EXPECT_EQ(reparsed.model.sampling, SamplingMode::with_replacement);
+  ASSERT_EQ(reparsed.sweeps.size(), 2u);
+  EXPECT_EQ(reparsed.sweeps[0].key, "k");
+  EXPECT_EQ(reparsed.sweeps[1].values,
+            (std::vector<std::string>{"0.3", "0.5"}));
+}
+
+TEST(ExperimentSpec, ParsesCliFlags) {
+  const char* argv[] = {"opindyn",      "run",
+                        "--scenario=edge", "--graph=complete",
+                        "--n=32",       "--alpha=0.75",
+                        "--replicas=7", "--sweep=k:1,2",
+                        "--eps=1e-6",   "--csv=rows.csv"};
+  const CliArgs args(10, argv);
+  const ExperimentSpec spec = parse_spec(args);
+  EXPECT_EQ(spec.scenario, "edge");
+  EXPECT_EQ(spec.graph.family, "complete");
+  EXPECT_EQ(spec.graph.n, 32);
+  EXPECT_DOUBLE_EQ(spec.model.alpha, 0.75);
+  EXPECT_EQ(spec.replicas, 7);
+  EXPECT_DOUBLE_EQ(spec.convergence.epsilon, 1e-6);
+  EXPECT_EQ(spec.csv_path, "rows.csv");
+  ASSERT_EQ(spec.sweeps.size(), 1u);
+  EXPECT_EQ(spec.sweeps[0].values, (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(ExperimentSpec, RejectsUnknownKeysAndMalformedValues) {
+  EXPECT_THROW(parse_spec({{"not-a-key", "1"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec({{"n", "twelve"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec({{"alpha", "0.5x"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec({{"lazy", "maybe"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec({{"sampling", "sometimes"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec({{"center", "left"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec({{"sweep", "novalues"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec_file("/nonexistent/path.spec"),
+               std::runtime_error);
+}
+
+TEST(ExperimentSpec, OverridesApplyAndOrchestrationKeysAreProtected) {
+  ExperimentSpec spec;
+  apply_override(spec, "k", "8");
+  apply_override(spec, "alpha", "0.125");
+  apply_override(spec, "graph", "star");
+  apply_override(spec, "n", "48");
+  apply_override(spec, "sampling", "with");
+  EXPECT_EQ(spec.model.k, 8);
+  EXPECT_DOUBLE_EQ(spec.model.alpha, 0.125);
+  EXPECT_EQ(spec.graph.family, "star");
+  EXPECT_EQ(spec.graph.n, 48);
+  EXPECT_EQ(spec.model.sampling, SamplingMode::with_replacement);
+
+  for (const std::string key :
+       {"scenario", "sweep", "csv", "table", "threads", "replicas",
+        "seed"}) {
+    EXPECT_THROW(apply_override(spec, key, "x"), std::runtime_error)
+        << key;
+  }
+  EXPECT_THROW(apply_override(spec, "bogus", "1"), std::runtime_error);
+}
+
+TEST(ExperimentSpec, GridExpansionIsRowMajor) {
+  ExperimentSpec spec;
+  spec.sweeps = parse_sweeps("k:1,2;alpha:0.3,0.5,0.7");
+  const std::vector<SweepPoint> grid = expand_grid(spec);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].overrides[0].second, "1");
+  EXPECT_EQ(grid[0].overrides[1].second, "0.3");
+  EXPECT_EQ(grid[1].overrides[1].second, "0.5");
+  EXPECT_EQ(grid[3].overrides[0].second, "2");
+  EXPECT_EQ(grid[5].overrides[1].second, "0.7");
+
+  spec.sweeps.clear();
+  EXPECT_EQ(expand_grid(spec).size(), 1u);
+  EXPECT_TRUE(expand_grid(spec)[0].overrides.empty());
+}
+
+TEST(ExperimentSpec, BuildsGraphFamiliesAndInitialDistributions) {
+  GraphSpec graph;
+  graph.family = "hypercube";
+  graph.n = 16;
+  EXPECT_EQ(build_graph(graph).node_count(), 16);
+  graph.family = "random_regular";
+  graph.degree = 4;
+  EXPECT_TRUE(build_graph(graph).is_regular());
+  graph.family = "not_a_family";
+  EXPECT_THROW(build_graph(graph), std::runtime_error);
+
+  graph.family = "cycle";
+  const Graph g = build_graph(graph);
+  InitialSpec initial;
+  initial.distribution = "rademacher";
+  const std::vector<double> xi = build_initial(initial, g);
+  ASSERT_EQ(xi.size(), 16u);
+  double sum = 0.0;
+  for (const double v : xi) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);  // plain centering by default
+
+  initial.distribution = "constant";
+  initial.param_a = 2.5;
+  initial.center = "none";
+  EXPECT_DOUBLE_EQ(build_initial(initial, g)[7], 2.5);
+
+  initial.distribution = "unknown";
+  EXPECT_THROW(build_initial(initial, g), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace opindyn

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/engine/scenario.h"
+
+namespace opindyn {
+namespace engine {
+namespace {
+
+class FakeScenario : public Scenario {
+ public:
+  explicit FakeScenario(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  std::string description() const override { return "fake"; }
+  std::vector<std::string> columns() const override { return {"x"}; }
+  std::vector<std::vector<std::string>> run(
+      const RunInput&) const override {
+    return {{"0"}};
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST(ScenarioRegistry, BuiltinsAreRegistered) {
+  register_builtin_scenarios();
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  for (const std::string name :
+       {"node", "edge", "lazy", "node_vs_edge", "k_ablation", "voter",
+        "gossip", "degroot", "friedkin_johnsen", "averaging_vs_voter",
+        "gossip_vs_unilateral"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_EQ(registry.get(name).name(), name);
+    EXPECT_FALSE(registry.get(name).description().empty()) << name;
+    EXPECT_FALSE(registry.get(name).columns().empty()) << name;
+  }
+  // names() is sorted and covers every registered scenario.
+  const std::vector<std::string> names = registry.names();
+  EXPECT_GE(names.size(), 11u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ScenarioRegistry, UnknownScenarioErrorNamesTheKnownOnes) {
+  register_builtin_scenarios();
+  try {
+    ScenarioRegistry::instance().get("no_such_scenario");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("no_such_scenario"), std::string::npos);
+    EXPECT_NE(message.find("known:"), std::string::npos);
+    EXPECT_NE(message.find("node_vs_edge"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateRegistration) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<FakeScenario>("dup"));
+  EXPECT_TRUE(registry.contains("dup"));
+  EXPECT_THROW(registry.add(std::make_unique<FakeScenario>("dup")),
+               std::runtime_error);
+  EXPECT_FALSE(registry.contains("other"));
+  EXPECT_THROW(registry.get("other"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace opindyn
