@@ -1,12 +1,14 @@
 // PERF -- engine microbenchmarks (google-benchmark): steps/second of the
-// two processes across graph sizes, the cost of extremum tracking, and
-// the incremental-potential ablation (OpinionState's O(1) accumulators vs
-// a naive O(n) recompute per step).
+// two processes across graph sizes, the cost of extremum tracking, the
+// incremental-potential ablation (OpinionState's O(1) accumulators vs a
+// naive O(n) recompute per step), and the cell-level scheduling of the
+// batch runner (many small cells must scale with the thread count).
 #include <benchmark/benchmark.h>
 
 #include "src/core/edge_model.h"
 #include "src/core/initial_values.h"
 #include "src/core/node_model.h"
+#include "src/engine/runner.h"
 #include "src/graph/generators.h"
 #include "src/support/rng.h"
 #include "src/support/sampling.h"
@@ -114,5 +116,45 @@ void BM_SampleWithoutReplacement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SampleWithoutReplacement)->Arg(1)->Arg(4)->Arg(16);
+
+// The ISSUE-2 acceptance scenario: a sweep of many small cells (24
+// cells x 4 replicas of cycle(24)) through the batch runner.  Before
+// the cell scheduler, parallelism lived inside a cell (4 replicas), so
+// extra threads were wasted; now all cell x replica units share one
+// pool and wall-clock time drops with the thread count.  Also counts
+// graph builds: the whole alpha x k grid shares one cached cycle(24).
+void BM_EngineManySmallCells(benchmark::State& state) {
+  engine::ExperimentSpec spec;
+  spec.scenario = "node";
+  spec.graph.family = "cycle";
+  spec.graph.n = 24;
+  spec.replicas = 4;
+  spec.seed = 11;
+  spec.convergence.epsilon = 1e-8;
+  spec.sweeps = engine::parse_sweeps(
+      "alpha:0.30,0.33,0.36,0.39,0.42,0.45,0.48,0.51,0.54,0.57,0.60,0.63;"
+      "k:1,2");
+  spec.print_table = false;
+  spec.threads = static_cast<std::size_t>(state.range(0));
+
+  std::int64_t cells = 0;
+  std::int64_t graphs_built = 0;
+  for (auto _ : state) {
+    const engine::BatchResult result = engine::run_experiment(spec);
+    benchmark::DoNotOptimize(result.rows.size());
+    cells += result.work_items;
+    graphs_built += result.graphs_built;
+  }
+  state.SetItemsProcessed(cells * spec.replicas);
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["graphs_built"] = static_cast<double>(graphs_built);
+}
+BENCHMARK(BM_EngineManySmallCells)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

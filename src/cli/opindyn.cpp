@@ -45,17 +45,25 @@ run flags (every spec key; flags override --spec file entries):
   --sampling=without|with  neighbour sampling mode
   --replicas=<int>       Monte-Carlo replicas per item  (default 100)
   --seed=<int>           base seed (replica r forks stream r)
-  --threads=<int>        worker threads; results are bit-identical
-                         for every value                (default all)
+  --threads=<int>        worker threads; every (cell x replica) unit of
+                         the sweep grid is scheduled over one pool and
+                         results are bit-identical for every value
+                                                        (default all)
   --eps, --max-steps, --check-interval, --plain-potential
+  --horizon=<int>        step horizon for trajectory scenarios (0 = 16n)
   --sweep=key:v1,v2;key2:w1,w2   cartesian sweep grid
-  --csv=<path>           also write rows as CSV
+  --csv=<path>           also write aggregate rows as CSV
+  --rows-csv=<path>      write streamed per-replica rows as CSV
+                         (scenarios with row columns: whp_tail,
+                         trajectory, ...)
   --table=<bool>         print the markdown table       (default true)
 
 examples:
   opindyn run --scenario=node_vs_edge --graph=cycle --n=1024 --sweep=k:1,2,4,8
   opindyn run --scenario=gossip_vs_unilateral --graph=complete --n=16 \
       --replicas=4000 --eps=1e-13
+  opindyn run --scenario=whp_tail --graph=cycle --n=24 --replicas=400 \
+      --eps=1e-8 --rows-csv=tail.csv
 )";
   return 0;
 }
@@ -84,6 +92,14 @@ int cmd_describe(const CliArgs& args) {
     std::cout << " [" << column << "]";
   }
   std::cout << "\n";
+  const std::vector<std::string> row_columns = scenario.row_columns();
+  if (!row_columns.empty()) {
+    std::cout << "streamed per-replica columns (--rows-csv):";
+    for (const std::string& column : row_columns) {
+      std::cout << " [" << column << "]";
+    }
+    std::cout << "\n";
+  }
   return 0;
 }
 

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "src/support/assert.h"
-#include "src/support/replica_scheduler.h"
+#include "src/support/cell_scheduler.h"
 
 namespace opindyn {
 
@@ -26,12 +26,12 @@ std::unique_ptr<AveragingProcess> make_process(const Graph& graph,
 }
 
 // Both harnesses delegate the sharding and the replica-order fold to
-// ReplicaScheduler, which owns the thread-count-determinism contract.
+// CellScheduler, which owns the thread-count-determinism contract.
 MonteCarloResult monte_carlo(const Graph& graph, const ModelConfig& config,
                              const std::vector<double>& initial,
                              const MonteCarloOptions& options) {
   OPINDYN_EXPECTS(options.replicas >= 1, "need at least one replica");
-  ReplicaScheduler scheduler(options.threads);
+  CellScheduler scheduler(options.threads);
   const std::vector<RunningStats> stats = scheduler.run(
       options.replicas, options.seed, 3,
       [&](std::int64_t, Rng& rng, std::span<double> out) {
@@ -64,7 +64,7 @@ TrajectoryResult monte_carlo_trajectory(
 
   // Metric layout per replica: martingale then phi, per checkpoint.
   const std::size_t cp_count = checkpoints.size();
-  ReplicaScheduler scheduler(threads);
+  CellScheduler scheduler(threads);
   const std::vector<RunningStats> stats = scheduler.run(
       replicas, seed, cp_count * 2,
       [&](std::int64_t, Rng& rng, std::span<double> out) {

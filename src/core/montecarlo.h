@@ -3,8 +3,9 @@
 // eps-convergence time, and (optionally) the trajectory of the martingale
 // M(t) at fixed checkpoints.  Replica r uses the deterministic child
 // stream Rng::fork(seed, r) and writes into its own slot of a per-replica
-// buffer that is folded in replica order, so aggregated results are
-// bit-identical regardless of the thread count or scheduling.
+// buffer that is folded in replica order (the CellScheduler contract in
+// src/support/cell_scheduler.h), so aggregated results are bit-identical
+// regardless of the thread count or scheduling.
 #ifndef OPINDYN_CORE_MONTECARLO_H
 #define OPINDYN_CORE_MONTECARLO_H
 

@@ -124,10 +124,14 @@ bool apply_key(ExperimentSpec& spec, const std::string& key,
     spec.convergence.check_interval = parse_int(key, value);
   } else if (key == "plain-potential") {
     spec.convergence.use_plain_potential = parse_bool(key, value);
+  } else if (key == "horizon") {
+    spec.horizon = parse_int(key, value);
   } else if (key == "sweep") {
     spec.sweeps = parse_sweeps(value);
   } else if (key == "csv") {
     spec.csv_path = value;
+  } else if (key == "rows-csv") {
+    spec.rows_csv_path = value;
   } else if (key == "table") {
     spec.print_table = parse_bool(key, value);
   } else {
@@ -226,6 +230,18 @@ std::vector<double> build_initial(const InitialSpec& spec,
   return xi;
 }
 
+std::string graph_cache_key(const GraphSpec& spec) {
+  // Every field that build_graph reads for some family is part of the
+  // key; irrelevant fields for the requested family cost at most a
+  // harmless duplicate build.
+  std::ostringstream key;
+  key << spec.family << ";n=" << spec.n << ";degree=" << spec.degree
+      << ";attach=" << spec.attach
+      << ";p=" << format_double(spec.edge_probability)
+      << ";seed=" << spec.seed;
+  return key.str();
+}
+
 std::vector<std::string> spec_keys() {
   return {"scenario",  "graph",     "n",
           "degree",    "attach",    "p",
@@ -234,8 +250,9 @@ std::vector<std::string> spec_keys() {
           "alpha",     "k",         "lazy",
           "sampling",  "replicas",  "seed",
           "threads",   "eps",       "max-steps",
-          "check-interval", "plain-potential", "sweep",
-          "csv",       "table"};
+          "check-interval", "plain-potential", "horizon",
+          "sweep",     "csv",       "rows-csv",
+          "table"};
 }
 
 ExperimentSpec parse_spec(const std::map<std::string, std::string>& kv) {
@@ -324,11 +341,15 @@ std::string to_key_values(const ExperimentSpec& spec) {
   out << "check-interval=" << spec.convergence.check_interval << "\n";
   out << "plain-potential="
       << (spec.convergence.use_plain_potential ? "true" : "false") << "\n";
+  out << "horizon=" << spec.horizon << "\n";
   if (!spec.sweeps.empty()) {
     out << "sweep=" << format_sweeps(spec.sweeps) << "\n";
   }
   if (!spec.csv_path.empty()) {
     out << "csv=" << spec.csv_path << "\n";
+  }
+  if (!spec.rows_csv_path.empty()) {
+    out << "rows-csv=" << spec.rows_csv_path << "\n";
   }
   out << "table=" << (spec.print_table ? "true" : "false") << "\n";
   return out.str();
@@ -338,8 +359,9 @@ void apply_override(ExperimentSpec& spec, const std::string& key,
                     const std::string& value) {
   // Output and orchestration keys are fixed per experiment: sweeping them
   // would change how rows are collected, not what is measured.
-  if (key == "scenario" || key == "sweep" || key == "csv" || key == "table" ||
-      key == "threads" || key == "replicas" || key == "seed") {
+  if (key == "scenario" || key == "sweep" || key == "csv" ||
+      key == "rows-csv" || key == "table" || key == "threads" ||
+      key == "replicas" || key == "seed") {
     fail("spec key '" + key + "' cannot be swept");
   }
   if (!apply_key(spec, key, value)) {

@@ -81,13 +81,20 @@ struct ExperimentSpec {
   ModelConfig model;
   std::int64_t replicas = 100;
   std::uint64_t seed = 1;
-  /// Worker threads for replica sharding; 0 = hardware concurrency.
-  /// Results are bit-identical for every value (see ReplicaScheduler).
+  /// Worker threads for cell x replica scheduling; 0 = hardware
+  /// concurrency.  Results are bit-identical for every value (see
+  /// CellScheduler).
   std::size_t threads = 0;
   ConvergenceOptions convergence;
+  /// Fixed step horizon for trajectory-style scenarios (rows are emitted
+  /// every convergence.check_interval steps up to here); 0 picks 16n.
+  std::int64_t horizon = 0;
   std::vector<SweepAxis> sweeps;
-  /// Optional CSV output path ("" = no CSV).
+  /// Optional CSV output path for aggregate rows ("" = no CSV).
   std::string csv_path;
+  /// Optional CSV output path for streamed per-replica rows ("" = none;
+  /// only scenarios with row_columns() produce any).
+  std::string rows_csv_path;
   /// Print the markdown table to stdout.
   bool print_table = true;
 };
@@ -95,9 +102,14 @@ struct ExperimentSpec {
 /// The flat key set of the spec schema (also the accepted CLI flags):
 /// scenario, graph, n, degree, attach, p, graph-seed, init, init-a,
 /// init-b, init-seed, center, alpha, k, lazy, sampling, replicas, seed,
-/// threads, eps, max-steps, check-interval, plain-potential, sweep, csv,
-/// table.
+/// threads, eps, max-steps, check-interval, plain-potential, horizon,
+/// sweep, csv, rows-csv, table.
 std::vector<std::string> spec_keys();
+
+/// Canonical cache key of a GraphSpec: two specs build the identical
+/// graph iff their keys are equal, so a sweep over model parameters
+/// shares one immutable Graph across cells (see GraphCache).
+std::string graph_cache_key(const GraphSpec& spec);
 
 /// Parses a spec from flat key=value pairs.  Unknown keys and malformed
 /// values throw std::runtime_error.

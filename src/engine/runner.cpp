@@ -1,11 +1,31 @@
 #include "src/engine/runner.h"
 
 #include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <utility>
 
+#include "src/graph/graph_cache.h"
 #include "src/support/assert.h"
 
 namespace opindyn {
 namespace engine {
+namespace {
+
+/// Everything the runner keeps alive for one grid cell: the resolved
+/// spec, the (shared) graph, the initial opinions, and the scenario's
+/// deferred fold.  Batch bodies capture references into this object, so
+/// cells are heap-allocated and outlive the scheduler (declared after
+/// them below, hence destroyed -- and drained -- first).
+struct Cell {
+  ExperimentSpec item;
+  std::shared_ptr<const Graph> graph;
+  std::vector<double> initial;
+  std::vector<std::string> labels;  // non-base sweep label cells
+  CellFold fold;
+};
+
+}  // namespace
 
 std::vector<SweepPoint> expand_grid(const ExperimentSpec& spec) {
   std::vector<SweepPoint> grid{SweepPoint{}};
@@ -26,71 +46,141 @@ std::vector<SweepPoint> expand_grid(const ExperimentSpec& spec) {
 }
 
 BatchResult run_experiment(const ExperimentSpec& spec,
-                           const std::vector<RowSink*>& sinks) {
+                           const std::vector<RowSink*>& sinks,
+                           const std::vector<RowSink*>& row_sinks) {
   register_builtin_scenarios();
   const Scenario& scenario =
       ScenarioRegistry::instance().get(spec.scenario);
 
   // Base columns first, then one label column per sweep axis, then the
   // scenario's own result columns.  Axes over "graph"/"n" get no label
-  // column: the base columns already show the resolved values.
+  // column: the base columns already show the resolved values.  The
+  // streamed per-replica channel carries the same prefix.
   const auto is_base_key = [](const std::string& key) {
     return key == "graph" || key == "n";
   };
-  BatchResult result;
-  result.columns = {"scenario", "graph", "n", "replicas"};
+  std::vector<std::string> prefix_columns = {"scenario", "graph", "n",
+                                             "replicas"};
   for (const SweepAxis& axis : spec.sweeps) {
     if (!is_base_key(axis.key)) {
-      result.columns.push_back(axis.key);
+      prefix_columns.push_back(axis.key);
     }
   }
+
+  BatchResult result;
+  result.columns = prefix_columns;
   const std::vector<std::string> scenario_columns = scenario.columns();
   result.columns.insert(result.columns.end(), scenario_columns.begin(),
                         scenario_columns.end());
+  const std::vector<std::string> scenario_row_columns =
+      scenario.row_columns();
+  if (!scenario_row_columns.empty() && !row_sinks.empty()) {
+    result.replica_columns = prefix_columns;
+    result.replica_columns.insert(result.replica_columns.end(),
+                                  scenario_row_columns.begin(),
+                                  scenario_row_columns.end());
+  } else if (!row_sinks.empty()) {
+    throw std::runtime_error(
+        "scenario '" + scenario.name() +
+        "' streams no per-replica rows; drop --rows-csv or pick a "
+        "streaming scenario (see `opindyn describe`)");
+  }
+  // Per-replica rows cost O(replicas x checkpoints) strings per cell,
+  // so they are only generated when a row sink consumes them.
+  const bool stream_rows = !result.replica_columns.empty();
 
-  for (RowSink* sink : sinks) {
-    sink->begin(result.columns);
+  const std::vector<SweepPoint> grid = expand_grid(spec);
+
+  OrderedFlush aggregate_flush(sinks, grid.size());
+  aggregate_flush.begin(result.columns);
+  OrderedFlush replica_flush(row_sinks, grid.size());
+  if (stream_rows) {
+    replica_flush.begin(result.replica_columns);
   }
 
-  // One scheduler (and thus one thread pool) for the whole batch; work
-  // items run sequentially and parallelism lives inside each item's
-  // replica shards.
-  ReplicaScheduler scheduler(spec.threads);
-  const std::vector<SweepPoint> grid = expand_grid(spec);
+  // Phase 1: resolve every cell and submit its replica batches.  Cells
+  // are declared before the scheduler so the scheduler is destroyed (and
+  // its pool drained) first -- unit bodies reference the cells.
+  std::vector<std::unique_ptr<Cell>> cells;
+  GraphCache graph_cache;
+  CellScheduler scheduler(spec.threads);
+  cells.reserve(grid.size());
   for (const SweepPoint& point : grid) {
-    ExperimentSpec item = spec;
-    item.sweeps.clear();
+    auto cell = std::make_unique<Cell>();
+    cell->item = spec;
+    cell->item.sweeps.clear();
     for (const auto& [key, value] : point.overrides) {
-      apply_override(item, key, value);
+      apply_override(cell->item, key, value);
+      if (!is_base_key(key)) {
+        cell->labels.push_back(value);
+      }
     }
-    const Graph graph = build_graph(item.graph);
-    const std::vector<double> initial = build_initial(item.initial, graph);
-    const RunInput input{item, graph, initial, scheduler};
-    const std::vector<std::vector<std::string>> rows = scenario.run(input);
+    cell->graph = graph_cache.get(
+        graph_cache_key(cell->item.graph),
+        [&cell] { return build_graph(cell->item.graph); });
+    cell->initial = build_initial(cell->item.initial, *cell->graph);
+    const RunInput input{cell->item, *cell->graph, cell->initial,
+                         scheduler, stream_rows};
+    cell->fold = scenario.start(input);
+    cells.push_back(std::move(cell));
+  }
+  result.graphs_built = graph_cache.misses();
 
-    for (const std::vector<std::string>& scenario_cells : rows) {
-      OPINDYN_EXPECTS(scenario_cells.size() == scenario_columns.size(),
-                      "scenario returned a row of the wrong width");
-      std::vector<std::string> cells = {
-          scenario.name(), graph.name(),
-          std::to_string(graph.node_count()), std::to_string(item.replicas)};
-      for (const auto& [key, value] : point.overrides) {
-        if (!is_base_key(key)) {
-          cells.push_back(value);
-        }
+  // Phase 2: fold in cell order.  Each fold blocks only on its own
+  // cell's batches while every later cell keeps running on the pool;
+  // the OrderedFlush then releases rows to the sinks in cell order.
+  for (std::size_t index = 0; index < cells.size(); ++index) {
+    Cell& cell = *cells[index];
+    CellRows cell_rows = cell.fold();
+    cell.fold = nullptr;  // release the batch handles
+
+    const auto prefixed = [&](const std::vector<std::string>& suffix,
+                              std::size_t width,
+                              const char* what) {
+      OPINDYN_EXPECTS(suffix.size() == width,
+                      std::string("scenario returned a ") + what +
+                          " row of the wrong width");
+      std::vector<std::string> cells_out = {
+          scenario.name(), cell.graph->name(),
+          std::to_string(cell.graph->node_count()),
+          std::to_string(cell.item.replicas)};
+      cells_out.insert(cells_out.end(), cell.labels.begin(),
+                       cell.labels.end());
+      cells_out.insert(cells_out.end(), suffix.begin(), suffix.end());
+      return cells_out;
+    };
+
+    std::vector<std::vector<std::string>> aggregate;
+    aggregate.reserve(cell_rows.aggregate.size());
+    for (const std::vector<std::string>& row : cell_rows.aggregate) {
+      aggregate.push_back(prefixed(row, scenario_columns.size(),
+                                   "aggregate"));
+    }
+    result.rows.insert(result.rows.end(), aggregate.begin(),
+                       aggregate.end());
+    aggregate_flush.cell_done(index, std::move(aggregate));
+
+    if (stream_rows) {
+      std::vector<std::vector<std::string>> replica;
+      replica.reserve(cell_rows.replica.size());
+      for (const std::vector<std::string>& row : cell_rows.replica) {
+        replica.push_back(prefixed(row, scenario_row_columns.size(),
+                                   "per-replica"));
       }
-      cells.insert(cells.end(), scenario_cells.begin(),
-                   scenario_cells.end());
-      for (RowSink* sink : sinks) {
-        sink->row(cells);
-      }
-      result.rows.push_back(std::move(cells));
+      result.replica_rows.insert(result.replica_rows.end(),
+                                 replica.begin(), replica.end());
+      replica_flush.cell_done(index, std::move(replica));
+    } else {
+      OPINDYN_EXPECTS(cell_rows.replica.empty(),
+                      "scenario streamed rows that nothing consumes");
+      replica_flush.cell_done(index, {});
     }
     result.work_items += 1;
   }
 
-  for (RowSink* sink : sinks) {
-    sink->finish();
+  aggregate_flush.finish();
+  if (stream_rows) {
+    replica_flush.finish();
   }
   return result;
 }
@@ -98,6 +188,7 @@ BatchResult run_experiment(const ExperimentSpec& spec,
 BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
   TableSink table(std::cout);
   CsvSink csv(spec.csv_path);
+  CsvSink rows_csv(spec.rows_csv_path);
   std::vector<RowSink*> sinks;
   if (spec.print_table) {
     sinks.push_back(&table);
@@ -105,10 +196,19 @@ BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
   if (!spec.csv_path.empty()) {
     sinks.push_back(&csv);
   }
-  BatchResult result = run_experiment(spec, sinks);
+  std::vector<RowSink*> row_sinks;
+  if (!spec.rows_csv_path.empty()) {
+    row_sinks.push_back(&rows_csv);
+  }
+  BatchResult result = run_experiment(spec, sinks, row_sinks);
   if (!spec.csv_path.empty() && spec.print_table) {
     std::cout << "\nwrote " << result.rows.size() << " rows to "
               << spec.csv_path << "\n";
+  }
+  if (!spec.rows_csv_path.empty() && spec.print_table) {
+    std::cout << (spec.csv_path.empty() ? "\n" : "") << "wrote "
+              << result.replica_rows.size() << " per-replica rows to "
+              << spec.rows_csv_path << "\n";
   }
   return result;
 }

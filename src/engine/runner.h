@@ -1,12 +1,17 @@
 // The batch scheduler: expands an ExperimentSpec's sweep axes into the
-// cartesian grid of work items, runs each item through its scenario with
-// replicas sharded across the thread pool, and streams the aggregated
-// rows to the configured sinks.  Grid expansion, Rng stream assignment
-// and row order are all independent of the thread count, so the emitted
-// CSV is byte-identical for any --threads value.
+// cartesian grid of cells, resolves every cell up front (graphs come
+// from a per-batch GraphCache, so a sweep over model parameters builds
+// each distinct graph once), submits every cell's replica batches to one
+// shared CellScheduler -- all (cell x replica) units are in flight on
+// one thread pool at once -- and folds the cells in grid order, routing
+// aggregate and streamed per-replica rows through an OrderedFlush to the
+// configured sinks.  Grid expansion, Rng stream assignment, fold order
+// and emission order are all independent of the thread count, so the
+// emitted CSV bytes are identical for any --threads value.
 #ifndef OPINDYN_ENGINE_RUNNER_H
 #define OPINDYN_ENGINE_RUNNER_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,20 +32,35 @@ struct SweepPoint {
 std::vector<SweepPoint> expand_grid(const ExperimentSpec& spec);
 
 struct BatchResult {
+  /// Aggregate channel: base + sweep-label + scenario columns.
   std::vector<std::string> columns;
   std::vector<std::vector<std::string>> rows;
+  /// Streamed per-replica channel.  Only populated when the scenario
+  /// declares row_columns() AND a row sink was passed (pass a
+  /// MemorySink to consume the rows programmatically) -- otherwise the
+  /// rows are never even generated, so aggregate-only runs don't pay
+  /// O(replicas x checkpoints) memory.
+  std::vector<std::string> replica_columns;
+  std::vector<std::vector<std::string>> replica_rows;
   std::int64_t work_items = 0;
+  /// Distinct graphs actually constructed; < work_items whenever the
+  /// cache shared a graph across cells.
+  std::int64_t graphs_built = 0;
 };
 
 /// Runs the full batch: looks up the scenario, expands the grid, builds
-/// the per-item graph and initial opinions, runs the scenario on each
-/// item, and streams rows to `sinks` (begin/row/finish).  Also returns
-/// everything in the BatchResult for programmatic callers.
+/// the per-cell graph (cached) and initial opinions, schedules every
+/// cell's replicas over one pool, and streams aggregate rows to `sinks`
+/// and per-replica rows to `row_sinks` (begin/row/finish, in cell
+/// order).  Also returns everything in the BatchResult for programmatic
+/// callers.
 BatchResult run_experiment(const ExperimentSpec& spec,
-                           const std::vector<RowSink*>& sinks = {});
+                           const std::vector<RowSink*>& sinks = {},
+                           const std::vector<RowSink*>& row_sinks = {});
 
-/// Convenience wrapper: renders a markdown table to stdout (unless
-/// spec.print_table is false) and writes spec.csv_path if set.
+/// Convenience wrapper: renders a markdown table of the aggregate rows
+/// to stdout (unless spec.print_table is false), writes spec.csv_path
+/// and spec.rows_csv_path if set.
 BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec);
 
 }  // namespace engine

@@ -1,11 +1,23 @@
-// The common Runner interface behind the `opindyn` CLI: a Scenario
-// receives one fully-resolved work item (spec + graph + initial opinions
-// + a replica scheduler) and returns one or more result rows.  Scenarios
-// self-register in the ScenarioRegistry via OPINDYN_REGISTER_SCENARIO, so
-// the batch runner and the CLI discover them by name.
+// The common Runner interface behind the `opindyn` CLI.  A Scenario
+// receives one fully-resolved work item ("cell": spec + graph + initial
+// opinions + the batch-wide cell scheduler) and runs in two phases:
+//
+//   1. start(input) submits the cell's replica batches to the shared
+//      CellScheduler and returns *without blocking*; the runner calls
+//      start for every cell of the sweep grid up front, so all
+//      (cell x replica) units are in flight on one thread pool at once.
+//   2. The returned CellFold, invoked later in strict cell order, blocks
+//      on the cell's batches, folds them, and formats the result rows.
+//
+// A scenario produces aggregate rows (width columns()) and may also
+// stream per-replica rows (width row_columns()) for tail / histogram /
+// trajectory workloads.  Scenarios self-register in the ScenarioRegistry
+// via OPINDYN_REGISTER_SCENARIO, so the batch runner and the CLI
+// discover them by name.
 #ifndef OPINDYN_ENGINE_SCENARIO_H
 #define OPINDYN_ENGINE_SCENARIO_H
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,13 +30,34 @@
 namespace opindyn {
 namespace engine {
 
-/// Everything a scenario needs to run one grid point.
+/// Everything a scenario needs to run one grid cell.  The runner keeps
+/// the referenced objects alive until every unit of the batch has run
+/// and its fold has been invoked, so batch bodies may capture them.
 struct RunInput {
   const ExperimentSpec& spec;
   const Graph& graph;
   const std::vector<double>& initial;
-  ReplicaScheduler& scheduler;
+  CellScheduler& scheduler;
+  /// True iff a consumer wants the per-replica row channel; streaming
+  /// scenarios skip emitting/formatting replica rows when false, so a
+  /// plain aggregate run never pays the O(replicas x rows) memory.
+  bool stream_rows = false;
 };
+
+/// What one cell's fold produces.
+struct CellRows {
+  /// Aggregate result rows; each must have columns().size() cells.  Most
+  /// scenarios return a single row; comparison scenarios return one row
+  /// per contending protocol.
+  std::vector<std::vector<std::string>> aggregate;
+  /// Per-replica streamed rows; each must have row_columns().size()
+  /// cells.  Empty for scenarios that only aggregate.
+  std::vector<std::vector<std::string>> replica;
+};
+
+/// Deferred second phase of a cell: blocks on the cell's batches and
+/// formats rows.  Invoked by the runner in cell order on its own thread.
+using CellFold = std::function<CellRows()>;
 
 class Scenario {
  public:
@@ -34,14 +67,16 @@ class Scenario {
   virtual std::string name() const = 0;
   /// One-line description shown by `opindyn list`.
   virtual std::string description() const = 0;
-  /// Result columns this scenario appends after the runner's base and
-  /// sweep-label columns.
+  /// Aggregate result columns this scenario appends after the runner's
+  /// base and sweep-label columns.
   virtual std::vector<std::string> columns() const = 0;
-  /// Runs one work item; each returned row must have columns().size()
-  /// cells.  Most scenarios return a single row; comparison scenarios may
-  /// return one row per contending protocol.
-  virtual std::vector<std::vector<std::string>> run(
-      const RunInput& input) const = 0;
+  /// Streamed per-replica row columns; empty (the default) declares that
+  /// this scenario does not stream rows.
+  virtual std::vector<std::string> row_columns() const { return {}; }
+
+  /// Phase 1: submit the cell's replica batches (non-blocking) and
+  /// return the fold that formats its rows.
+  virtual CellFold start(const RunInput& input) const = 0;
 };
 
 class ScenarioRegistry {
@@ -55,7 +90,8 @@ class ScenarioRegistry {
 
   bool contains(const std::string& name) const;
 
-  /// Throws std::runtime_error naming the known scenarios if absent.
+  /// Throws std::runtime_error suggesting near-match names (and naming
+  /// the known scenarios) if absent.
   const Scenario& get(const std::string& name) const;
 
   /// Registered names, sorted.

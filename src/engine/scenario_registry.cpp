@@ -2,6 +2,7 @@
 
 #include "src/engine/scenario.h"
 #include "src/support/assert.h"
+#include "src/support/cli.h"
 
 namespace opindyn {
 namespace engine {
@@ -26,12 +27,23 @@ bool ScenarioRegistry::contains(const std::string& name) const {
 const Scenario& ScenarioRegistry::get(const std::string& name) const {
   const auto it = scenarios_.find(name);
   if (it == scenarios_.end()) {
+    const std::vector<std::string> suggestions =
+        closest_matches(name, names());
+    std::string message = "unknown scenario '" + name + "'";
+    if (!suggestions.empty()) {
+      message += " -- did you mean ";
+      for (std::size_t i = 0; i < suggestions.size(); ++i) {
+        message += (i == 0 ? "'" : i + 1 == suggestions.size() ? " or '"
+                                                               : ", '") +
+                   suggestions[i] + "'";
+      }
+      message += "?";
+    }
     std::string known;
     for (const auto& [registered, unused] : scenarios_) {
       known += known.empty() ? registered : ", " + registered;
     }
-    throw std::runtime_error("unknown scenario '" + name +
-                             "' (known: " + known + ")");
+    throw std::runtime_error(message + " (known: " + known + ")");
   }
   return *it->second;
 }

@@ -1,10 +1,21 @@
 // Built-in scenarios: the paper's two averaging processes and their lazy
-// and k-sample variants, the Section-3 related-work baselines, and the
-// comparison races the benches used to hand-roll.  Each scenario
-// self-registers, so `opindyn list` and the batch runner discover them by
-// name.
+// and k-sample variants, the Section-3 related-work baselines, the
+// comparison races the benches used to hand-roll, and the streaming
+// tail / trajectory workloads.  Each scenario self-registers, so
+// `opindyn list` and the batch runner discover them by name.
+//
+// Scenarios run in two phases (see scenario.h): start() submits replica
+// batches to the shared CellScheduler without blocking -- heavy per-cell
+// analysis (spectra, deterministic baselines) is wrapped in one-replica
+// batches so it runs on the pool too -- and the returned fold formats
+// rows once the runner reaches the cell in emission order.  Batch bodies
+// capture the RunInput by value: it only holds references to the
+// runner-owned cell context, which outlives the batch.
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "src/baselines/degroot.h"
 #include "src/baselines/friedkin_johnsen.h"
@@ -46,28 +57,34 @@ std::string fmt_sci(double value, int digits) {
 }
 
 /// Aggregated eps-convergence statistics of one averaging-process
-/// configuration, gathered through the sharded scheduler (replica r uses
-/// stream fork(subseed(seed, salt), r), so every sub-experiment of a
-/// scenario gets its own independent stream family).
+/// configuration (replica r uses stream fork(subseed(seed, salt), r), so
+/// every sub-experiment of a scenario gets its own independent stream
+/// family).
 struct AveragingSummary {
   RunningStats value;
   RunningStats steps;
   std::int64_t diverged = 0;
 };
 
-AveragingSummary run_averaging(const RunInput& in, const ModelConfig& config,
-                               std::uint64_t salt = 0) {
+std::shared_ptr<ReplicaBatch> submit_averaging(const RunInput& in,
+                                               const ModelConfig& config,
+                                               std::uint64_t salt = 0) {
   const ExperimentSpec& spec = in.spec;
-  std::vector<RunningStats> stats = in.scheduler.run(
+  return in.scheduler.submit(
       spec.replicas, salt == 0 ? spec.seed : subseed(spec.seed, salt), 3,
-      [&](std::int64_t, Rng& rng, std::span<double> out) {
+      [in, config](std::int64_t, Rng& rng, std::span<double> out,
+                   RowEmitter&) {
         auto process = make_process(in.graph, config, in.initial);
         const ConvergenceResult res =
-            run_until_converged(*process, rng, spec.convergence);
+            run_until_converged(*process, rng, in.spec.convergence);
         out[0] = res.final_value;
         out[1] = static_cast<double>(res.steps);
         out[2] = res.converged ? 0.0 : 1.0;
       });
+}
+
+AveragingSummary fold_averaging(ReplicaBatch& batch) {
+  const std::vector<RunningStats>& stats = batch.stats();
   AveragingSummary summary;
   summary.value = stats[0];
   summary.steps = stats[1];
@@ -88,6 +105,14 @@ std::vector<std::string> averaging_row(const AveragingSummary& s) {
           std::to_string(s.diverged)};
 }
 
+/// One batch that folds a single configured averaging run into one row.
+CellFold averaging_fold(const RunInput& in, const ModelConfig& config) {
+  auto batch = submit_averaging(in, config);
+  return [batch] {
+    return CellRows{{averaging_row(fold_averaging(*batch))}, {}};
+  };
+}
+
 /// NodeModel (Definition 2.1) run to eps-convergence.
 class NodeScenario final : public Scenario {
  public:
@@ -99,11 +124,10 @@ class NodeScenario final : public Scenario {
   std::vector<std::string> columns() const override {
     return averaging_columns();
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
+  CellFold start(const RunInput& in) const override {
     ModelConfig config = in.spec.model;
     config.kind = ModelKind::node;
-    return {averaging_row(run_averaging(in, config))};
+    return averaging_fold(in, config);
   }
 };
 OPINDYN_REGISTER_SCENARIO(NodeScenario)
@@ -119,11 +143,10 @@ class EdgeScenario final : public Scenario {
   std::vector<std::string> columns() const override {
     return averaging_columns();
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
+  CellFold start(const RunInput& in) const override {
     ModelConfig config = in.spec.model;
     config.kind = ModelKind::edge;
-    return {averaging_row(run_averaging(in, config))};
+    return averaging_fold(in, config);
   }
 };
 OPINDYN_REGISTER_SCENARIO(EdgeScenario)
@@ -140,12 +163,11 @@ class LazyScenario final : public Scenario {
   std::vector<std::string> columns() const override {
     return averaging_columns();
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
+  CellFold start(const RunInput& in) const override {
     ModelConfig config = in.spec.model;
     config.kind = ModelKind::node;
     config.lazy = true;
-    return {averaging_row(run_averaging(in, config))};
+    return averaging_fold(in, config);
   }
 };
 OPINDYN_REGISTER_SCENARIO(LazyScenario)
@@ -162,21 +184,52 @@ class NodeVsEdgeScenario final : public Scenario {
     return {"T node", "T edge", "T node/edge", "Var(F) node",
             "Var(F) edge"};
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
+  CellFold start(const RunInput& in) const override {
     ModelConfig node = in.spec.model;
     node.kind = ModelKind::node;
     ModelConfig edge = in.spec.model;
     edge.kind = ModelKind::edge;
-    const AveragingSummary ns = run_averaging(in, node, 0);
-    const AveragingSummary es = run_averaging(in, edge, 1);
-    return {{fmt_fixed(ns.steps.mean(), 1), fmt_fixed(es.steps.mean(), 1),
-             fmt_fixed(ns.steps.mean() / es.steps.mean(), 3),
-             fmt_sci(ns.value.population_variance(), 3),
-             fmt_sci(es.value.population_variance(), 3)}};
+    auto node_batch = submit_averaging(in, node, 0);
+    auto edge_batch = submit_averaging(in, edge, 1);
+    return [node_batch, edge_batch] {
+      const AveragingSummary ns = fold_averaging(*node_batch);
+      const AveragingSummary es = fold_averaging(*edge_batch);
+      return CellRows{
+          {{fmt_fixed(ns.steps.mean(), 1), fmt_fixed(es.steps.mean(), 1),
+            fmt_fixed(ns.steps.mean() / es.steps.mean(), 3),
+            fmt_sci(ns.value.population_variance(), 3),
+            fmt_sci(es.value.population_variance(), 3)}},
+          {}};
+    };
   }
 };
 OPINDYN_REGISTER_SCENARIO(NodeVsEdgeScenario)
+
+/// Submits the spectral Prop. B.1 prediction of a NodeModel cell as a
+/// one-replica batch, so the O(n^3) eigensolve runs on the pool
+/// alongside the replicas instead of serialising the cells.
+/// Metrics: [0] = 1 - lambda2(P), [1] = predicted T, [2] = theorem scale.
+std::shared_ptr<ReplicaBatch> submit_node_prediction(
+    const RunInput& in, const ModelConfig& config) {
+  return in.scheduler.submit(
+      1, subseed(in.spec.seed, 0x9d), 3,
+      [in, config](std::int64_t, Rng&, std::span<double> out, RowEmitter&) {
+        const WalkSpectrum spectrum = lazy_walk_spectrum(in.graph);
+        OpinionState probe(in.graph, in.initial);
+        out[0] = spectrum.gap;
+        out[1] = theory::steps_to_epsilon(
+            theory::node_model_rho(spectrum.lambda2, config.alpha, config.k,
+                                   in.graph.node_count(), config.lazy),
+            probe.phi_exact(), in.spec.convergence.epsilon);
+        double norm = 0.0;
+        for (const double x : in.initial) {
+          norm += x * x;
+        }
+        out[2] = theory::node_convergence_bound(
+            in.graph.node_count(), norm, in.spec.convergence.epsilon,
+            spectrum.lambda2);
+      });
+}
 
 /// NodeModel T_eps against the Prop. B.1 prediction -- sweep k to get the
 /// remark after Theorem 2.2 ((1 + 1/k) dependence).
@@ -190,24 +243,193 @@ class KAblationScenario final : public Scenario {
   std::vector<std::string> columns() const override {
     return {"T_eps", "+-CI(T)", "T predicted (B.1)", "measured/predicted"};
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
+  CellFold start(const RunInput& in) const override {
     ModelConfig config = in.spec.model;
     config.kind = ModelKind::node;
-    const AveragingSummary s = run_averaging(in, config);
-    const WalkSpectrum spectrum = lazy_walk_spectrum(in.graph);
-    OpinionState probe(in.graph, in.initial);
-    const double predicted = theory::steps_to_epsilon(
-        theory::node_model_rho(spectrum.lambda2, config.alpha, config.k,
-                               in.graph.node_count(), config.lazy),
-        probe.phi_exact(), in.spec.convergence.epsilon);
-    return {{fmt_fixed(s.steps.mean(), 1),
-             fmt_fixed(s.steps.mean_ci_halfwidth(), 1),
-             fmt_fixed(predicted, 1),
-             fmt_fixed(s.steps.mean() / predicted, 3)}};
+    auto measured = submit_averaging(in, config);
+    auto prediction = submit_node_prediction(in, config);
+    return [measured, prediction] {
+      const AveragingSummary s = fold_averaging(*measured);
+      const double predicted = prediction->sample(0, 1);
+      return CellRows{{{fmt_fixed(s.steps.mean(), 1),
+                        fmt_fixed(s.steps.mean_ci_halfwidth(), 1),
+                        fmt_fixed(predicted, 1),
+                        fmt_fixed(s.steps.mean() / predicted, 3)}},
+                      {}};
+    };
   }
 };
 OPINDYN_REGISTER_SCENARIO(KAblationScenario)
+
+/// NodeModel convergence against both the exact B.1 prediction and the
+/// Theorem 2.2(1) scale n log(n ||xi||^2 / eps) / (1 - lambda2(P)) --
+/// the engine port of bench_thm22_convergence; sweep graph / n / alpha /
+/// k to reproduce its three tables.
+class Thm22ConvergenceScenario final : public Scenario {
+ public:
+  std::string name() const override { return "thm22_convergence"; }
+  std::string description() const override {
+    return "Thm 2.2(1): NodeModel T_eps vs the exact B.1 prediction and "
+           "the theorem's n log(n||xi||^2/eps)/(1-lambda2) scale.";
+  }
+  std::vector<std::string> columns() const override {
+    return {"1-l2(P)", "T measured", "+-CI(T)", "T predicted (B.1)",
+            "theorem scale", "meas/pred"};
+  }
+  CellFold start(const RunInput& in) const override {
+    ModelConfig config = in.spec.model;
+    config.kind = ModelKind::node;
+    auto measured = submit_averaging(in, config);
+    auto prediction = submit_node_prediction(in, config);
+    return [measured, prediction] {
+      const AveragingSummary s = fold_averaging(*measured);
+      const double predicted = prediction->sample(0, 1);
+      return CellRows{{{fmt_sci(prediction->sample(0, 0), 2),
+                        fmt_fixed(s.steps.mean(), 0),
+                        fmt_fixed(s.steps.mean_ci_halfwidth(), 0),
+                        fmt_fixed(predicted, 0),
+                        fmt_fixed(prediction->sample(0, 2), 0),
+                        fmt_fixed(s.steps.mean() / predicted, 3)}},
+                      {}};
+    };
+  }
+};
+OPINDYN_REGISTER_SCENARIO(Thm22ConvergenceScenario)
+
+/// The w.h.p. tail of Theorems 2.2(1)/2.4(1): per-replica T_eps rows
+/// (the first streaming consumer) plus quantiles normalised by the
+/// median for both models -- the engine port of bench_whp_tail.
+class WhpTailScenario final : public Scenario {
+ public:
+  std::string name() const override { return "whp_tail"; }
+  std::string description() const override {
+    return "WHP tail of T_eps (Thms 2.2/2.4): per-replica convergence "
+           "times streamed as rows; quantiles over the median per model.";
+  }
+  std::vector<std::string> columns() const override {
+    return {"model", "median T", "q90/median", "q99/median", "max/median"};
+  }
+  std::vector<std::string> row_columns() const override {
+    return {"model", "replica", "T_eps", "T/median"};
+  }
+  CellFold start(const RunInput& in) const override {
+    std::array<std::shared_ptr<ReplicaBatch>, 2> batches;
+    for (int i = 0; i < 2; ++i) {
+      const ModelKind kind = i == 0 ? ModelKind::node : ModelKind::edge;
+      ModelConfig config = in.spec.model;
+      config.kind = kind;
+      // The EdgeModel tail analysis (Prop. D.1) is stated for the plain
+      // potential, as in the original bench.
+      ConvergenceOptions convergence = in.spec.convergence;
+      convergence.use_plain_potential =
+          kind == ModelKind::edge || convergence.use_plain_potential;
+      batches[i] = in.scheduler.submit(
+          in.spec.replicas,
+          i == 0 ? in.spec.seed : subseed(in.spec.seed, 1), 1,
+          [in, config, convergence](std::int64_t, Rng& rng,
+                                    std::span<double> out, RowEmitter&) {
+            auto process = make_process(in.graph, config, in.initial);
+            out[0] = static_cast<double>(
+                run_until_converged(*process, rng, convergence).steps);
+          });
+    }
+    const bool stream_rows = in.stream_rows;
+    return [batches, stream_rows] {
+      CellRows rows;
+      for (int i = 0; i < 2; ++i) {
+        const std::string model = i == 0 ? "NodeModel" : "EdgeModel";
+        ReplicaBatch& batch = *batches[i];
+        std::vector<double> times(batch.samples());
+        std::sort(times.begin(), times.end());
+        const auto quantile = [&times](double q) {
+          return times[static_cast<std::size_t>(
+              q * static_cast<double>(times.size()))];
+        };
+        const double median = times[times.size() / 2];
+        rows.aggregate.push_back({model, fmt_fixed(median, 0),
+                                  fmt_fixed(quantile(0.90) / median, 3),
+                                  fmt_fixed(quantile(0.99) / median, 3),
+                                  fmt_fixed(times.back() / median, 3)});
+        if (!stream_rows) {
+          continue;
+        }
+        for (std::int64_t r = 0; r < batch.replicas(); ++r) {
+          const double t = batch.sample(r, 0);
+          rows.replica.push_back({model, std::to_string(r),
+                                  fmt_fixed(t, 0),
+                                  fmt_fixed(t / median, 4)});
+        }
+      }
+      return rows;
+    };
+  }
+};
+OPINDYN_REGISTER_SCENARIO(WhpTailScenario)
+
+/// Streams the NodeModel martingale M(t) and potential phi(t) at fixed
+/// checkpoints for every replica -- the trajectory / histogram workload
+/// behind Fig. 1-style decay plots.  Checkpoints run every
+/// `check-interval` steps (0 = n/4) up to `horizon` (0 = 16n).
+class TrajectoryScenario final : public Scenario {
+ public:
+  std::string name() const override { return "trajectory"; }
+  std::string description() const override {
+    return "Streams per-replica (step, M, phi) rows every check-interval "
+           "steps up to horizon; aggregates the final state.";
+  }
+  std::vector<std::string> columns() const override {
+    return {"rows/replica", "final E[M]", "final E[phi]"};
+  }
+  std::vector<std::string> row_columns() const override {
+    return {"replica", "step", "M", "phi"};
+  }
+  CellFold start(const RunInput& in) const override {
+    const std::int64_t n = in.graph.node_count();
+    const std::int64_t horizon =
+        in.spec.horizon > 0 ? in.spec.horizon : 16 * n;
+    const std::int64_t stride = in.spec.convergence.check_interval > 0
+                                    ? in.spec.convergence.check_interval
+                                    : std::max<std::int64_t>(1, n / 4);
+    ModelConfig config = in.spec.model;
+    config.kind = ModelKind::node;
+    auto batch = in.scheduler.submit(
+        in.spec.replicas, in.spec.seed, 2,
+        [in, config, horizon, stride](std::int64_t, Rng& rng,
+                                      std::span<double> out,
+                                      RowEmitter& rows) {
+          auto process = make_process(in.graph, config, in.initial);
+          for (std::int64_t t = 0; t <= horizon; t += stride) {
+            while (process->time() < t) {
+              process->step(rng);
+            }
+            if (in.stream_rows) {
+              rows.emit({std::to_string(t),
+                         fmt(process->state().weighted_average()),
+                         fmt_sci(process->state().phi_exact(), 4)});
+            }
+          }
+          out[0] = process->state().weighted_average();
+          out[1] = process->state().phi_exact();
+        });
+    const std::int64_t per_replica = horizon / stride + 1;
+    return [batch, per_replica] {
+      const std::vector<RunningStats>& stats = batch->stats();
+      CellRows rows;
+      rows.aggregate.push_back({std::to_string(per_replica),
+                                fmt(stats[0].mean()),
+                                fmt_sci(stats[1].mean(), 4)});
+      for (StreamedRow& streamed : batch->take_streamed_rows()) {
+        std::vector<std::string> cells{std::to_string(streamed.replica)};
+        cells.insert(cells.end(),
+                     std::make_move_iterator(streamed.cells.begin()),
+                     std::make_move_iterator(streamed.cells.end()));
+        rows.replica.push_back(std::move(cells));
+      }
+      return rows;
+    };
+  }
+};
+OPINDYN_REGISTER_SCENARIO(TrajectoryScenario)
 
 /// Discrete voter model baseline run to consensus.
 class VoterScenario final : public Scenario {
@@ -220,27 +442,30 @@ class VoterScenario final : public Scenario {
   std::vector<std::string> columns() const override {
     return {"consensus T", "+-CI(T)", "consensus rate"};
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
-    const ExperimentSpec& spec = in.spec;
+  CellFold start(const RunInput& in) const override {
     std::vector<int> opinions(
         static_cast<std::size_t>(in.graph.node_count()));
     for (std::size_t u = 0; u < opinions.size(); ++u) {
       opinions[u] = static_cast<int>(u);
     }
-    const std::vector<RunningStats> stats = in.scheduler.run(
-        spec.replicas, spec.seed, 2,
-        [&](std::int64_t, Rng& rng, std::span<double> out) {
+    auto batch = in.scheduler.submit(
+        in.spec.replicas, in.spec.seed, 2,
+        [in, opinions](std::int64_t, Rng& rng, std::span<double> out,
+                       RowEmitter&) {
           const VoterRunResult res = run_voter_to_consensus(
-              in.graph, opinions, rng, spec.convergence.max_steps);
+              in.graph, opinions, rng, in.spec.convergence.max_steps);
           if (res.reached_consensus) {
             out[0] = static_cast<double>(res.steps);
           }
           out[1] = res.reached_consensus ? 1.0 : 0.0;
         });
-    return {{fmt_fixed(stats[0].mean(), 1),
-             fmt_fixed(stats[0].mean_ci_halfwidth(), 1),
-             fmt_fixed(stats[1].mean(), 3)}};
+    return [batch] {
+      const std::vector<RunningStats>& stats = batch->stats();
+      return CellRows{{{fmt_fixed(stats[0].mean(), 1),
+                        fmt_fixed(stats[0].mean_ci_halfwidth(), 1),
+                        fmt_fixed(stats[1].mean(), 3)}},
+                      {}};
+    };
   }
 };
 OPINDYN_REGISTER_SCENARIO(VoterScenario)
@@ -256,28 +481,32 @@ class GossipScenario final : public Scenario {
   std::vector<std::string> columns() const override {
     return {"E[F]", "Var(F)", "T_eps", "+-CI(T)", "avg drift"};
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
-    const ExperimentSpec& spec = in.spec;
-    const std::vector<RunningStats> stats = in.scheduler.run(
-        spec.replicas, spec.seed, 3,
-        [&](std::int64_t, Rng& rng, std::span<double> out) {
+  CellFold start(const RunInput& in) const override {
+    auto batch = in.scheduler.submit(
+        in.spec.replicas, in.spec.seed, 3,
+        [in](std::int64_t, Rng& rng, std::span<double> out, RowEmitter&) {
           const GossipRunResult res = run_gossip_to_convergence(
-              in.graph, in.initial, rng, spec.convergence.epsilon,
-              spec.convergence.max_steps);
+              in.graph, in.initial, rng, in.spec.convergence.epsilon,
+              in.spec.convergence.max_steps);
           out[0] = res.final_value;
           out[1] = static_cast<double>(res.steps);
           out[2] = res.average_drift;
         });
-    return {{fmt(stats[0].mean()), fmt_sci(stats[0].population_variance(), 3),
-             fmt_fixed(stats[1].mean(), 1),
-             fmt_fixed(stats[1].mean_ci_halfwidth(), 1),
-             fmt_sci(stats[2].mean(), 2)}};
+    return [batch] {
+      const std::vector<RunningStats>& stats = batch->stats();
+      return CellRows{
+          {{fmt(stats[0].mean()), fmt_sci(stats[0].population_variance(), 3),
+            fmt_fixed(stats[1].mean(), 1),
+            fmt_fixed(stats[1].mean_ci_halfwidth(), 1),
+            fmt_sci(stats[2].mean(), 2)}},
+          {}};
+    };
   }
 };
 OPINDYN_REGISTER_SCENARIO(GossipScenario)
 
-/// DeGroot baseline: synchronous and deterministic, so one run suffices.
+/// DeGroot baseline: synchronous and deterministic, so one run suffices
+/// (wrapped in a one-replica batch so the cell still runs on the pool).
 class DeGrootScenario final : public Scenario {
  public:
   std::string name() const override { return "degroot"; }
@@ -288,18 +517,30 @@ class DeGrootScenario final : public Scenario {
   std::vector<std::string> columns() const override {
     return {"rounds", "limit", "|limit - M(0)|", "final spread"};
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
-    DeGrootModel model(in.graph, in.initial, /*lazy=*/true);
-    const double eps = in.spec.convergence.epsilon;
-    const std::int64_t max_rounds = in.spec.convergence.max_steps;
-    while (model.discrepancy() > eps && model.rounds() < max_rounds) {
-      model.step();
-    }
-    const double m0 = degree_weighted_average(in.graph, in.initial);
-    return {{std::to_string(model.rounds()), fmt(model.values()[0]),
-             fmt_sci(std::abs(model.values()[0] - m0), 2),
-             fmt_sci(model.discrepancy(), 2)}};
+  CellFold start(const RunInput& in) const override {
+    auto batch = in.scheduler.submit(
+        1, in.spec.seed, 4,
+        [in](std::int64_t, Rng&, std::span<double> out, RowEmitter&) {
+          DeGrootModel model(in.graph, in.initial, /*lazy=*/true);
+          const double eps = in.spec.convergence.epsilon;
+          const std::int64_t max_rounds = in.spec.convergence.max_steps;
+          while (model.discrepancy() > eps && model.rounds() < max_rounds) {
+            model.step();
+          }
+          const double m0 = degree_weighted_average(in.graph, in.initial);
+          out[0] = static_cast<double>(model.rounds());
+          out[1] = model.values()[0];
+          out[2] = std::abs(model.values()[0] - m0);
+          out[3] = model.discrepancy();
+        });
+    return [batch] {
+      return CellRows{
+          {{std::to_string(
+                static_cast<std::int64_t>(batch->sample(0, 0))),
+            fmt(batch->sample(0, 1)), fmt_sci(batch->sample(0, 2), 2),
+            fmt_sci(batch->sample(0, 3), 2)}},
+          {}};
+    };
   }
 };
 OPINDYN_REGISTER_SCENARIO(DeGrootScenario)
@@ -316,25 +557,39 @@ class FriedkinJohnsenScenario final : public Scenario {
   std::vector<std::string> columns() const override {
     return {"rounds", "mean z*", "z* spread", "final distance"};
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
-    FriedkinJohnsen model(in.graph, in.initial, in.spec.model.alpha);
-    const std::vector<double> star = model.equilibrium();
-    const double eps = in.spec.convergence.epsilon;
-    const std::int64_t max_rounds = in.spec.convergence.max_steps;
-    while (model.distance_to(star) > eps && model.rounds() < max_rounds) {
-      model.step();
-    }
-    double lo = star[0];
-    double hi = star[0];
-    double mean = 0.0;
-    for (const double z : star) {
-      lo = std::min(lo, z);
-      hi = std::max(hi, z);
-      mean += z / static_cast<double>(star.size());
-    }
-    return {{std::to_string(model.rounds()), fmt(mean), fmt(hi - lo),
-             fmt_sci(model.distance_to(star), 2)}};
+  CellFold start(const RunInput& in) const override {
+    auto batch = in.scheduler.submit(
+        1, in.spec.seed, 4,
+        [in](std::int64_t, Rng&, std::span<double> out, RowEmitter&) {
+          FriedkinJohnsen model(in.graph, in.initial, in.spec.model.alpha);
+          const std::vector<double> star = model.equilibrium();
+          const double eps = in.spec.convergence.epsilon;
+          const std::int64_t max_rounds = in.spec.convergence.max_steps;
+          while (model.distance_to(star) > eps &&
+                 model.rounds() < max_rounds) {
+            model.step();
+          }
+          double lo = star[0];
+          double hi = star[0];
+          double mean = 0.0;
+          for (const double z : star) {
+            lo = std::min(lo, z);
+            hi = std::max(hi, z);
+            mean += z / static_cast<double>(star.size());
+          }
+          out[0] = static_cast<double>(model.rounds());
+          out[1] = mean;
+          out[2] = hi - lo;
+          out[3] = model.distance_to(star);
+        });
+    return [batch] {
+      return CellRows{
+          {{std::to_string(
+                static_cast<std::int64_t>(batch->sample(0, 0))),
+            fmt(batch->sample(0, 1)), fmt(batch->sample(0, 2)),
+            fmt_sci(batch->sample(0, 3), 2)}},
+          {}};
+    };
   }
 };
 OPINDYN_REGISTER_SCENARIO(FriedkinJohnsenScenario)
@@ -352,8 +607,7 @@ class AveragingVsVoterScenario final : public Scenario {
     return {"voter T", "coalescence T", "averaging T", "speed-up",
             "n/log n"};
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
+  CellFold start(const RunInput& in) const override {
     const ExperimentSpec& spec = in.spec;
     const double n = static_cast<double>(in.graph.node_count());
 
@@ -362,21 +616,22 @@ class AveragingVsVoterScenario final : public Scenario {
     for (std::size_t u = 0; u < opinions.size(); ++u) {
       opinions[u] = static_cast<int>(u);
     }
-    const std::vector<RunningStats> voter = in.scheduler.run(
+    auto voter = in.scheduler.submit(
         spec.replicas, subseed(spec.seed, 1), 1,
-        [&](std::int64_t, Rng& rng, std::span<double> out) {
+        [in, opinions](std::int64_t, Rng& rng, std::span<double> out,
+                       RowEmitter&) {
           const VoterRunResult res = run_voter_to_consensus(
-              in.graph, opinions, rng, spec.convergence.max_steps);
+              in.graph, opinions, rng, in.spec.convergence.max_steps);
           if (res.reached_consensus) {
             out[0] = static_cast<double>(res.steps);
           }
         });
 
-    const std::vector<RunningStats> coalescence = in.scheduler.run(
+    auto coalescence = in.scheduler.submit(
         spec.replicas, subseed(spec.seed, 2), 1,
-        [&](std::int64_t, Rng& rng, std::span<double> out) {
+        [in](std::int64_t, Rng& rng, std::span<double> out, RowEmitter&) {
           const CoalescenceResult res = run_to_coalescence(
-              in.graph, rng, spec.convergence.max_steps);
+              in.graph, rng, in.spec.convergence.max_steps);
           if (res.coalesced) {
             out[0] = static_cast<double>(res.steps);
           }
@@ -386,20 +641,26 @@ class AveragingVsVoterScenario final : public Scenario {
     config.kind = ModelKind::node;
     ConvergenceOptions convergence = spec.convergence;
     convergence.epsilon = 1.0 / (n * n);
-    const std::vector<RunningStats> averaging = in.scheduler.run(
+    auto averaging = in.scheduler.submit(
         spec.replicas, spec.seed, 1,
-        [&](std::int64_t, Rng& rng, std::span<double> out) {
+        [in, config, convergence](std::int64_t, Rng& rng,
+                                  std::span<double> out, RowEmitter&) {
           auto process = make_process(in.graph, config, in.initial);
-          const ConvergenceResult res =
-              run_until_converged(*process, rng, convergence);
-          out[0] = static_cast<double>(res.steps);
+          out[0] = static_cast<double>(
+              run_until_converged(*process, rng, convergence).steps);
         });
 
-    return {{fmt_fixed(voter[0].mean(), 1),
-             fmt_fixed(coalescence[0].mean(), 1),
-             fmt_fixed(averaging[0].mean(), 1),
-             fmt_fixed(voter[0].mean() / averaging[0].mean(), 2),
-             fmt_fixed(n / std::log(n), 2)}};
+    return [voter, coalescence, averaging, n] {
+      const double voter_mean = voter->stats()[0].mean();
+      const double averaging_mean = averaging->stats()[0].mean();
+      return CellRows{
+          {{fmt_fixed(voter_mean, 1),
+            fmt_fixed(coalescence->stats()[0].mean(), 1),
+            fmt_fixed(averaging_mean, 1),
+            fmt_fixed(voter_mean / averaging_mean, 2),
+            fmt_fixed(n / std::log(n), 2)}},
+          {}};
+    };
   }
 };
 OPINDYN_REGISTER_SCENARIO(AveragingVsVoterScenario)
@@ -417,45 +678,52 @@ class GossipVsUnilateralScenario final : public Scenario {
     return {"protocol", "E[F]", "Var(F)", "T_eps", "predicted Var (P5.8)",
             "coordinated?"};
   }
-  std::vector<std::vector<std::string>> run(
-      const RunInput& in) const override {
+  CellFold start(const RunInput& in) const override {
     const ExperimentSpec& spec = in.spec;
-    std::vector<std::vector<std::string>> rows;
-
-    const std::vector<RunningStats> gossip = in.scheduler.run(
+    auto gossip = in.scheduler.submit(
         spec.replicas, subseed(spec.seed, 1), 2,
-        [&](std::int64_t, Rng& rng, std::span<double> out) {
+        [in](std::int64_t, Rng& rng, std::span<double> out, RowEmitter&) {
           const GossipRunResult res = run_gossip_to_convergence(
-              in.graph, in.initial, rng, spec.convergence.epsilon,
-              spec.convergence.max_steps);
+              in.graph, in.initial, rng, in.spec.convergence.epsilon,
+              in.spec.convergence.max_steps);
           out[0] = res.final_value;
           out[1] = static_cast<double>(res.steps);
         });
-    rows.push_back({"pairwise gossip", fmt_sci(gossip[0].mean(), 2),
-                    fmt_sci(gossip[0].population_variance(), 2),
-                    fmt_fixed(gossip[1].mean(), 1), fmt_sci(0.0, 2),
-                    "yes"});
 
-    // Prop. 5.8 is stated for regular graphs and the NodeModel only.
-    const std::string predicted =
-        in.graph.is_regular()
-            ? fmt_sci(theory::variance_exact(in.graph, spec.model.alpha,
-                                             spec.model.k, in.initial),
-                      2)
-            : "n/a";
-    for (const ModelKind kind : {ModelKind::node, ModelKind::edge}) {
-      ModelConfig config = spec.model;
-      config.kind = kind;
-      const AveragingSummary s =
-          run_averaging(in, config, kind == ModelKind::node ? 0 : 2);
-      rows.push_back({kind == ModelKind::node ? "NodeModel" : "EdgeModel",
-                      fmt_sci(s.value.mean(), 2),
-                      fmt_sci(s.value.population_variance(), 2),
-                      fmt_fixed(s.steps.mean(), 1),
-                      kind == ModelKind::node ? predicted : "n/a",
-                      "no"});
-    }
-    return rows;
+    ModelConfig node = spec.model;
+    node.kind = ModelKind::node;
+    ModelConfig edge = spec.model;
+    edge.kind = ModelKind::edge;
+    auto node_batch = submit_averaging(in, node, 0);
+    auto edge_batch = submit_averaging(in, edge, 2);
+
+    return [in, gossip, node_batch, edge_batch] {
+      std::vector<std::vector<std::string>> rows;
+      const std::vector<RunningStats>& gs = gossip->stats();
+      rows.push_back({"pairwise gossip", fmt_sci(gs[0].mean(), 2),
+                      fmt_sci(gs[0].population_variance(), 2),
+                      fmt_fixed(gs[1].mean(), 1), fmt_sci(0.0, 2), "yes"});
+
+      // Prop. 5.8 is stated for regular graphs and the NodeModel only.
+      const std::string predicted =
+          in.graph.is_regular()
+              ? fmt_sci(theory::variance_exact(in.graph, in.spec.model.alpha,
+                                               in.spec.model.k, in.initial),
+                        2)
+              : "n/a";
+      const std::pair<const char*, std::shared_ptr<ReplicaBatch>> models[] =
+          {{"NodeModel", node_batch}, {"EdgeModel", edge_batch}};
+      for (const auto& [label, batch] : models) {
+        const AveragingSummary s = fold_averaging(*batch);
+        rows.push_back({label, fmt_sci(s.value.mean(), 2),
+                        fmt_sci(s.value.population_variance(), 2),
+                        fmt_fixed(s.steps.mean(), 1),
+                        std::string(label) == "NodeModel" ? predicted
+                                                          : "n/a",
+                        "no"});
+      }
+      return CellRows{std::move(rows), {}};
+    };
   }
 };
 OPINDYN_REGISTER_SCENARIO(GossipVsUnilateralScenario)

@@ -1,16 +1,20 @@
-// The engine's replica sharding is the library-wide ReplicaScheduler
-// (src/support/replica_scheduler.h) -- the single implementation of the
+// The engine's work scheduling is the library-wide CellScheduler
+// (src/support/cell_scheduler.h) -- the single implementation of the
 // thread-count-determinism contract, shared with the core monte_carlo
 // harness.  This header re-exports it under the engine namespace.
 #ifndef OPINDYN_ENGINE_SHARD_H
 #define OPINDYN_ENGINE_SHARD_H
 
-#include "src/support/replica_scheduler.h"
+#include "src/support/cell_scheduler.h"
 
 namespace opindyn {
 namespace engine {
 
+using ::opindyn::CellScheduler;
+using ::opindyn::ReplicaBatch;
 using ::opindyn::ReplicaScheduler;
+using ::opindyn::RowEmitter;
+using ::opindyn::StreamedRow;
 using ::opindyn::subseed;
 
 }  // namespace engine

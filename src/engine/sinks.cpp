@@ -47,5 +47,57 @@ void MemorySink::row(const std::vector<std::string>& cells) {
   rows_.push_back(cells);
 }
 
+OrderedFlush::OrderedFlush(std::vector<RowSink*> sinks,
+                           std::size_t cell_count)
+    : sinks_(std::move(sinks)), pending_(cell_count) {}
+
+void OrderedFlush::begin(const std::vector<std::string>& columns) {
+  for (RowSink* sink : sinks_) {
+    sink->begin(columns);
+  }
+}
+
+void OrderedFlush::cell_done(std::size_t cell,
+                             std::vector<std::vector<std::string>> rows) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  OPINDYN_EXPECTS(cell < pending_.size(), "cell index out of range");
+  OPINDYN_EXPECTS(!pending_[cell].has_value() && cell >= next_,
+                  "cell delivered twice");
+  pending_[cell] = std::move(rows);
+  while (next_ < pending_.size() && pending_[next_].has_value()) {
+    for (const std::vector<std::string>& cells : *pending_[next_]) {
+      for (RowSink* sink : sinks_) {
+        sink->row(cells);
+      }
+      ++rows_flushed_;
+    }
+    pending_[next_].reset();
+    // A reset optional would look undelivered again; advancing next_
+    // past it is what marks it flushed.
+    ++next_;
+  }
+}
+
+std::size_t OrderedFlush::flushed_cells() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_;
+}
+
+std::int64_t OrderedFlush::flushed_rows() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rows_flushed_;
+}
+
+void OrderedFlush::finish() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    OPINDYN_EXPECTS(next_ == pending_.size(),
+                    "finish() before every cell was delivered");
+  }
+  for (RowSink* sink : sinks_) {
+    sink->finish();
+  }
+}
+
 }  // namespace engine
 }  // namespace opindyn

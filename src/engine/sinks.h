@@ -1,11 +1,17 @@
-// Row sinks: where the batch runner streams its aggregated result rows.
-// Rows arrive as formatted cells (the scenario controls number
-// formatting), so every sink renders the identical content -- the
-// determinism test compares CSV bytes across thread counts.
+// Row sinks: where the batch runner streams its result rows (aggregate
+// and per-replica channels use the same interface).  Rows arrive as
+// formatted cells (the scenario controls number formatting), so every
+// sink renders the identical content -- the determinism test compares
+// CSV bytes across thread counts.  OrderedFlush is the ordering layer in
+// front of the sinks: cells may complete in any order, but a sink only
+// ever observes rows in cell order.
 #ifndef OPINDYN_ENGINE_SINKS_H
 #define OPINDYN_ENGINE_SINKS_H
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -74,6 +80,42 @@ class MemorySink : public RowSink {
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Releases rows to a set of sinks in strict cell order, no matter in
+/// which order the cells' row blocks arrive.  `cell_done(i, rows)` may be
+/// called from any thread and exactly once per cell; whenever the next
+/// unflushed cell becomes available, the maximal ready prefix is flushed
+/// under the lock, so downstream sinks need no synchronisation of their
+/// own.  The emitted byte stream therefore depends only on the cell
+/// order, never on completion order -- the engine's CSV determinism
+/// rests on this class plus the CellScheduler's replica-order fold.
+class OrderedFlush {
+ public:
+  /// `sinks` may be empty (rows are then only counted and dropped).
+  OrderedFlush(std::vector<RowSink*> sinks, std::size_t cell_count);
+
+  /// Forwards begin(columns) to every sink.
+  void begin(const std::vector<std::string>& columns);
+
+  /// Delivers cell `cell`'s complete row block (possibly empty).
+  void cell_done(std::size_t cell,
+                 std::vector<std::vector<std::string>> rows);
+
+  /// Cells flushed so far (== cell_count once every cell arrived).
+  std::size_t flushed_cells() const;
+  /// Rows forwarded to the sinks so far.
+  std::int64_t flushed_rows() const;
+
+  /// Forwards finish() to every sink.  Fails if a cell never arrived.
+  void finish();
+
+ private:
+  std::vector<RowSink*> sinks_;
+  mutable std::mutex mutex_;
+  std::vector<std::optional<std::vector<std::vector<std::string>>>> pending_;
+  std::size_t next_ = 0;
+  std::int64_t rows_flushed_ = 0;
 };
 
 }  // namespace engine

@@ -1,0 +1,43 @@
+#include "src/graph/graph_cache.h"
+
+#include <utility>
+
+namespace opindyn {
+
+std::shared_ptr<const Graph> GraphCache::get(
+    const std::string& key, const std::function<Graph()>& build) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = graphs_.find(key);
+  if (it != graphs_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto graph = std::make_shared<const Graph>(build());
+  graphs_.emplace(key, graph);
+  return graph;
+}
+
+std::size_t GraphCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.size();
+}
+
+std::int64_t GraphCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::int64_t GraphCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void GraphCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  graphs_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,46 @@
+// Memoised graph construction.  A sweep over model parameters (alpha, k,
+// eps, ...) revisits the same generator parameters in cell after cell;
+// building the graph once and sharing the immutable result is safe
+// because Graph is never mutated after construction (see graph.h).  Keys
+// are canonical parameter strings produced by the caller (the scenario
+// engine derives them from its GraphSpec), so the cache itself stays
+// independent of any particular spec schema.
+#ifndef OPINDYN_GRAPH_GRAPH_CACHE_H
+#define OPINDYN_GRAPH_GRAPH_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace opindyn {
+
+class GraphCache {
+ public:
+  /// Returns the cached graph for `key`, building it via `build` on the
+  /// first request.  Thread-safe; `build` runs under the cache lock, so
+  /// concurrent callers of the same key build once.
+  std::shared_ptr<const Graph> get(const std::string& key,
+                                   const std::function<Graph()>& build);
+
+  std::size_t size() const;
+  /// Requests served from the cache / requests that had to build.
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Graph>> graphs_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_GRAPH_GRAPH_CACHE_H

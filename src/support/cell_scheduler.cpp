@@ -1,0 +1,157 @@
+#include "src/support/cell_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/support/assert.h"
+#include "src/support/parallel.h"
+
+namespace opindyn {
+
+std::uint64_t subseed(std::uint64_t seed, std::uint64_t salt) noexcept {
+  // One splitmix64 step over a salted state: the same mixing the Rng
+  // seeding uses, so sub-families are as independent as forked streams.
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+ReplicaBatch::ReplicaBatch(std::int64_t replicas, std::uint64_t seed,
+                           std::size_t metrics, Body body)
+    : replicas_(replicas),
+      metric_count_(metrics),
+      seed_(seed),
+      body_(std::move(body)),
+      buffer_(static_cast<std::size_t>(replicas) * metrics,
+              std::numeric_limits<double>::quiet_NaN()),
+      unit_rows_(static_cast<std::size_t>(replicas)),
+      pending_(replicas) {}
+
+void ReplicaBatch::run_range(std::int64_t begin, std::int64_t end) noexcept {
+  try {
+    for (std::int64_t r = begin; r < end; ++r) {
+      Rng rng = Rng::fork(seed_, static_cast<std::uint64_t>(r));
+      RowEmitter emitter(&unit_rows_[static_cast<std::size_t>(r)]);
+      body_(r, rng,
+            std::span<double>(
+                buffer_.data() + static_cast<std::size_t>(r) * metric_count_,
+                metric_count_),
+            emitter);
+    }
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) {
+      error_ = std::current_exception();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pending_ -= end - begin;
+    if (pending_ > 0) {
+      return;
+    }
+  }
+  all_done_.notify_all();
+}
+
+bool ReplicaBatch::done() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_ == 0;
+}
+
+void ReplicaBatch::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    std::rethrow_exception(error_);
+  }
+}
+
+const std::vector<RunningStats>& ReplicaBatch::stats() {
+  wait();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!folded_) {
+    stats_.assign(metric_count_, RunningStats{});
+    for (std::int64_t r = 0; r < replicas_; ++r) {
+      for (std::size_t m = 0; m < metric_count_; ++m) {
+        const double x =
+            buffer_[static_cast<std::size_t>(r) * metric_count_ + m];
+        if (!std::isnan(x)) {
+          stats_[m].add(x);
+        }
+      }
+    }
+    folded_ = true;
+  }
+  return stats_;
+}
+
+const std::vector<double>& ReplicaBatch::samples() {
+  wait();
+  return buffer_;
+}
+
+double ReplicaBatch::sample(std::int64_t replica, std::size_t metric) {
+  wait();
+  OPINDYN_EXPECTS(replica >= 0 && replica < replicas_,
+                  "sample(): replica out of range");
+  OPINDYN_EXPECTS(metric < metric_count_, "sample(): metric out of range");
+  return buffer_[static_cast<std::size_t>(replica) * metric_count_ + metric];
+}
+
+std::vector<StreamedRow> ReplicaBatch::take_streamed_rows() {
+  wait();
+  std::vector<StreamedRow> rows;
+  for (std::int64_t r = 0; r < replicas_; ++r) {
+    for (auto& cells : unit_rows_[static_cast<std::size_t>(r)]) {
+      rows.push_back(StreamedRow{r, std::move(cells)});
+    }
+    unit_rows_[static_cast<std::size_t>(r)].clear();
+  }
+  return rows;
+}
+
+CellScheduler::CellScheduler(std::size_t threads)
+    : threads_(threads == 0 ? default_parallelism() : threads) {}
+
+std::shared_ptr<ReplicaBatch> CellScheduler::submit(std::int64_t replicas,
+                                                    std::uint64_t seed,
+                                                    std::size_t metrics,
+                                                    ReplicaBatch::Body body) {
+  OPINDYN_EXPECTS(replicas >= 1, "need at least one replica");
+  OPINDYN_EXPECTS(metrics >= 1, "need at least one metric");
+  // make_shared is unavailable for the private constructor.
+  std::shared_ptr<ReplicaBatch> batch(
+      new ReplicaBatch(replicas, seed, metrics, std::move(body)));
+
+  if (threads_ <= 1) {
+    batch->run_range(0, replicas);
+    return batch;
+  }
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+  }
+  // Several tasks per thread so many small cells interleave and balance
+  // across the pool; the task boundaries never affect the results.
+  const std::int64_t max_tasks = static_cast<std::int64_t>(threads_) * 2;
+  const std::int64_t tasks = std::min<std::int64_t>(replicas, max_tasks);
+  const std::int64_t chunk = (replicas + tasks - 1) / tasks;
+  for (std::int64_t begin = 0; begin < replicas; begin += chunk) {
+    const std::int64_t end = std::min(begin + chunk, replicas);
+    pool_->submit([batch, begin, end] { batch->run_range(begin, end); });
+  }
+  return batch;
+}
+
+std::vector<RunningStats> CellScheduler::run(
+    std::int64_t replicas, std::uint64_t seed, std::size_t metrics,
+    const std::function<void(std::int64_t, Rng&, std::span<double>)>& body) {
+  const auto batch = submit(
+      replicas, seed, metrics,
+      [&body](std::int64_t r, Rng& rng, std::span<double> out, RowEmitter&) {
+        body(r, rng, out);
+      });
+  return batch->stats();
+}
+
+}  // namespace opindyn

@@ -1,0 +1,163 @@
+// Cell-level work scheduling -- the one implementation of the library's
+// thread-count-determinism contract.
+//
+// Monte-Carlo work is always the same shape: a batch ("cell") of R
+// independent replicas, where replica r draws all randomness from the
+// deterministic child stream Rng::fork(seed, r), and a few metrics (and
+// optionally streamed result rows) are collected per replica.  The
+// CellScheduler runs *many* such batches over one shared ThreadPool:
+// `submit` enqueues a batch's replica units and returns immediately with
+// a ReplicaBatch handle, so every cell of a sweep grid is in flight at
+// once and small cells no longer leave cores idle.  Each unit writes
+// into its own preallocated slot, and folding always happens in strict
+// replica order on the caller's thread -- neither the random streams nor
+// the fold order depend on shard boundaries, so aggregated statistics
+// and streamed rows are bit-identical for every thread count.
+//
+// Both the core monte_carlo harness (via the synchronous `run`) and the
+// scenario engine's batch runner (via `submit`) go through this class.
+#ifndef OPINDYN_SUPPORT_CELL_SCHEDULER_H
+#define OPINDYN_SUPPORT_CELL_SCHEDULER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/support/thread_pool.h"
+
+namespace opindyn {
+
+/// Derives an independent 64-bit sub-seed from (seed, salt); used to give
+/// each sub-experiment of a run (e.g. the voter race vs the averaging
+/// race) its own stream family.
+std::uint64_t subseed(std::uint64_t seed, std::uint64_t salt) noexcept;
+
+/// One per-replica result row streamed out of a unit body, tagged with
+/// the replica that produced it.
+struct StreamedRow {
+  std::int64_t replica = 0;
+  std::vector<std::string> cells;
+};
+
+/// Handed to a unit body so it can stream result rows (one per
+/// checkpoint, per sample, ...) in addition to its scalar metrics.  Each
+/// replica appends to its own buffer, so emission needs no locking and
+/// the (replica, emission) order is deterministic.
+class RowEmitter {
+ public:
+  void emit(std::vector<std::string> cells) {
+    rows_->push_back(std::move(cells));
+  }
+
+ private:
+  friend class ReplicaBatch;
+  explicit RowEmitter(std::vector<std::vector<std::string>>* rows)
+      : rows_(rows) {}
+  std::vector<std::vector<std::string>>* rows_;
+};
+
+/// Handle to one submitted batch of replica units.  All accessors block
+/// until the batch has fully run (and rethrow the first unit exception),
+/// so a caller that submits many batches and folds them in batch order
+/// observes results independent of completion order.
+class ReplicaBatch {
+ public:
+  /// Unit body: replica index, the replica's forked stream, the metric
+  /// slots (pre-filled with NaN = "no sample"), and a row emitter.
+  using Body = std::function<void(std::int64_t, Rng&, std::span<double>,
+                                  RowEmitter&)>;
+
+  /// True once every unit has run (non-blocking).
+  bool done() const;
+  /// Blocks until done; rethrows the first unit exception, if any.
+  void wait();
+
+  /// Per-metric statistics folded over replicas in index order, skipping
+  /// NaN slots.  Blocks; the fold is computed once and cached.
+  const std::vector<RunningStats>& stats();
+  /// The raw per-replica metric matrix, row-major replicas x metrics
+  /// (NaN = no sample).  Blocks.
+  const std::vector<double>& samples();
+  /// samples()[replica * metrics + metric].
+  double sample(std::int64_t replica, std::size_t metric);
+  /// All streamed rows in (replica, emission) order.  Blocks.
+  /// Consume-on-read: the rows are moved out, so a second call returns
+  /// an empty vector (unlike the idempotent stats()/samples()).
+  std::vector<StreamedRow> take_streamed_rows();
+
+  std::int64_t replicas() const noexcept { return replicas_; }
+  std::size_t metrics() const noexcept { return metric_count_; }
+
+ private:
+  friend class CellScheduler;
+  ReplicaBatch(std::int64_t replicas, std::uint64_t seed,
+               std::size_t metrics, Body body);
+
+  /// Runs units [begin, end); never throws (failures are captured and
+  /// rethrown by wait()).
+  void run_range(std::int64_t begin, std::int64_t end) noexcept;
+
+  const std::int64_t replicas_;
+  const std::size_t metric_count_;
+  const std::uint64_t seed_;
+  const Body body_;
+  std::vector<double> buffer_;  // replicas x metrics, NaN-filled
+  std::vector<std::vector<std::vector<std::string>>> unit_rows_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable all_done_;
+  std::int64_t pending_;  // units not yet finished
+  std::exception_ptr error_;
+  bool folded_ = false;
+  std::vector<RunningStats> stats_;
+};
+
+class CellScheduler {
+ public:
+  /// 0 = hardware concurrency.  The pool is spawned lazily on the first
+  /// parallel submission and shared by every batch of this scheduler.
+  explicit CellScheduler(std::size_t threads = 0);
+
+  /// Destruction drains the pool, so unit bodies never outlive the
+  /// objects a caller keeps alive past the scheduler.
+  ~CellScheduler() = default;
+
+  CellScheduler(const CellScheduler&) = delete;
+  CellScheduler& operator=(const CellScheduler&) = delete;
+
+  /// Enqueues `replicas` independent units for body(r, rng, out, rows)
+  /// and returns immediately.  Unit r draws from Rng::fork(seed, r).
+  /// With 1 thread the batch runs inline before returning -- results are
+  /// bit-identical either way.
+  std::shared_ptr<ReplicaBatch> submit(std::int64_t replicas,
+                                       std::uint64_t seed,
+                                       std::size_t metrics, ReplicaBatch::Body body);
+
+  /// Synchronous convenience (the historical ReplicaScheduler::run):
+  /// submit + wait + fold for bodies without row streaming.
+  std::vector<RunningStats> run(
+      std::int64_t replicas, std::uint64_t seed, std::size_t metrics,
+      const std::function<void(std::int64_t, Rng&, std::span<double>)>& body);
+
+  std::size_t threads() const noexcept { return threads_; }
+
+ private:
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Historical name: the scheduler used to shard only replicas within one
+/// cell.  Call sites that never submit whole cells can keep the old name.
+using ReplicaScheduler = CellScheduler;
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_CELL_SCHEDULER_H

@@ -1,6 +1,8 @@
 #include "src/support/cli.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace opindyn {
 
@@ -65,6 +67,47 @@ std::vector<std::string> CliArgs::option_names() const {
     names.push_back(name);
   }
   return names;  // std::map iteration is already sorted
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // Two-row dynamic program; rows are distances to prefixes of `b`.
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> curr(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    prev[j] = j;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitute});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+std::vector<std::string> closest_matches(
+    const std::string& name, const std::vector<std::string>& candidates,
+    std::size_t max_results) {
+  const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const std::string& candidate : candidates) {
+    const std::size_t distance = edit_distance(name, candidate);
+    if (distance <= cutoff) {
+      scored.emplace_back(distance, candidate);
+    }
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::string> matches;
+  for (const auto& [unused, candidate] : scored) {
+    if (matches.size() >= max_results) {
+      break;
+    }
+    matches.push_back(candidate);
+  }
+  return matches;
 }
 
 }  // namespace opindyn

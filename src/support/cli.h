@@ -36,6 +36,18 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// The candidates nearest to `name` by edit distance, closest first and
+/// alphabetical within a distance; used for "did you mean" suggestions
+/// after a typo'd scenario or flag.  Only candidates within
+/// max(2, name.size() / 3) edits qualify, so unrelated names are never
+/// suggested.  At most `max_results` are returned.
+std::vector<std::string> closest_matches(
+    const std::string& name, const std::vector<std::string>& candidates,
+    std::size_t max_results = 3);
+
 }  // namespace opindyn
 
 #endif  // OPINDYN_SUPPORT_CLI_H

@@ -204,8 +204,11 @@ TEST(QChain, RejectsInvalidParameters) {
   EXPECT_THROW(QChain(g, 0.5, 3), ContractError);  // k > min degree
   EXPECT_THROW(q_stationary_closed_form(6, 1, 1, 0.5), ContractError);
   EXPECT_THROW(q_stationary_closed_form(6, 2, 3, 0.5), ContractError);
-  // Closed form requested for an irregular graph:
-  QChain star_chain(gen::star(5), 0.5, 1);
+  // Closed form requested for an irregular graph.  QChain borrows the
+  // graph, so it must outlive the chain (a temporary here is a
+  // use-after-scope).
+  const Graph star = gen::star(5);
+  QChain star_chain(star, 0.5, 1);
   EXPECT_THROW(star_chain.closed_form_stationary(), ContractError);
 }
 

@@ -58,9 +58,9 @@ TEST(EngineDeterminism, MonteCarloIsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.steps.variance(), parallel.steps.variance());
 }
 
-TEST(EngineDeterminism, ReplicaSchedulerFoldsInReplicaOrder) {
-  ReplicaScheduler serial(1);
-  ReplicaScheduler parallel(8);
+TEST(EngineDeterminism, CellSchedulerFoldsInReplicaOrder) {
+  CellScheduler serial(1);
+  CellScheduler parallel(8);
   const auto body = [](std::int64_t r, Rng& rng, std::span<double> out) {
     out[0] = rng.next_double() + static_cast<double>(r) * 1e-6;
   };
@@ -100,6 +100,73 @@ TEST(EngineDeterminism, BatchCsvIsByteIdenticalAcrossThreadCounts) {
   }
   EXPECT_EQ(outputs[0], outputs[1]);
   EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+// The ISSUE-2 acceptance criterion: a multi-cell sweep with per-replica
+// row streaming produces byte-identical CSVs -- on both channels -- at
+// 1, 4 and 8 threads, even though all (cell x replica) units of the
+// grid run concurrently on one pool.
+TEST(EngineDeterminism, StreamedRowsAreByteIdenticalAcrossThreadCounts) {
+  ExperimentSpec spec;
+  spec.scenario = "whp_tail";
+  spec.graph.family = "cycle";
+  spec.graph.n = 12;
+  spec.replicas = 16;
+  spec.seed = 5;
+  spec.convergence.epsilon = 1e-6;
+  spec.sweeps = parse_sweeps("alpha:0.3,0.5;n:12,16");
+  spec.print_table = false;
+
+  std::string aggregate[3];
+  std::string streamed[3];
+  const std::size_t thread_counts[3] = {1, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    spec.threads = thread_counts[i];
+    const std::string base = ::testing::TempDir() + "opindyn_stream_" +
+                             std::to_string(i);
+    CsvSink csv(base + ".csv");
+    CsvSink rows_csv(base + "_rows.csv");
+    std::vector<RowSink*> sinks{&csv};
+    std::vector<RowSink*> row_sinks{&rows_csv};
+    const BatchResult result = run_experiment(spec, sinks, row_sinks);
+    EXPECT_EQ(result.work_items, 4);
+    EXPECT_EQ(result.rows.size(), 8u);  // 2 models per cell
+    // 2 models x 16 replicas per cell, 4 cells.
+    EXPECT_EQ(result.replica_rows.size(), 128u);
+    aggregate[i] = read_file(base + ".csv");
+    streamed[i] = read_file(base + "_rows.csv");
+    std::remove((base + ".csv").c_str());
+    std::remove((base + "_rows.csv").c_str());
+    EXPECT_FALSE(aggregate[i].empty());
+    EXPECT_FALSE(streamed[i].empty());
+  }
+  EXPECT_EQ(aggregate[0], aggregate[1]);
+  EXPECT_EQ(aggregate[0], aggregate[2]);
+  EXPECT_EQ(streamed[0], streamed[1]);
+  EXPECT_EQ(streamed[0], streamed[2]);
+}
+
+// Sweeping model parameters must not rebuild the graph per cell: the
+// runner's GraphCache shares one immutable Graph across the sweep.
+TEST(EngineDeterminism, GraphCacheBuildsEachDistinctGraphOnce) {
+  ExperimentSpec spec;
+  spec.scenario = "node";
+  spec.graph.family = "cycle";
+  spec.graph.n = 12;
+  spec.replicas = 4;
+  spec.convergence.epsilon = 1e-4;
+  spec.sweeps = parse_sweeps("alpha:0.3,0.5,0.7;k:1,2");
+  spec.print_table = false;
+
+  const BatchResult swept = run_experiment(spec);
+  EXPECT_EQ(swept.work_items, 6);
+  EXPECT_EQ(swept.graphs_built, 1);
+
+  // A sweep that really changes the graph builds one per size.
+  spec.sweeps = parse_sweeps("n:12,16,20");
+  const BatchResult sized = run_experiment(spec);
+  EXPECT_EQ(sized.work_items, 3);
+  EXPECT_EQ(sized.graphs_built, 3);
 }
 
 TEST(EngineDeterminism, BaselineScenarioIsDeterministicToo) {

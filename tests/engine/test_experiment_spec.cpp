@@ -24,8 +24,10 @@ TEST(ExperimentSpec, DefaultsRoundTripThroughSpecFile) {
   spec.seed = 99;
   spec.threads = 2;
   spec.convergence.epsilon = 1e-9;
+  spec.horizon = 512;
   spec.sweeps = parse_sweeps("k:1,2,4;alpha:0.3,0.5");
   spec.csv_path = "out.csv";
+  spec.rows_csv_path = "rows.csv";
 
   const std::string text = to_key_values(spec);
   const std::string path =
@@ -39,6 +41,8 @@ TEST(ExperimentSpec, DefaultsRoundTripThroughSpecFile) {
   EXPECT_EQ(to_key_values(reparsed), text);
   EXPECT_EQ(reparsed.scenario, "node_vs_edge");
   EXPECT_EQ(reparsed.graph.n, 256);
+  EXPECT_EQ(reparsed.horizon, 512);
+  EXPECT_EQ(reparsed.rows_csv_path, "rows.csv");
   EXPECT_TRUE(reparsed.model.lazy);
   EXPECT_EQ(reparsed.model.sampling, SamplingMode::with_replacement);
   ASSERT_EQ(reparsed.sweeps.size(), 2u);
@@ -92,12 +96,35 @@ TEST(ExperimentSpec, OverridesApplyAndOrchestrationKeysAreProtected) {
   EXPECT_EQ(spec.model.sampling, SamplingMode::with_replacement);
 
   for (const std::string key :
-       {"scenario", "sweep", "csv", "table", "threads", "replicas",
-        "seed"}) {
+       {"scenario", "sweep", "csv", "rows-csv", "table", "threads",
+        "replicas", "seed"}) {
     EXPECT_THROW(apply_override(spec, key, "x"), std::runtime_error)
         << key;
   }
   EXPECT_THROW(apply_override(spec, "bogus", "1"), std::runtime_error);
+}
+
+TEST(ExperimentSpec, GraphCacheKeyTracksEveryGeneratorParameter) {
+  GraphSpec a;
+  GraphSpec b;
+  EXPECT_EQ(graph_cache_key(a), graph_cache_key(b));
+  b.n = a.n + 1;
+  EXPECT_NE(graph_cache_key(a), graph_cache_key(b));
+  b = a;
+  b.family = "torus";
+  EXPECT_NE(graph_cache_key(a), graph_cache_key(b));
+  b = a;
+  b.degree = 6;
+  EXPECT_NE(graph_cache_key(a), graph_cache_key(b));
+  b = a;
+  b.attach = 3;
+  EXPECT_NE(graph_cache_key(a), graph_cache_key(b));
+  b = a;
+  b.edge_probability = 0.25;
+  EXPECT_NE(graph_cache_key(a), graph_cache_key(b));
+  b = a;
+  b.seed = 77;
+  EXPECT_NE(graph_cache_key(a), graph_cache_key(b));
 }
 
 TEST(ExperimentSpec, GridExpansionIsRowMajor) {

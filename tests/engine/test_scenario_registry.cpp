@@ -15,9 +15,8 @@ class FakeScenario : public Scenario {
   std::string name() const override { return name_; }
   std::string description() const override { return "fake"; }
   std::vector<std::string> columns() const override { return {"x"}; }
-  std::vector<std::vector<std::string>> run(
-      const RunInput&) const override {
-    return {{"0"}};
+  CellFold start(const RunInput&) const override {
+    return [] { return CellRows{{{"0"}}, {}}; };
   }
 
  private:
@@ -30,7 +29,8 @@ TEST(ScenarioRegistry, BuiltinsAreRegistered) {
   for (const std::string name :
        {"node", "edge", "lazy", "node_vs_edge", "k_ablation", "voter",
         "gossip", "degroot", "friedkin_johnsen", "averaging_vs_voter",
-        "gossip_vs_unilateral"}) {
+        "gossip_vs_unilateral", "whp_tail", "thm22_convergence",
+        "trajectory"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     EXPECT_EQ(registry.get(name).name(), name);
     EXPECT_FALSE(registry.get(name).description().empty()) << name;
@@ -38,8 +38,14 @@ TEST(ScenarioRegistry, BuiltinsAreRegistered) {
   }
   // names() is sorted and covers every registered scenario.
   const std::vector<std::string> names = registry.names();
-  EXPECT_GE(names.size(), 11u);
+  EXPECT_GE(names.size(), 14u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+
+  // The streaming scenarios declare per-replica row columns; the plain
+  // aggregating ones do not.
+  EXPECT_FALSE(registry.get("whp_tail").row_columns().empty());
+  EXPECT_FALSE(registry.get("trajectory").row_columns().empty());
+  EXPECT_TRUE(registry.get("node").row_columns().empty());
 }
 
 TEST(ScenarioRegistry, UnknownScenarioErrorNamesTheKnownOnes) {
@@ -52,6 +58,27 @@ TEST(ScenarioRegistry, UnknownScenarioErrorNamesTheKnownOnes) {
     EXPECT_NE(message.find("no_such_scenario"), std::string::npos);
     EXPECT_NE(message.find("known:"), std::string::npos);
     EXPECT_NE(message.find("node_vs_edge"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, UnknownScenarioErrorSuggestsNearMatches) {
+  register_builtin_scenarios();
+  // A one-letter typo suggests the intended scenario...
+  try {
+    ScenarioRegistry::instance().get("vooter");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("did you mean 'voter'"), std::string::npos)
+        << message;
+  }
+  // ...while a name unlike anything registered gets no suggestion.
+  try {
+    ScenarioRegistry::instance().get("zzzzzzzzzz");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(std::string(error.what()).find("did you mean"),
+              std::string::npos);
   }
 }
 

@@ -1,0 +1,128 @@
+// The sink layer: CSV escaping and NaN formatting as rows pass through
+// CsvSink, and the OrderedFlush contract -- cells may complete in any
+// order, sinks always observe rows in cell order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/engine/sinks.h"
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace engine {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Sinks, CsvSinkQuotesSeparatorsAndFormatsNan) {
+  const std::string path = ::testing::TempDir() + "opindyn_sink_quote.csv";
+  CsvSink csv(path);
+  csv.begin({"label", "value"});
+  csv.row({"plain", "1.5"});
+  csv.row({"comma, inside", "2"});
+  csv.row({"quote \" inside", "3"});
+  csv.row({"newline\ninside", "4"});
+  // Scenario number formatting passes NaN through as "nan" (and the
+  // engine's fold layer uses NaN only as the no-sample marker, so a
+  // "nan" cell in a CSV is always an intentional value).
+  std::ostringstream nan_text;
+  nan_text << std::nan("");
+  csv.row({"missing", nan_text.str()});
+  csv.finish();
+
+  const std::string contents = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents,
+            "label,value\n"
+            "plain,1.5\n"
+            "\"comma, inside\",2\n"
+            "\"quote \"\" inside\",3\n"
+            "\"newline\ninside\",4\n"
+            "missing,nan\n");
+}
+
+TEST(Sinks, OrderedFlushReleasesRowsInCellOrder) {
+  MemorySink memory;
+  OrderedFlush flush({&memory}, 4);
+  flush.begin({"c"});
+
+  // Cells arrive out of order: 2, 0, 3, 1.
+  flush.cell_done(2, {{"cell2"}});
+  EXPECT_EQ(flush.flushed_cells(), 0u);
+  EXPECT_TRUE(memory.rows().empty());
+
+  flush.cell_done(0, {{"cell0a"}, {"cell0b"}});
+  EXPECT_EQ(flush.flushed_cells(), 1u);  // 1 flushed, 2 still waits on 1
+  ASSERT_EQ(memory.rows().size(), 2u);
+  EXPECT_EQ(memory.rows()[0][0], "cell0a");
+
+  flush.cell_done(3, {});  // empty row blocks are fine
+  EXPECT_EQ(flush.flushed_cells(), 1u);
+
+  flush.cell_done(1, {{"cell1"}});  // releases 1, 2 and the empty 3
+  EXPECT_EQ(flush.flushed_cells(), 4u);
+  flush.finish();
+
+  ASSERT_EQ(memory.rows().size(), 4u);
+  EXPECT_EQ(memory.rows()[1][0], "cell0b");
+  EXPECT_EQ(memory.rows()[2][0], "cell1");
+  EXPECT_EQ(memory.rows()[3][0], "cell2");
+  EXPECT_EQ(flush.flushed_rows(), 4);
+}
+
+TEST(Sinks, OrderedFlushSurvivesConcurrentCompletion) {
+  // Hammer the flush from many threads delivering disjoint cells; the
+  // sink must still observe rows in exact cell order.
+  constexpr std::size_t kCells = 64;
+  MemorySink memory;
+  OrderedFlush flush({&memory}, kCells);
+  flush.begin({"c"});
+
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < 8; ++w) {
+    workers.emplace_back([&flush, w] {
+      // Worker w delivers cells w, w+8, w+16, ... in reverse.
+      for (std::size_t cell = kCells - 8 + w; cell < kCells; cell -= 8) {
+        flush.cell_done(cell, {{std::to_string(cell)}});
+        if (cell < 8) {
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  flush.finish();
+
+  ASSERT_EQ(memory.rows().size(), kCells);
+  for (std::size_t cell = 0; cell < kCells; ++cell) {
+    EXPECT_EQ(memory.rows()[cell][0], std::to_string(cell));
+  }
+}
+
+TEST(Sinks, OrderedFlushRejectsContractViolations) {
+  MemorySink memory;
+  OrderedFlush flush({&memory}, 2);
+  flush.begin({"c"});
+  flush.cell_done(0, {{"x"}});
+  EXPECT_THROW(flush.cell_done(0, {{"again"}}), ContractError);
+  EXPECT_THROW(flush.cell_done(2, {{"range"}}), ContractError);
+  EXPECT_THROW(flush.finish(), ContractError);  // cell 1 never arrived
+  flush.cell_done(1, {});
+  flush.finish();
+  EXPECT_EQ(memory.rows().size(), 1u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace opindyn

@@ -1,0 +1,45 @@
+// GraphCache: one build per distinct key, shared immutable results, and
+// hit/miss accounting.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph_cache.h"
+
+namespace opindyn {
+namespace {
+
+TEST(GraphCache, BuildsOncePerKeyAndSharesTheResult) {
+  GraphCache cache;
+  int builds = 0;
+  const auto build_cycle = [&builds] {
+    ++builds;
+    return gen::cycle(8);
+  };
+  const auto a = cache.get("cycle;8", build_cycle);
+  const auto b = cache.get("cycle;8", build_cycle);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get());  // the same immutable graph is shared
+  EXPECT_EQ(a->node_count(), 8);
+
+  const auto c = cache.get("cycle;12", [] { return gen::cycle(12); });
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(GraphCache, CachedGraphsOutliveTheCache) {
+  std::shared_ptr<const Graph> kept;
+  {
+    GraphCache cache;
+    kept = cache.get("star;5", [] { return gen::star(5); });
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0);
+  }
+  EXPECT_EQ(kept->node_count(), 5);
+  EXPECT_EQ(kept->name(), "star(5)");
+}
+
+}  // namespace
+}  // namespace opindyn

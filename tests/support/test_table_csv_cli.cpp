@@ -108,5 +108,27 @@ TEST(Cli, BooleanSpellings) {
   EXPECT_FALSE(args.get("d", true));
 }
 
+TEST(Cli, EditDistanceCountsInsertsDeletesAndSubstitutions) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("node", "node"), 0u);
+  EXPECT_EQ(edit_distance("node", "nodee"), 1u);   // insert
+  EXPECT_EQ(edit_distance("node", "noe"), 1u);     // delete
+  EXPECT_EQ(edit_distance("node", "mode"), 1u);    // substitute
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+}
+
+TEST(Cli, ClosestMatchesSuggestsNearNamesOnly) {
+  const std::vector<std::string> names = {"node", "edge", "voter",
+                                          "node_vs_edge", "gossip"};
+  EXPECT_EQ(closest_matches("nodee", names),
+            (std::vector<std::string>{"node"}));
+  // Ties order by distance first, then alphabetically.
+  EXPECT_EQ(closest_matches("ndge", names),
+            (std::vector<std::string>{"edge", "node"}));
+  EXPECT_TRUE(closest_matches("zzzzzzzz", names).empty());
+  EXPECT_EQ(closest_matches("voterr", names, 1).size(), 1u);
+}
+
 }  // namespace
 }  // namespace opindyn
