@@ -1,17 +1,21 @@
 // L57 -- Lemma 5.7: the Q-chain (two correlated walks) on d-regular
 // graphs has the exact three-value stationary distribution
 //   mu_0 = 2k(d-1) ell,  mu_1 = (d-1) gamma ell,  mu_+ = (d gamma - 2 a k) ell
-// with gamma = k(1+a) - (1-a).  For each (graph, k, alpha) we build the
-// exact n^2-state transition matrix and report
-//   * the closed form's stationarity residual ||mu Q - mu||_inf,
-//   * the max deviation from the power-iteration stationary vector,
-//   * the normalisation identity n mu0 + nd mu1 + n(n-d-1) mu+ = 1.
-#include <cmath>
+// with gamma = k(1+a) - (1-a).  The engine's `qchain` scenario builds
+// the exact n^2-state transition matrix per cell and reports the closed
+// form's stationarity residual, the deviation from the power-iteration
+// stationary vector, and the normalisation identity.
+//
+// Driver: the scenario engine -- per family, equivalent to
+//   opindyn run --scenario=qchain --graph=<family> --n=<n> \
+//       --sweep='k:...;alpha:...'
+#include <cstddef>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
-#include "src/core/qchain.h"
-#include "src/support/table.h"
+#include "src/engine/runner.h"
 
 namespace {
 using namespace opindyn;
@@ -23,58 +27,43 @@ int main() {
       "Exact transition matrices from the walk semantics (Eqs. 14-21); "
       "closed form must satisfy mu Q = mu to machine precision.");
 
-  struct Case {
+  struct Grid {
     std::string family;
     NodeId n;
-    std::int64_t k;
-    double alpha;
+    std::vector<std::string> ks;
+    std::vector<std::string> alphas;
   };
-  const std::vector<Case> cases{
-      {"cycle", 8, 1, 0.5},    {"cycle", 8, 2, 0.25},
-      {"cycle", 12, 2, 0.75},  {"complete", 6, 1, 0.5},
-      {"complete", 6, 3, 0.5}, {"complete", 6, 5, 0.9},
-      {"hypercube", 8, 1, 0.5},{"hypercube", 8, 3, 0.3},
-      {"torus", 9, 2, 0.6},    {"torus", 9, 4, 0.4},
-      {"random_regular_4", 12, 1, 0.5},
-      {"random_regular_4", 12, 4, 0.2},
+  const std::vector<Grid> grids{
+      {"cycle", 8, {"1", "2"}, {"0.25", "0.5"}},
+      {"complete", 6, {"1", "3", "5"}, {"0.5", "0.9"}},
+      {"hypercube", 8, {"1", "3"}, {"0.3", "0.5"}},
+      {"torus", 9, {"2", "4"}, {"0.4", "0.6"}},
+      {"random_regular_4", 12, {"1", "4"}, {"0.2", "0.5"}},
   };
 
-  Table table({"graph", "k", "alpha", "mu0", "mu1", "mu+",
-               "||muQ - mu||_inf", "max |closed - power|", "norm identity"});
   bool all_good = true;
-  for (const auto& c : cases) {
-    const Graph g = bench::make_graph(c.family, c.n);
-    if (c.k > g.min_degree()) {
-      continue;
+  for (const Grid& grid : grids) {
+    engine::ExperimentSpec spec;
+    spec.scenario = "qchain";
+    spec.graph.family = grid.family;
+    spec.graph.n = grid.n;
+    spec.seed = 7;
+    spec.sweeps = {{"k", grid.ks}, {"alpha", grid.alphas}};
+
+    engine::MemorySink rows;
+    engine::TableSink table(std::cout);
+    std::vector<engine::RowSink*> sinks{&rows, &table};
+    engine::run_experiment(spec, sinks);
+    std::cout << "\n";
+
+    // Scenario columns end with: ..., ||muQ - mu||_inf,
+    // max |closed - power|, norm identity.
+    for (const std::vector<std::string>& row : rows.rows()) {
+      const double residual = std::stod(row[row.size() - 3]);
+      const double max_dev = std::stod(row[row.size() - 2]);
+      all_good = all_good && residual < 1e-13 && max_dev < 1e-7;
     }
-    QChain chain(g, c.alpha, c.k);
-    const auto values = q_stationary_closed_form(
-        g.node_count(), g.min_degree(), c.k, c.alpha);
-    const double residual = chain.closed_form_residual();
-    const auto numerical = chain.numerical_stationary(1e-13, 4000000);
-    const auto closed = chain.closed_form_stationary();
-    double max_dev = 0.0;
-    for (std::size_t s = 0; s < closed.size(); ++s) {
-      max_dev = std::max(max_dev,
-                         std::abs(closed[s] - numerical.distribution[s]));
-    }
-    const double d = g.min_degree();
-    const double norm_identity =
-        g.node_count() * values.mu0 + g.node_count() * d * values.mu1 +
-        g.node_count() * (g.node_count() - d - 1) * values.mu_plus;
-    all_good = all_good && residual < 1e-13 && max_dev < 1e-7;
-    table.new_row()
-        .add(g.name())
-        .add(c.k)
-        .add(c.alpha, 2)
-        .add_sci(values.mu0, 4)
-        .add_sci(values.mu1, 4)
-        .add_sci(values.mu_plus, 4)
-        .add_sci(residual, 2)
-        .add_sci(max_dev, 2)
-        .add_fixed(norm_identity, 12);
   }
-  std::cout << table.to_markdown() << "\n";
   std::cout << (all_good
                     ? "Lemma 5.7 verified: closed form is stationary to "
                       "machine precision on every case.\n"

@@ -3,35 +3,23 @@
 //   (mu0 - mu+) sum_u xi_u^2 + (mu1 - mu+) sum_{(u,v) in E+} xi_u xi_v.
 // The formula depends on xi(0) only through the norm and the
 // neighbour-correlation term -- so it distinguishes *how the same values
-// are placed on the graph*.  We test four placements of the same value
-// multiset on a cycle (alternating / blocked / random / smooth) plus
-// other families, against Monte-Carlo variance.
+// are placed on the graph*.  The engine's `prop58_variance` scenario is
+// driven over placements of the same +-1 multiset on C_16 (alternating
+// vs two blocks, via the init sweep) plus other families with Gaussian
+// initials.
+//
+// Driver: the scenario engine -- equivalent to
+//   opindyn run --scenario=prop58_variance --graph=cycle --n=16 \
+//       --replicas=12000 --eps=1e-13 --center=none \
+//       --sweep='init:alternating,blocks;k:1,2'
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.h"
-#include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
-#include "src/core/theory.h"
-#include "src/support/table.h"
+#include "src/engine/runner.h"
 
 namespace {
-
 using namespace opindyn;
-
-double run_mc_variance(const Graph& g, const std::vector<double>& xi,
-                       std::int64_t k, double alpha, double* ci) {
-  ModelConfig config;
-  config.alpha = alpha;
-  config.k = k;
-  MonteCarloOptions options;
-  options.replicas = 12000;
-  options.seed = 23;
-  options.convergence.epsilon = 1e-13;
-  const MonteCarloResult result = monte_carlo(g, config, xi, options);
-  *ci = result.convergence_value.variance_ci_halfwidth();
-  return result.convergence_value.population_variance();
-}
-
 }  // namespace
 
 int main() {
@@ -42,77 +30,45 @@ int main() {
       "C_16 give different neighbour correlations and the formula must "
       "track each.");
 
-  const NodeId n = 16;
-  Table table({"graph", "placement", "k", "sum xi^2",
-               "sum_{E+} xi_u xi_v", "Var exact (P5.8)", "Var measured",
-               "+-CI", "meas/exact"});
-
-  // Four placements of eight +1's and eight -1's on the cycle.
-  const Graph cycle = bench::make_graph("cycle", n);
-  std::vector<std::pair<std::string, std::vector<double>>> placements;
-  placements.emplace_back("alternating", initial::alternating(n));
+  std::cout << "## (a) placements of eight +1's and eight -1's on "
+               "cycle(16)\n\n";
   {
-    std::vector<double> blocked(n, 1.0);
-    for (NodeId u = n / 2; u < n; ++u) {
-      blocked[static_cast<std::size_t>(u)] = -1.0;
-    }
-    placements.emplace_back("two blocks", blocked);
+    engine::ExperimentSpec spec;
+    spec.scenario = "prop58_variance";
+    spec.graph.family = "cycle";
+    spec.graph.n = 16;
+    spec.initial.center = "none";  // both placements are already balanced
+    spec.model.alpha = 0.5;
+    spec.replicas = 12000;
+    spec.seed = 23;
+    spec.convergence.epsilon = 1e-13;
+    spec.sweeps = {{"init", {"alternating", "blocks"}},
+                   {"k", {"1", "2"}}};
+    engine::run_experiment_with_default_sinks(spec);
   }
+  std::cout << "\n## (b) other regular families, Gaussian xi(0) "
+               "centered\n\n";
   {
-    Rng rng(9);
-    std::vector<double> shuffled = initial::alternating(n);
-    for (std::size_t i = n - 1; i > 0; --i) {
-      const auto j = static_cast<std::size_t>(rng.next_below(i + 1));
-      std::swap(shuffled[i], shuffled[j]);
-    }
-    initial::center_plain(shuffled);
-    placements.emplace_back("random placement", shuffled);
+    engine::ExperimentSpec spec;
+    spec.scenario = "prop58_variance";
+    spec.graph.n = 16;
+    spec.initial.distribution = "gaussian";
+    spec.initial.param_b = 1.0;
+    spec.initial.seed = 31;
+    spec.initial.center = "plain";
+    spec.model.alpha = 0.5;
+    spec.model.k = 1;
+    spec.replicas = 12000;
+    spec.seed = 23;
+    spec.convergence.epsilon = 1e-13;
+    spec.sweeps = {{"graph",
+                    {"complete", "hypercube", "random_regular_4"}}};
+    engine::run_experiment_with_default_sinks(spec);
   }
-
-  for (const auto& [name, xi] : placements) {
-    for (const std::int64_t k : {std::int64_t{1}, std::int64_t{2}}) {
-      const double exact = theory::variance_exact(cycle, 0.5, k, xi);
-      double ci = 0.0;
-      const double measured = run_mc_variance(cycle, xi, k, 0.5, &ci);
-      table.new_row()
-          .add(cycle.name())
-          .add(name)
-          .add(k)
-          .add_fixed(initial::l2_squared(xi), 1)
-          .add_fixed(theory::directed_edge_correlation(cycle, xi), 1)
-          .add_sci(exact, 3)
-          .add_sci(measured, 3)
-          .add_sci(ci, 1)
-          .add_fixed(measured / exact, 3);
-    }
-  }
-
-  // Other regular families with Gaussian initials.
-  Rng init_rng(31);
-  for (const std::string family : {"complete", "hypercube",
-                                   "random_regular_4"}) {
-    const Graph g = bench::make_graph(family, n);
-    auto xi = initial::gaussian(init_rng, g.node_count(), 0.0, 1.0);
-    initial::center_plain(xi);
-    const double exact = theory::variance_exact(g, 0.5, 1, xi);
-    double ci = 0.0;
-    const double measured = run_mc_variance(g, xi, 1, 0.5, &ci);
-    table.new_row()
-        .add(g.name())
-        .add("gaussian")
-        .add(std::int64_t{1})
-        .add_fixed(initial::l2_squared(xi), 1)
-        .add_fixed(theory::directed_edge_correlation(g, xi), 1)
-        .add_sci(exact, 3)
-        .add_sci(measured, 3)
-        .add_sci(ci, 1)
-        .add_fixed(measured / exact, 3);
-  }
-  std::cout << table.to_markdown() << "\n";
-  std::cout << "Reading: meas/exact ~ 1.0 in every row; note how the "
-               "alternating placement (negative edge correlation) has "
-               "strictly larger variance than the blocked placement of "
-               "the same values -- exactly as the (mu1 - mu+) < 0 term "
-               "predicts.\n";
+  bench::print_reading(
+      "meas/exact ~ 1.0 in every row; note how the alternating placement "
+      "(negative edge correlation) has strictly larger variance than the "
+      "blocked placement of the same values -- exactly as the "
+      "(mu1 - mu+) < 0 term predicts.");
   return 0;
 }

@@ -3,18 +3,20 @@
 // matches the upper bound up to constants:
 //   NodeModel:  T = Omega( n log(n ||xi||^2 / eps) / ((1-a)(1-l2(P))) )
 //   EdgeModel:  T = Omega( m log(n ||xi||^2 / eps) / ((1-a) l2(L)) ).
-// We compare measured T_eps for the eigenvector start against both the
-// Omega expression and the matching upper bound -- the sandwich ratio
-// must be Theta(1).
-#include <cmath>
+// The engine's `propB2_node` / `propB2_edge` scenarios compare measured
+// T_eps for the eigenvector start (the f2_walk / f2_laplacian initial
+// distributions) against the Omega expression and, for the NodeModel,
+// the matching upper bound -- the sandwich ratio must be Theta(1).
+//
+// Driver: the scenario engine -- equivalent to
+//   opindyn run --scenario=propB2_node --init=f2_walk --center=none \
+//       --lazy=true --eps=1e-8 --replicas=30 \
+//       --sweep='graph:cycle,complete,torus;n:16,32'
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.h"
-#include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
-#include "src/core/theory.h"
-#include "src/spectral/spectra.h"
-#include "src/support/table.h"
+#include "src/engine/runner.h"
 
 namespace {
 using namespace opindyn;
@@ -28,90 +30,40 @@ int main() {
       "lower must be Theta(1) (and >= ~1 after constant calibration), "
       "i.e. the eigenvector start certifies the upper bound is tight.");
 
-  const double eps = 1e-8;
-
   std::cout << "## NodeModel, xi(0) = n * f2(P)\n\n";
-  Table node_table({"graph", "n", "1-l2(P)", "T measured", "lower scale",
-                    "upper (B.1 pred)", "meas/lower", "meas/upper"});
-  for (const std::string family : {"cycle", "complete", "torus"}) {
-    for (const NodeId n : {16, 32}) {
-      const Graph g = bench::make_graph(family, n);
-      const auto spec = lazy_walk_spectrum(g);
-      const auto xi = initial::scaled_eigenvector(
-          spec.f2, static_cast<double>(g.node_count()));
-
-      ModelConfig config;
-      config.alpha = 0.5;
-      config.k = 1;
-      config.lazy = true;
-      MonteCarloOptions options;
-      options.replicas = 30;
-      options.seed = 3;
-      options.convergence.epsilon = eps;
-      const MonteCarloResult result = monte_carlo(g, config, xi, options);
-
-      const double lower =
-          static_cast<double>(g.node_count()) *
-          std::log(static_cast<double>(g.node_count()) *
-                   initial::l2_squared(xi) / eps) /
-          ((1.0 - 0.5) * spec.gap);
-      OpinionState probe(g, xi);
-      const double rho = theory::node_model_rho(spec.lambda2, 0.5, 1,
-                                                g.node_count(), true);
-      const double upper =
-          theory::steps_to_epsilon(rho, probe.phi_exact(), eps);
-      node_table.new_row()
-          .add(g.name())
-          .add(static_cast<std::int64_t>(g.node_count()))
-          .add_sci(spec.gap, 2)
-          .add_fixed(result.steps.mean(), 0)
-          .add_fixed(lower, 0)
-          .add_fixed(upper, 0)
-          .add_fixed(result.steps.mean() / lower, 3)
-          .add_fixed(result.steps.mean() / upper, 3);
-    }
+  {
+    engine::ExperimentSpec spec;
+    spec.scenario = "propB2_node";
+    spec.initial.distribution = "f2_walk";  // param_a = 0 -> beta = n
+    spec.initial.center = "none";
+    spec.model.alpha = 0.5;
+    spec.model.k = 1;
+    spec.model.lazy = true;
+    spec.replicas = 30;
+    spec.seed = 3;
+    spec.convergence.epsilon = 1e-8;
+    spec.sweeps = {{"graph", {"cycle", "complete", "torus"}},
+                   {"n", {"16", "32"}}};
+    engine::run_experiment_with_default_sinks(spec);
   }
-  std::cout << node_table.to_markdown() << "\n";
 
-  std::cout << "## EdgeModel, xi(0) = n * f2(L)\n\n";
-  Table edge_table({"graph", "n", "m", "l2(L)", "T measured",
-                    "lower scale", "meas/lower"});
-  for (const std::string family : {"cycle", "star", "barbell"}) {
-    for (const NodeId n : {16, 32}) {
-      const Graph g = bench::make_graph(family, n);
-      const auto lap = laplacian_spectrum(g);
-      const auto xi = initial::scaled_eigenvector(
-          lap.f2, static_cast<double>(g.node_count()));
-
-      ModelConfig config;
-      config.kind = ModelKind::edge;
-      config.alpha = 0.5;
-      MonteCarloOptions options;
-      options.replicas = 30;
-      options.seed = 5;
-      options.convergence.epsilon = eps;
-      options.convergence.use_plain_potential = true;
-      const MonteCarloResult result = monte_carlo(g, config, xi, options);
-
-      const double lower =
-          static_cast<double>(g.edge_count()) *
-          std::log(static_cast<double>(g.node_count()) *
-                   initial::l2_squared(xi) / eps) /
-          ((1.0 - 0.5) * lap.lambda2);
-      edge_table.new_row()
-          .add(g.name())
-          .add(static_cast<std::int64_t>(g.node_count()))
-          .add(g.edge_count())
-          .add_sci(lap.lambda2, 2)
-          .add_fixed(result.steps.mean(), 0)
-          .add_fixed(lower, 0)
-          .add_fixed(result.steps.mean() / lower, 3);
-    }
+  std::cout << "\n## EdgeModel, xi(0) = n * f2(L)\n\n";
+  {
+    engine::ExperimentSpec spec;
+    spec.scenario = "propB2_edge";
+    spec.initial.distribution = "f2_laplacian";
+    spec.initial.center = "none";
+    spec.model.alpha = 0.5;
+    spec.replicas = 30;
+    spec.seed = 5;
+    spec.convergence.epsilon = 1e-8;
+    spec.sweeps = {{"graph", {"cycle", "star", "barbell"}},
+                   {"n", {"16", "32"}}};
+    engine::run_experiment_with_default_sinks(spec);
   }
-  std::cout << edge_table.to_markdown() << "\n";
-  std::cout << "Reading: the meas/lower ratios sit in a narrow constant "
-               "band per model (the Omega() hides an absolute constant); "
-               "flatness across families and sizes is the tightness "
-               "claim.\n";
+  bench::print_reading(
+      "the meas/lower ratios sit in a narrow constant band per model "
+      "(the Omega() hides an absolute constant); flatness across "
+      "families and sizes is the tightness claim.");
   return 0;
 }

@@ -2,16 +2,20 @@
 //   T = O( m log(n ||xi(0)||^2 / eps) / lambda_2(L) ).
 // Emphasis on irregular graphs (star, double star, barbell, lollipop,
 // preferential attachment), where the EdgeModel genuinely differs from
-// the NodeModel; regular controls included.  'predicted' inverts the
+// the NodeModel; regular controls included.  'T predicted' inverts the
 // exact Prop. D.1(ii) per-step contraction of phi_V.
+//
+// Driver: the engine's `thm24_edge_convergence` scenario -- the
+// Laplacian eigensolve of every cell runs on the pool next to the
+// replicas.  Equivalent to
+//   opindyn run --scenario=thm24_edge_convergence --n=24 --replicas=30 \
+//       --eps=1e-8 --init=uniform --init-a=-1 --init-b=1 \
+//       --sweep=graph:star,double_star,barbell,...
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.h"
-#include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
-#include "src/core/theory.h"
-#include "src/spectral/spectra.h"
-#include "src/support/table.h"
+#include "src/engine/runner.h"
 
 namespace {
 using namespace opindyn;
@@ -21,54 +25,32 @@ int main() {
   bench::print_header(
       "T24-1: EdgeModel convergence time (Theorem 2.4(1))",
       "EdgeModel, uniform xi(0) centered, eps = 1e-8 on phi_V.  "
-      "'predicted' = exact Prop. D.1(ii) contraction inverted; 'theorem' = "
-      "m log(n||xi||^2/eps)/lambda2(L).");
+      "'T predicted' = exact Prop. D.1(ii) contraction inverted; "
+      "'theorem scale' = m log(n||xi||^2/eps)/lambda2(L).");
 
-  const double eps = 1e-8;
-  Table table({"graph", "n", "m", "lambda2(L)", "T measured", "+-CI",
-               "T predicted (D.1)", "theorem scale", "meas/pred"});
-  for (const std::string family :
-       {"star", "double_star", "barbell", "lollipop", "pref_attach",
-        "binary_tree", "cycle", "complete"}) {
-    const Graph g = bench::make_graph(family, 24);
-    const double lambda2 = laplacian_spectrum(g).lambda2;
-    Rng init_rng(5);
-    auto xi = initial::uniform(init_rng, g.node_count(), -1.0, 1.0);
-    initial::center_plain(xi);
+  engine::ExperimentSpec spec;
+  spec.scenario = "thm24_edge_convergence";
+  spec.graph.n = 24;
+  spec.initial.distribution = "uniform";
+  spec.initial.param_a = -1.0;
+  spec.initial.param_b = 1.0;
+  spec.initial.seed = 5;
+  spec.initial.center = "plain";
+  spec.model.alpha = 0.5;
+  spec.replicas = 30;
+  spec.seed = 77;
+  spec.convergence.epsilon = 1e-8;
+  spec.sweeps = {{"graph",
+                  {"star", "double_star", "barbell", "lollipop",
+                   "pref_attach", "binary_tree", "cycle", "complete"}}};
 
-    ModelConfig config;
-    config.kind = ModelKind::edge;
-    config.alpha = 0.5;
-    MonteCarloOptions options;
-    options.replicas = 30;
-    options.seed = 77;
-    options.convergence.epsilon = eps;
-    options.convergence.use_plain_potential = true;
-    const MonteCarloResult result = monte_carlo(g, config, xi, options);
+  const bench::Stopwatch timer;
+  engine::run_experiment_with_default_sinks(spec);
+  std::cout << "(grid: " << timer.seconds() << " s)\n\n";
 
-    OpinionState probe(g, xi);
-    const double rho =
-        theory::edge_model_rho(lambda2, 0.5, g.edge_count(), false);
-    const double predicted =
-        theory::steps_to_epsilon(rho, probe.phi_plain_exact(), eps);
-    const double theorem = theory::edge_convergence_bound(
-        g.node_count(), g.edge_count(), initial::l2_squared(xi), eps,
-        lambda2);
-    table.new_row()
-        .add(g.name())
-        .add(static_cast<std::int64_t>(g.node_count()))
-        .add(g.edge_count())
-        .add_sci(lambda2, 3)
-        .add_fixed(result.steps.mean(), 0)
-        .add_fixed(result.steps.mean_ci_halfwidth(), 0)
-        .add_fixed(predicted, 0)
-        .add_fixed(theorem, 0)
-        .add_fixed(result.steps.mean() / predicted, 3);
-  }
-  std::cout << table.to_markdown() << "\n";
-  std::cout << "Reading: measured/predicted stays O(1) (and <= ~1, the "
-               "prediction being an upper bound) across irregular and "
-               "regular families alike; the theorem column dominates "
-               "everywhere.\n";
+  bench::print_reading(
+      "measured/predicted stays O(1) (and <= ~1, the prediction being an "
+      "upper bound) across irregular and regular families alike; the "
+      "theorem column dominates everywhere.");
   return 0;
 }

@@ -2,14 +2,16 @@
 // expected convergence value is the *plain* initial average even for
 // irregular graphs (Prop. D.1.i), and for regular graphs
 // Var(F) = Theta(||xi||^2/n^2) (identical to the NodeModel at k = 1).
-#include <cmath>
+//
+// Driver: the engine's `thm24_edge_variance` scenario, which runs both
+// models per cell.  Equivalent to
+//   opindyn run --scenario=thm24_edge_variance --n=16 --replicas=8000 \
+//       --eps=1e-13 --init=hub_spike --center=none --sweep=graph:star,...
 #include <iostream>
+#include <string>
 
 #include "bench/bench_common.h"
-#include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
-#include "src/core/theory.h"
-#include "src/support/table.h"
+#include "src/engine/runner.h"
 
 namespace {
 using namespace opindyn;
@@ -18,89 +20,47 @@ using namespace opindyn;
 int main() {
   bench::print_header(
       "T24-2: EdgeModel E[F] and Var(F) (Theorem 2.4(2))",
-      "8000 replicas, alpha = 0.5, eps = 1e-13.  xi(0) = spike (value n at "
-      "one node, 0 elsewhere) so that Avg(0) = 1 while the degree-weighted "
-      "M(0) differs on irregular graphs -- E[F] must track Avg(0).");
+      "8000 replicas, alpha = 0.5, eps = 1e-13.  Part (a): xi(0) = spike "
+      "of value n on the highest-degree node (init=hub_spike), so "
+      "Avg(0) = 1 while the degree-weighted M(0) differs on irregular "
+      "graphs -- the EdgeModel's E[F] must track Avg(0), the "
+      "NodeModel's M(0).  Part (b): regular graphs, both variances "
+      "match the exact Prop. 5.8 value.");
 
-  std::cout << "## (a) E[F] = Avg(0) on irregular graphs\n\n";
-  Table mean_table({"graph", "Avg(0)", "M(0) degree-weighted",
-                    "E[F] measured", "+-CI", "tracks"});
-  for (const std::string family :
-       {"star", "double_star", "lollipop", "pref_attach"}) {
-    const Graph g = bench::make_graph(family, 16);
-    // Spike on the *highest-degree* node makes Avg(0) != M(0).
-    NodeId hub = 0;
-    for (NodeId u = 0; u < g.node_count(); ++u) {
-      if (g.degree(u) > g.degree(hub)) {
-        hub = u;
-      }
-    }
-    auto xi = initial::spike(g.node_count(), hub,
-                             static_cast<double>(g.node_count()));
-    const double avg0 = 1.0;
-    double m0 = 0.0;
-    for (NodeId u = 0; u < g.node_count(); ++u) {
-      m0 += g.stationary(u) * xi[static_cast<std::size_t>(u)];
-    }
-
-    ModelConfig config;
-    config.kind = ModelKind::edge;
-    config.alpha = 0.5;
-    MonteCarloOptions options;
-    options.replicas = 8000;
-    options.seed = 13;
-    options.convergence.epsilon = 1e-13;
-    options.convergence.use_plain_potential = true;
-    const MonteCarloResult result = monte_carlo(g, config, xi, options);
-    const double mean = result.convergence_value.mean();
-    const double ci = result.convergence_value.mean_ci_halfwidth();
-    mean_table.new_row()
-        .add(g.name())
-        .add_fixed(avg0, 4)
-        .add_fixed(m0, 4)
-        .add_fixed(mean, 4)
-        .add_fixed(ci, 4)
-        .add(std::abs(mean - avg0) < 4 * ci + 1e-3 ? "Avg(0) OK"
-                                                   : "MISMATCH");
+  std::cout << "## (a) E[F] = Avg(0) on irregular graphs (hub spike)\n\n";
+  {
+    engine::ExperimentSpec spec;
+    spec.scenario = "thm24_edge_variance";
+    spec.graph.n = 16;
+    spec.initial.distribution = "hub_spike";
+    spec.initial.center = "none";
+    spec.model.alpha = 0.5;
+    spec.replicas = 8000;
+    spec.seed = 13;
+    spec.convergence.epsilon = 1e-13;
+    spec.sweeps = {{"graph",
+                    {"star", "double_star", "lollipop", "pref_attach"}}};
+    engine::run_experiment_with_default_sinks(spec);
   }
-  std::cout << mean_table.to_markdown() << "\n";
-
-  std::cout << "## (b) Var(F) on regular graphs = NodeModel k=1 value\n\n";
-  Table var_table({"graph", "Var(F) EdgeModel", "Var(F) NodeModel k=1",
-                   "Var exact (P5.8)", "edge/exact"});
-  Rng init_rng(3);
-  for (const std::string family : {"cycle", "complete", "hypercube"}) {
-    const Graph g = bench::make_graph(family, 16);
-    auto xi = initial::rademacher(init_rng, g.node_count());
-    initial::center_plain(xi);
-
-    MonteCarloOptions options;
-    options.replicas = 8000;
-    options.seed = 17;
-    options.convergence.epsilon = 1e-13;
-
-    ModelConfig edge_config;
-    edge_config.kind = ModelKind::edge;
-    edge_config.alpha = 0.5;
-    const MonteCarloResult edge_result =
-        monte_carlo(g, edge_config, xi, options);
-
-    ModelConfig node_config;
-    node_config.kind = ModelKind::node;
-    node_config.alpha = 0.5;
-    node_config.k = 1;
-    const MonteCarloResult node_result =
-        monte_carlo(g, node_config, xi, options);
-
-    const double exact = theory::variance_exact(g, 0.5, 1, xi);
-    var_table.new_row()
-        .add(g.name())
-        .add_sci(edge_result.convergence_value.population_variance(), 3)
-        .add_sci(node_result.convergence_value.population_variance(), 3)
-        .add_sci(exact, 3)
-        .add_fixed(
-            edge_result.convergence_value.population_variance() / exact, 3);
+  std::cout << "\n## (b) Var(F) on regular graphs = NodeModel k=1 "
+               "value\n\n";
+  {
+    engine::ExperimentSpec spec;
+    spec.scenario = "thm24_edge_variance";
+    spec.graph.n = 16;
+    spec.initial.distribution = "rademacher";
+    spec.initial.seed = 3;
+    spec.model.alpha = 0.5;
+    spec.replicas = 8000;
+    spec.seed = 17;
+    spec.convergence.epsilon = 1e-13;
+    spec.sweeps = {{"graph", {"cycle", "complete", "hypercube"}}};
+    engine::run_experiment_with_default_sinks(spec);
   }
-  std::cout << var_table.to_markdown() << "\n";
+  bench::print_reading(
+      "in (a) the EdgeModel rows track Avg(0) = 1 while the NodeModel "
+      "rows track the degree-weighted M(0); in (b) both models' var/exact "
+      "sits at ~1.0 -- the EdgeModel is the k = 1 NodeModel in "
+      "distribution on regular graphs.");
   return 0;
 }

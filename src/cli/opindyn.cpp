@@ -55,7 +55,14 @@ run flags (every spec key; flags override --spec file entries):
   --csv=<path>           also write aggregate rows as CSV
   --rows-csv=<path>      write streamed per-replica rows as CSV
                          (scenarios with row columns: whp_tail,
-                         trajectory, ...)
+                         trajectory, thm22_variance, ...)
+  --hist-csv=<path>      bin one numeric streamed column into an
+                         equal-width histogram CSV (bin_lo,bin_hi,count)
+  --hist-column=<name>   which streamed column to bin (default: last);
+                         on its own it still prints the summary line
+  --hist-bins=<int>      histogram bin count            (default 20)
+  --quantiles=q1,q2,...  print exact order-statistic quantiles of the
+                         selected streamed column (each q in [0,1])
   --table=<bool>         print the markdown table       (default true)
 
 examples:
@@ -64,6 +71,8 @@ examples:
       --replicas=4000 --eps=1e-13
   opindyn run --scenario=whp_tail --graph=cycle --n=24 --replicas=400 \
       --eps=1e-8 --rows-csv=tail.csv
+  opindyn run --scenario=thm22_variance --graph=complete --n=16 \
+      --replicas=4000 --eps=1e-13 --hist-csv=f.csv --quantiles=0.5,0.9,0.99
 )";
   return 0;
 }
@@ -116,7 +125,9 @@ int cmd_run(const CliArgs& args) {
   }
   const ExperimentSpec spec = parse_spec(args);
   const BatchResult result = run_experiment_with_default_sinks(spec);
-  if (!spec.print_table && spec.csv_path.empty()) {
+  if (!spec.print_table && spec.csv_path.empty() &&
+      spec.hist_csv_path.empty() && spec.hist_column.empty() &&
+      spec.quantiles.empty()) {
     std::cout << result.rows.size() << " rows (no sink configured)\n";
   }
   return 0;

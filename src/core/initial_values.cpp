@@ -51,6 +51,16 @@ std::vector<double> spike(NodeId n, NodeId node, double magnitude) {
   return values;
 }
 
+std::vector<double> blocks(NodeId n, double magnitude) {
+  OPINDYN_EXPECTS(n > 1, "blocks needs n > 1");
+  OPINDYN_EXPECTS(magnitude > 0.0, "blocks magnitude must be positive");
+  std::vector<double> values(static_cast<std::size_t>(n), magnitude);
+  for (NodeId u = n / 2; u < n; ++u) {
+    values[static_cast<std::size_t>(u)] = -magnitude;
+  }
+  return values;
+}
+
 std::vector<double> alternating(NodeId n) {
   OPINDYN_EXPECTS(n > 0, "need n > 0");
   std::vector<double> values(static_cast<std::size_t>(n));

@@ -30,6 +30,13 @@ std::vector<double> spike(NodeId n, NodeId node, double magnitude);
 /// xi_u = +1 / -1 alternating by node parity (adversarial for cycles).
 std::vector<double> alternating(NodeId n);
 
+/// Two contiguous blocks: the first floor(n/2) nodes hold +magnitude,
+/// the remaining ceil(n/2) hold -magnitude.  Same value multiset as
+/// `alternating` on even n but with maximal (positive) neighbour
+/// correlation on a cycle -- the placement contrast Prop. 5.8's
+/// correlation term distinguishes.
+std::vector<double> blocks(NodeId n, double magnitude);
+
 /// Linear ramp 0, 1, ..., n-1 scaled so max |xi| = magnitude.
 std::vector<double> ramp(NodeId n, double magnitude);
 

@@ -8,6 +8,7 @@
 
 #include "src/core/initial_values.h"
 #include "src/graph/generators.h"
+#include "src/spectral/spectra.h"
 
 namespace opindyn {
 namespace engine {
@@ -18,29 +19,11 @@ namespace {
 }
 
 std::int64_t parse_int(const std::string& key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const std::int64_t parsed = std::stoll(value, &used);
-    if (used != value.size()) {
-      fail("spec key '" + key + "': trailing characters in '" + value + "'");
-    }
-    return parsed;
-  } catch (const std::logic_error&) {
-    fail("spec key '" + key + "': expected an integer, got '" + value + "'");
-  }
+  return parse_int_value("spec key '" + key + "'", value);
 }
 
 double parse_double(const std::string& key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const double parsed = std::stod(value, &used);
-    if (used != value.size()) {
-      fail("spec key '" + key + "': trailing characters in '" + value + "'");
-    }
-    return parsed;
-  } catch (const std::logic_error&) {
-    fail("spec key '" + key + "': expected a number, got '" + value + "'");
-  }
+  return parse_double_value("spec key '" + key + "'", value);
 }
 
 bool parse_bool(const std::string& key, const std::string& value) {
@@ -132,6 +115,19 @@ bool apply_key(ExperimentSpec& spec, const std::string& key,
     spec.csv_path = value;
   } else if (key == "rows-csv") {
     spec.rows_csv_path = value;
+  } else if (key == "hist-csv") {
+    spec.hist_csv_path = value;
+  } else if (key == "hist-column") {
+    spec.hist_column = value;
+  } else if (key == "hist-bins") {
+    const std::int64_t bins = parse_int(key, value);
+    if (bins < 1) {
+      fail("spec key 'hist-bins': need at least 1 bin, got '" + value +
+           "'");
+    }
+    spec.hist_bins = static_cast<std::size_t>(bins);
+  } else if (key == "quantiles") {
+    spec.quantiles = parse_quantiles(value);
   } else if (key == "table") {
     spec.print_table = parse_bool(key, value);
   } else {
@@ -211,14 +207,37 @@ std::vector<double> build_initial(const InitialSpec& spec,
     xi = initial::rademacher(rng, n);
   } else if (spec.distribution == "spike") {
     xi = initial::spike(n, 0, spec.param_a == 0.0 ? 1.0 : spec.param_a);
+  } else if (spec.distribution == "hub_spike") {
+    // Spike on the highest-degree node: on irregular graphs this drives
+    // Avg(0) and the degree-weighted M(0) apart (the Thm 2.4(2) setup).
+    NodeId hub = 0;
+    for (NodeId u = 1; u < n; ++u) {
+      if (graph.degree(u) > graph.degree(hub)) {
+        hub = u;
+      }
+    }
+    xi = initial::spike(
+        n, hub,
+        spec.param_a == 0.0 ? static_cast<double>(n) : spec.param_a);
   } else if (spec.distribution == "alternating") {
     xi = initial::alternating(n);
+  } else if (spec.distribution == "blocks") {
+    xi = initial::blocks(n, spec.param_a == 0.0 ? 1.0 : spec.param_a);
   } else if (spec.distribution == "ramp") {
     xi = initial::ramp(n, spec.param_a == 0.0 ? 1.0 : spec.param_a);
+  } else if (spec.distribution == "f2_walk") {
+    // Prop. B.2 adversarial state beta * f2(P) of the lazy walk matrix.
+    xi = initial::scaled_eigenvector(
+        lazy_walk_spectrum(graph).f2,
+        spec.param_a == 0.0 ? static_cast<double>(n) : spec.param_a);
+  } else if (spec.distribution == "f2_laplacian") {
+    xi = initial::scaled_eigenvector(
+        laplacian_spectrum(graph).f2,
+        spec.param_a == 0.0 ? static_cast<double>(n) : spec.param_a);
   } else {
     fail("unknown initial distribution '" + spec.distribution +
-         "' (known: alternating, constant, gaussian, rademacher, ramp, "
-         "spike, uniform)");
+         "' (known: alternating, blocks, constant, f2_laplacian, f2_walk, "
+         "gaussian, hub_spike, rademacher, ramp, spike, uniform)");
   }
   if (spec.center == "plain") {
     initial::center_plain(xi);
@@ -252,7 +271,30 @@ std::vector<std::string> spec_keys() {
           "threads",   "eps",       "max-steps",
           "check-interval", "plain-potential", "horizon",
           "sweep",     "csv",       "rows-csv",
-          "table"};
+          "hist-csv",  "hist-column", "hist-bins",
+          "quantiles", "table"};
+}
+
+std::vector<double> parse_quantiles(const std::string& clause) {
+  std::vector<double> quantiles;
+  std::istringstream stream(clause);
+  std::string value;
+  while (std::getline(stream, value, ',')) {
+    if (value.empty()) {
+      continue;
+    }
+    const double q = parse_double("quantiles", value);
+    if (q < 0.0 || q > 1.0) {
+      fail("spec key 'quantiles': quantile " + value +
+           " outside [0, 1]");
+    }
+    quantiles.push_back(q);
+  }
+  if (quantiles.empty()) {
+    fail("spec key 'quantiles': expected q1,q2,... in [0, 1], got '" +
+         clause + "'");
+  }
+  return quantiles;
 }
 
 ExperimentSpec parse_spec(const std::map<std::string, std::string>& kv) {
@@ -283,7 +325,10 @@ ExperimentSpec parse_spec_file(const std::string& path) {
   if (!in) {
     fail("cannot open spec file '" + path + "'");
   }
-  std::map<std::string, std::string> kv;
+  // Lines are applied one at a time (last duplicate wins, like the map
+  // the parser used to collect) so every diagnostic -- unknown key,
+  // malformed or out-of-range value -- can cite the offending line.
+  ExperimentSpec spec;
   std::string line;
   int line_number = 0;
   while (std::getline(in, line)) {
@@ -301,14 +346,22 @@ ExperimentSpec parse_spec_file(const std::string& path) {
     if (line.empty()) {
       continue;
     }
+    const std::string at = path + ":" + std::to_string(line_number) + ": ";
     const std::size_t eq = line.find('=');
-    if (eq == std::string::npos) {
-      fail(path + ":" + std::to_string(line_number) +
-           ": expected key=value, got '" + line + "'");
+    if (eq == std::string::npos || eq == 0) {
+      fail(at + "expected key=value, got '" + line + "'");
     }
-    kv[line.substr(0, eq)] = line.substr(eq + 1);
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    try {
+      if (!apply_key(spec, key, value)) {
+        fail("unknown spec key '" + key + "'");
+      }
+    } catch (const std::runtime_error& error) {
+      fail(at + error.what());
+    }
   }
-  return parse_spec(kv);
+  return spec;
 }
 
 std::string to_key_values(const ExperimentSpec& spec) {
@@ -351,6 +404,20 @@ std::string to_key_values(const ExperimentSpec& spec) {
   if (!spec.rows_csv_path.empty()) {
     out << "rows-csv=" << spec.rows_csv_path << "\n";
   }
+  if (!spec.hist_csv_path.empty()) {
+    out << "hist-csv=" << spec.hist_csv_path << "\n";
+  }
+  if (!spec.hist_column.empty()) {
+    out << "hist-column=" << spec.hist_column << "\n";
+  }
+  out << "hist-bins=" << spec.hist_bins << "\n";
+  if (!spec.quantiles.empty()) {
+    out << "quantiles=";
+    for (std::size_t i = 0; i < spec.quantiles.size(); ++i) {
+      out << (i > 0 ? "," : "") << format_double(spec.quantiles[i]);
+    }
+    out << "\n";
+  }
   out << "table=" << (spec.print_table ? "true" : "false") << "\n";
   return out.str();
 }
@@ -360,8 +427,9 @@ void apply_override(ExperimentSpec& spec, const std::string& key,
   // Output and orchestration keys are fixed per experiment: sweeping them
   // would change how rows are collected, not what is measured.
   if (key == "scenario" || key == "sweep" || key == "csv" ||
-      key == "rows-csv" || key == "table" || key == "threads" ||
-      key == "replicas" || key == "seed") {
+      key == "rows-csv" || key == "hist-csv" || key == "hist-column" ||
+      key == "hist-bins" || key == "quantiles" || key == "table" ||
+      key == "threads" || key == "replicas" || key == "seed") {
     fail("spec key '" + key + "' cannot be swept");
   }
   if (!apply_key(spec, key, value)) {

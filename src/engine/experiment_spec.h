@@ -49,11 +49,16 @@ std::vector<std::string> graph_family_names();
 
 /// Which initial opinion vector xi(0) to draw.
 struct InitialSpec {
-  /// constant | uniform | gaussian | rademacher | spike | alternating |
-  /// ramp.
+  /// constant | uniform | gaussian | rademacher | spike | hub_spike |
+  /// alternating | blocks | ramp | f2_walk | f2_laplacian.
+  /// hub_spike places the spike on the highest-degree node (so Avg(0)
+  /// and the degree-weighted M(0) differ on irregular graphs, the
+  /// Thm 2.4(2) setup); f2_walk / f2_laplacian are the Prop. B.2
+  /// adversarial eigenvector states beta * f2 of the lazy walk matrix /
+  /// Laplacian.
   std::string distribution = "rademacher";
   /// First parameter: constant value, uniform lo, gaussian mean,
-  /// spike/ramp magnitude.
+  /// spike/blocks/ramp magnitude, f2_* scale beta (0 = n).
   double param_a = 0.0;
   /// Second parameter: uniform hi, gaussian stddev.
   double param_b = 1.0;
@@ -95,6 +100,20 @@ struct ExperimentSpec {
   /// Optional CSV output path for streamed per-replica rows ("" = none;
   /// only scenarios with row_columns() produce any).
   std::string rows_csv_path;
+  /// Optional CSV output path for a histogram over one numeric column of
+  /// the streamed per-replica channel ("" = none).  Requires a scenario
+  /// with row_columns().
+  std::string hist_csv_path;
+  /// Which streamed column the histogram/quantile summarizer bins; "" =
+  /// the last row column (the interesting metric by convention).
+  std::string hist_column;
+  /// Bin count for the histogram sink.
+  std::size_t hist_bins = 20;
+  /// Quantiles (each in [0,1]) summarized over the selected streamed
+  /// column; empty = no quantile summary.  Quantiles are exact order
+  /// statistics of the streamed values, printed on stdout (and they
+  /// activate the row channel just like hist-csv / rows-csv do).
+  std::vector<double> quantiles;
   /// Print the markdown table to stdout.
   bool print_table = true;
 };
@@ -103,8 +122,13 @@ struct ExperimentSpec {
 /// scenario, graph, n, degree, attach, p, graph-seed, init, init-a,
 /// init-b, init-seed, center, alpha, k, lazy, sampling, replicas, seed,
 /// threads, eps, max-steps, check-interval, plain-potential, horizon,
-/// sweep, csv, rows-csv, table.
+/// sweep, csv, rows-csv, hist-csv, hist-column, hist-bins, quantiles,
+/// table.
 std::vector<std::string> spec_keys();
+
+/// Parses a comma-separated quantile list ("0.5,0.9,0.99"); every value
+/// must be in [0,1].  Throws std::runtime_error otherwise.
+std::vector<double> parse_quantiles(const std::string& clause);
 
 /// Canonical cache key of a GraphSpec: two specs build the identical
 /// graph iff their keys are equal, so a sweep over model parameters
@@ -120,7 +144,10 @@ ExperimentSpec parse_spec(const std::map<std::string, std::string>& kv);
 ExperimentSpec parse_spec(const CliArgs& args);
 
 /// Parses a spec file: one key=value per line, blank lines and `#`
-/// comments ignored.
+/// comments ignored.  Malformed lines -- unknown keys, non-numeric or
+/// out-of-range values, missing '=' -- throw std::runtime_error with a
+/// "path:line: ..." diagnostic naming the offending key, never an
+/// uncaught std::invalid_argument.  Duplicate keys: the last line wins.
 ExperimentSpec parse_spec_file(const std::string& path);
 
 /// Serialises the spec as one `key=value` per line (doubles at full

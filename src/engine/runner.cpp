@@ -82,8 +82,9 @@ BatchResult run_experiment(const ExperimentSpec& spec,
   } else if (!row_sinks.empty()) {
     throw std::runtime_error(
         "scenario '" + scenario.name() +
-        "' streams no per-replica rows; drop --rows-csv or pick a "
-        "streaming scenario (see `opindyn describe`)");
+        "' streams no per-replica rows; drop --rows-csv / --hist-csv / "
+        "--quantiles or pick a streaming scenario (see `opindyn "
+        "describe`)");
   }
   // Per-replica rows cost O(replicas x checkpoints) strings per cell,
   // so they are only generated when a row sink consumes them.
@@ -189,6 +190,16 @@ BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
   TableSink table(std::cout);
   CsvSink csv(spec.csv_path);
   CsvSink rows_csv(spec.rows_csv_path);
+  HistogramSink::Options hist_options;
+  hist_options.column = spec.hist_column;
+  hist_options.bins = spec.hist_bins;
+  hist_options.quantiles = spec.quantiles;
+  hist_options.csv_path = spec.hist_csv_path;
+  // The one-line histogram/quantile summary prints even with
+  // --table=false: asking for --quantiles and getting silence would make
+  // the flag useless in quiet mode.
+  hist_options.summary_out = &std::cout;
+  HistogramSink hist(std::move(hist_options));
   std::vector<RowSink*> sinks;
   if (spec.print_table) {
     sinks.push_back(&table);
@@ -199,6 +210,15 @@ BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
   std::vector<RowSink*> row_sinks;
   if (!spec.rows_csv_path.empty()) {
     row_sinks.push_back(&rows_csv);
+  }
+  // --hist-csv / --hist-column / --quantiles summarize the streamed row
+  // channel, so any of them activates it (and, like --rows-csv,
+  // requires a scenario that declares row columns) -- a bare
+  // --hist-column still prints the one-line summary rather than being
+  // silently ignored.
+  if (!spec.hist_csv_path.empty() || !spec.hist_column.empty() ||
+      !spec.quantiles.empty()) {
+    row_sinks.push_back(&hist);
   }
   BatchResult result = run_experiment(spec, sinks, row_sinks);
   if (!spec.csv_path.empty() && spec.print_table) {

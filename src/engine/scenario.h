@@ -116,6 +116,11 @@ class ScenarioRegistrar {
 /// called by the batch runner and the CLI.
 void register_builtin_scenarios();
 
+/// Same keep-alive hook for the paper-theorem scenarios
+/// (scenarios_paper.cpp: duality, martingale, qchain, the variance and
+/// lower-bound suites).  Called by register_builtin_scenarios.
+void register_paper_scenarios();
+
 }  // namespace engine
 }  // namespace opindyn
 

@@ -26,35 +26,13 @@
 #include "src/core/montecarlo.h"
 #include "src/core/theory.h"
 #include "src/engine/scenario.h"
+#include "src/engine/scenario_format.h"
 #include "src/graph/algorithms.h"
 #include "src/spectral/spectra.h"
 
 namespace opindyn {
 namespace engine {
 namespace {
-
-std::string fmt(double value, int significant = 6) {
-  std::ostringstream out;
-  out.precision(significant);
-  out << value;
-  return out.str();
-}
-
-std::string fmt_fixed(double value, int digits) {
-  std::ostringstream out;
-  out.setf(std::ios::fixed);
-  out.precision(digits);
-  out << value;
-  return out.str();
-}
-
-std::string fmt_sci(double value, int digits) {
-  std::ostringstream out;
-  out.setf(std::ios::scientific);
-  out.precision(digits);
-  out << value;
-  return out.str();
-}
 
 /// Aggregated eps-convergence statistics of one averaging-process
 /// configuration (replica r uses stream fork(subseed(seed, salt), r), so
@@ -734,6 +712,7 @@ void register_builtin_scenarios() {
   // Registration happens through the file-level registrars above when
   // this translation unit is linked; referencing this symbol from the
   // runner keeps the unit alive in static-library builds.
+  register_paper_scenarios();
 }
 
 }  // namespace engine

@@ -1,6 +1,13 @@
 #include "src/engine/sinks.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
 #include "src/support/assert.h"
+#include "src/support/cli.h"
 
 namespace opindyn {
 namespace engine {
@@ -37,6 +44,110 @@ void CsvSink::row(const std::vector<std::string>& cells) {
 }
 
 void CsvSink::finish() { writer_.reset(); }
+
+HistogramSink::HistogramSink(Options options)
+    : options_(std::move(options)) {}
+
+void HistogramSink::begin(const std::vector<std::string>& columns) {
+  OPINDYN_EXPECTS(!columns.empty(), "histogram sink needs columns");
+  values_.clear();
+  histogram_.reset();
+  quantile_values_.clear();
+  if (options_.column.empty()) {
+    column_index_ = columns.size() - 1;
+  } else {
+    const auto it =
+        std::find(columns.begin(), columns.end(), options_.column);
+    if (it == columns.end()) {
+      std::string known;
+      for (const std::string& column : columns) {
+        known += known.empty() ? column : ", " + column;
+      }
+      throw std::runtime_error("histogram column '" + options_.column +
+                               "' is not a streamed column (available: " +
+                               known + ")");
+    }
+    column_index_ = static_cast<std::size_t>(it - columns.begin());
+  }
+  column_name_ = columns[column_index_];
+}
+
+void HistogramSink::row(const std::vector<std::string>& cells) {
+  OPINDYN_EXPECTS(column_index_ < cells.size(),
+                  "HistogramSink::begin was not called");
+  const std::string& cell = cells[column_index_];
+  try {
+    values_.push_back(
+        parse_double_value("histogram column '" + column_name_ + "'",
+                           cell));
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("histogram column '" + column_name_ +
+                             "': non-numeric cell '" + cell +
+                             "' (pick a numeric streamed column)");
+  }
+}
+
+void HistogramSink::finish() {
+  if (!values_.empty()) {
+    // The range is the exact data range (hi nudged up so the maximum
+    // lands in the last bin, not in the saturating overflow cell); it
+    // depends only on the streamed values, never on thread scheduling.
+    const auto [min_it, max_it] =
+        std::minmax_element(values_.begin(), values_.end());
+    const double lo = *min_it;
+    double hi = std::nextafter(
+        *max_it, std::numeric_limits<double>::infinity());
+    if (hi <= lo) {
+      hi = lo + 1.0;  // all values identical: one degenerate bin width
+    }
+    histogram_ = std::make_unique<Histogram>(lo, hi, options_.bins);
+    for (const double value : values_) {
+      histogram_->add(value);
+    }
+
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    quantile_values_.reserve(options_.quantiles.size());
+    for (const double q : options_.quantiles) {
+      const auto rank = std::min(
+          sorted.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+      quantile_values_.push_back(sorted[rank]);
+    }
+  }
+
+  if (!options_.csv_path.empty()) {
+    CsvWriter writer(options_.csv_path, {"bin_lo", "bin_hi", "count"});
+    if (histogram_ != nullptr) {
+      for (std::size_t b = 0; b < histogram_->bins(); ++b) {
+        writer.write_row(std::vector<double>{
+            histogram_->bin_low(b), histogram_->bin_high(b),
+            static_cast<double>(histogram_->count(b))});
+      }
+    }
+  }
+
+  if (options_.summary_out != nullptr) {
+    std::ostream& out = *options_.summary_out;
+    std::ostringstream summary;
+    summary.precision(6);
+    summary << "hist(" << column_name_ << "): " << values_.size()
+            << " values";
+    if (histogram_ != nullptr) {
+      summary << " in [" << histogram_->bin_low(0) << ", "
+              << histogram_->bin_high(histogram_->bins() - 1) << ")";
+    }
+    for (std::size_t i = 0; i < quantile_values_.size(); ++i) {
+      summary << (i == 0 ? "; " : " ") << "q" << options_.quantiles[i]
+              << "=" << quantile_values_[i];
+    }
+    out << summary.str() << "\n";
+    if (!options_.csv_path.empty() && histogram_ != nullptr) {
+      out << "wrote " << histogram_->bins() << " histogram bins to "
+          << options_.csv_path << "\n";
+    }
+  }
+}
 
 void MemorySink::begin(const std::vector<std::string>& columns) {
   columns_ = columns;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/support/csv.h"
+#include "src/support/histogram.h"
 #include "src/support/table.h"
 
 namespace opindyn {
@@ -60,6 +61,55 @@ class CsvSink : public RowSink {
  private:
   std::string path_;
   std::unique_ptr<CsvWriter> writer_;
+};
+
+/// Distribution summarizer over ONE numeric column of a row channel --
+/// the engine's histogram/quantile sink, meant for the streamed
+/// per-replica channel (`--hist-csv` / `--quantiles`).  Values are
+/// buffered as rows arrive; finish() bins them into an equal-width
+/// Histogram over the exact data range (so no sample saturates), writes
+/// the bins as CSV if a path was given, and computes the requested
+/// quantiles as exact order statistics of the buffered values (not bin
+/// midpoints).  Because the OrderedFlush upstream releases rows in cell
+/// order, the emitted bytes are identical for every thread count.
+class HistogramSink : public RowSink {
+ public:
+  struct Options {
+    /// Column to bin, matched by name against begin()'s columns; "" =
+    /// the last column.  begin() throws if the name is absent.
+    std::string column;
+    std::size_t bins = 20;
+    /// Quantiles in [0, 1] to summarize; empty = none.
+    std::vector<double> quantiles;
+    /// CSV output path for the bins ("" = no CSV).
+    std::string csv_path;
+    /// Stream for the human-readable summary (nullptr = silent).
+    std::ostream* summary_out = nullptr;
+  };
+
+  explicit HistogramSink(Options options);
+
+  void begin(const std::vector<std::string>& columns) override;
+  /// Parses the selected cell as a double; throws std::runtime_error
+  /// naming the column on non-numeric content.
+  void row(const std::vector<std::string>& cells) override;
+  void finish() override;
+
+  /// Post-finish accessors (for tests and programmatic callers).
+  const Histogram* histogram() const noexcept { return histogram_.get(); }
+  /// Exact order-statistic quantiles, aligned with options.quantiles.
+  const std::vector<double>& quantile_values() const noexcept {
+    return quantile_values_;
+  }
+  std::size_t samples() const noexcept { return values_.size(); }
+
+ private:
+  Options options_;
+  std::string column_name_;
+  std::size_t column_index_ = 0;
+  std::vector<double> values_;
+  std::unique_ptr<Histogram> histogram_;
+  std::vector<double> quantile_values_;
 };
 
 /// Collects rows in memory (used by tests and by callers that post-process

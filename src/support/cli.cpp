@@ -6,6 +6,43 @@
 
 namespace opindyn {
 
+// std::stoll/stod with the error cases turned into one catchable
+// std::runtime_error: non-numeric input, values outside the type's
+// range (std::out_of_range derives from std::logic_error) and trailing
+// garbage ("12x") all throw instead of crashing the binary or silently
+// truncating.
+std::int64_t parse_int_value(const std::string& subject,
+                             const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t parsed = std::stoll(value, &used);
+    if (used != value.size()) {
+      throw std::runtime_error(subject + ": trailing characters in '" +
+                               value + "'");
+    }
+    return parsed;
+  } catch (const std::logic_error&) {
+    throw std::runtime_error(subject + ": expected an integer, got '" +
+                             value + "'");
+  }
+}
+
+double parse_double_value(const std::string& subject,
+                          const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) {
+      throw std::runtime_error(subject + ": trailing characters in '" +
+                               value + "'");
+    }
+    return parsed;
+  } catch (const std::logic_error&) {
+    throw std::runtime_error(subject + ": expected a number, got '" +
+                             value + "'");
+  }
+}
+
 CliArgs::CliArgs(int argc, const char* const* argv) {
   if (argc > 0) {
     program_ = argv[0];
@@ -41,7 +78,7 @@ std::int64_t CliArgs::get(const std::string& name,
   if (it == options_.end()) {
     return fallback;
   }
-  return std::stoll(it->second);
+  return parse_int_value("option '--" + name + "'", it->second);
 }
 
 double CliArgs::get(const std::string& name, double fallback) const {
@@ -49,7 +86,7 @@ double CliArgs::get(const std::string& name, double fallback) const {
   if (it == options_.end()) {
     return fallback;
   }
-  return std::stod(it->second);
+  return parse_double_value("option '--" + name + "'", it->second);
 }
 
 bool CliArgs::get(const std::string& name, bool fallback) const {

@@ -16,6 +16,11 @@ class CliArgs {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;
+  /// The numeric overloads validate the whole value: non-numeric input,
+  /// out-of-range values and trailing garbage ("--eps=0.1x") throw
+  /// std::runtime_error naming the option, so a CLI main() can catch and
+  /// print a one-line diagnostic instead of dying on an uncaught
+  /// std::invalid_argument.
   std::int64_t get(const std::string& name, std::int64_t fallback) const;
   double get(const std::string& name, double fallback) const;
   bool get(const std::string& name, bool fallback) const;
@@ -35,6 +40,17 @@ class CliArgs {
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };
+
+/// Strict numeric parsing shared by every user-input surface (CLI
+/// options, spec keys, sink columns): the whole value must parse --
+/// non-numeric input, out-of-range values and trailing garbage all
+/// throw std::runtime_error "<subject>: ..." so callers surface a
+/// one-line diagnostic instead of an uncaught std::invalid_argument.
+/// `subject` names the input, e.g. "option '--replicas'".
+std::int64_t parse_int_value(const std::string& subject,
+                             const std::string& value);
+double parse_double_value(const std::string& subject,
+                          const std::string& value);
 
 /// Levenshtein edit distance (insert/delete/substitute, unit costs).
 std::size_t edit_distance(const std::string& a, const std::string& b);

@@ -51,11 +51,16 @@ double Histogram::quantile(double q) const {
   if (total_ == 0) {
     return lo_;
   }
+  // The target rank is taken against total_ (in-range + saturated mass),
+  // and the cumulative count starts at the underflow cell -- see the
+  // contract in the header: quantiles inside the saturated mass clamp to
+  // the matching range edge instead of being silently computed over the
+  // in-range bins only.
   const auto target = static_cast<std::int64_t>(
       q * static_cast<double>(total_));
   std::int64_t seen = underflow_;
   if (seen > target) {
-    return lo_;
+    return lo_;  // rank falls into the underflow mass: clamp to lo
   }
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     seen += counts_[b];
@@ -63,7 +68,7 @@ double Histogram::quantile(double q) const {
       return 0.5 * (bin_low(b) + bin_high(b));
     }
   }
-  return hi_;
+  return hi_;  // rank falls into the overflow mass (or q == 1): clamp to hi
 }
 
 std::string Histogram::render(std::size_t width) const {

@@ -25,7 +25,15 @@ class Histogram {
   double bin_low(std::size_t bin) const;
   double bin_high(std::size_t bin) const;
 
-  /// Approximate quantile from bin midpoints (q in [0,1]).
+  /// Approximate quantile from bin midpoints (q in [0,1]), computed over
+  /// the FULL mass including the saturating under/overflow cells: the
+  /// cumulative count starts at underflow() and ends at total(), so
+  /// out-of-range samples shift in-range quantiles exactly as they
+  /// should.  A quantile that lands inside the underflow (resp. overflow)
+  /// mass saturates to lo (resp. hi) -- the histogram cannot know how far
+  /// outside the range those samples fell, so the returned value is a
+  /// bound, not an estimate.  Callers that need true tail quantiles must
+  /// widen [lo, hi) until overflow() is 0.
   double quantile(double q) const;
 
   /// Renders a vertical ASCII bar chart, `width` chars for the largest bin.

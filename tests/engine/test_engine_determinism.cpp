@@ -169,6 +169,84 @@ TEST(EngineDeterminism, GraphCacheBuildsEachDistinctGraphOnce) {
   EXPECT_EQ(sized.graphs_built, 3);
 }
 
+// The ISSUE-3 acceptance criterion for the ported bench scenarios:
+// aggregate CSV and streamed per-replica CSV bytes are identical at
+// --threads 1/4/8 for the newly registered paper scenarios.  Each
+// scenario here covers a different port family: duality (Fig. 1/4),
+// martingale (Lemma 4.1), thm24_edge_variance (the variance suite).
+class PortedScenarioDeterminism
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PortedScenarioDeterminism, CsvBytesIdenticalAtOneFourEightThreads) {
+  ExperimentSpec spec;
+  spec.scenario = GetParam();
+  spec.graph.family = "cycle";
+  spec.graph.n = 10;
+  spec.replicas = 12;
+  spec.seed = 29;
+  spec.horizon = 40;
+  spec.convergence.epsilon = 1e-6;
+  spec.sweeps = parse_sweeps("alpha:0.4,0.6");
+  spec.print_table = false;
+
+  std::string aggregate[3];
+  std::string streamed[3];
+  const std::size_t thread_counts[3] = {1, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    spec.threads = thread_counts[i];
+    const std::string base = ::testing::TempDir() + "ported_" +
+                             spec.scenario + "_" + std::to_string(i);
+    CsvSink csv(base + ".csv");
+    CsvSink rows_csv(base + "_rows.csv");
+    std::vector<RowSink*> sinks{&csv};
+    std::vector<RowSink*> row_sinks{&rows_csv};
+    const BatchResult result = run_experiment(spec, sinks, row_sinks);
+    EXPECT_EQ(result.work_items, 2);
+    aggregate[i] = read_file(base + ".csv");
+    streamed[i] = read_file(base + "_rows.csv");
+    std::remove((base + ".csv").c_str());
+    std::remove((base + "_rows.csv").c_str());
+    EXPECT_FALSE(aggregate[i].empty());
+    EXPECT_FALSE(streamed[i].empty());
+  }
+  EXPECT_EQ(aggregate[0], aggregate[1]);
+  EXPECT_EQ(aggregate[0], aggregate[2]);
+  EXPECT_EQ(streamed[0], streamed[1]);
+  EXPECT_EQ(streamed[0], streamed[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperScenarios, PortedScenarioDeterminism,
+                         ::testing::Values("duality", "martingale",
+                                           "thm24_edge_variance"));
+
+// The remaining ported scenarios at least run through the engine and
+// produce a row per cell (their heavy exact machinery -- eigensolves,
+// Q-chain matrices, enumerations -- runs on the pool).
+TEST(EngineDeterminism, AllPaperScenariosRunThroughTheEngine) {
+  for (const std::string scenario :
+       {"qchain", "thm22_variance", "thm24_edge_convergence",
+        "prop58_variance", "propB1_drop", "propB2_node", "propB2_edge"}) {
+    ExperimentSpec spec;
+    spec.scenario = scenario;
+    spec.graph.family = "cycle";
+    spec.graph.n = 8;
+    spec.replicas = 4;
+    spec.seed = 3;
+    spec.convergence.epsilon = 1e-4;
+    spec.print_table = false;
+    if (scenario == "propB2_node") {
+      spec.initial.distribution = "f2_walk";
+      spec.initial.center = "none";
+    } else if (scenario == "propB2_edge") {
+      spec.initial.distribution = "f2_laplacian";
+      spec.initial.center = "none";
+    }
+    const BatchResult result = run_experiment(spec);
+    EXPECT_EQ(result.work_items, 1) << scenario;
+    EXPECT_FALSE(result.rows.empty()) << scenario;
+  }
+}
+
 TEST(EngineDeterminism, BaselineScenarioIsDeterministicToo) {
   ExperimentSpec spec;
   spec.scenario = "voter";

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -78,8 +80,122 @@ TEST(ExperimentSpec, RejectsUnknownKeysAndMalformedValues) {
   EXPECT_THROW(parse_spec({{"sampling", "sometimes"}}), std::runtime_error);
   EXPECT_THROW(parse_spec({{"center", "left"}}), std::runtime_error);
   EXPECT_THROW(parse_spec({{"sweep", "novalues"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec({{"replicas", "99999999999999999999999"}}),
+               std::runtime_error);  // out of int64 range
+  EXPECT_THROW(parse_spec({{"hist-bins", "0"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec({{"quantiles", "0.5,1.5"}}), std::runtime_error);
+  EXPECT_THROW(parse_spec({{"quantiles", "abc"}}), std::runtime_error);
   EXPECT_THROW(parse_spec_file("/nonexistent/path.spec"),
                std::runtime_error);
+}
+
+// Every malformed spec-file line produces a "path:line: ..." diagnostic
+// naming the offending key -- never an uncaught std::invalid_argument
+// (the ISSUE-3 CLI acceptance criterion).
+TEST(ExperimentSpec, SpecFileErrorsCiteKeyAndLine) {
+  const std::string path = ::testing::TempDir() + "opindyn_bad.spec";
+  const auto expect_diagnostic = [&path](const std::string& contents,
+                                         const std::string& line_tag,
+                                         const std::string& mention) {
+    {
+      std::ofstream out(path);
+      out << contents;
+    }
+    try {
+      parse_spec_file(path);
+      FAIL() << "expected std::runtime_error for: " << contents;
+    } catch (const std::runtime_error& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(path + ":" + line_tag), std::string::npos)
+          << what;
+      EXPECT_NE(what.find(mention), std::string::npos) << what;
+    }
+    std::remove(path.c_str());
+  };
+  expect_diagnostic("scenario=node\nreplicas=12banana\n", "2", "replicas");
+  expect_diagnostic("n=abc\n", "1", "'n'");
+  expect_diagnostic("# comment\n\nfrobnicate=3\n", "3", "frobnicate");
+  expect_diagnostic("scenario=node\nno equals sign here\n", "2",
+                    "key=value");
+  expect_diagnostic("eps=99999999999999999999999999999999999999e999999\n",
+                    "1", "eps");
+
+  // Duplicate keys: the last line wins, like CLI overrides.
+  {
+    std::ofstream out(path);
+    out << "n=8\nn=32\n";
+  }
+  EXPECT_EQ(parse_spec_file(path).graph.n, 32);
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentSpec, HistogramKeysParseAndRoundTrip) {
+  ExperimentSpec spec = parse_spec({{"hist-csv", "h.csv"},
+                                    {"hist-column", "T_eps"},
+                                    {"hist-bins", "12"},
+                                    {"quantiles", "0.5,0.9,0.99"}});
+  EXPECT_EQ(spec.hist_csv_path, "h.csv");
+  EXPECT_EQ(spec.hist_column, "T_eps");
+  EXPECT_EQ(spec.hist_bins, 12u);
+  EXPECT_EQ(spec.quantiles, (std::vector<double>{0.5, 0.9, 0.99}));
+
+  const std::string text = to_key_values(spec);
+  const std::string path = ::testing::TempDir() + "opindyn_hist.spec";
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  const ExperimentSpec reparsed = parse_spec_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(to_key_values(reparsed), text);
+  EXPECT_EQ(reparsed.quantiles, spec.quantiles);
+
+  // Orchestration/output keys cannot be swept.
+  for (const std::string key :
+       {"hist-csv", "hist-column", "hist-bins", "quantiles"}) {
+    EXPECT_THROW(apply_override(spec, key, "x"), std::runtime_error)
+        << key;
+  }
+}
+
+TEST(ExperimentSpec, NewInitialDistributionsBuild) {
+  GraphSpec graph;
+  graph.family = "star";
+  graph.n = 8;
+  const Graph star = build_graph(graph);
+
+  InitialSpec initial;
+  initial.center = "none";
+  initial.distribution = "hub_spike";
+  const std::vector<double> spike = build_initial(initial, star);
+  // The hub of a star carries the spike (value n by default), leaves 0.
+  double sum = 0.0;
+  double max_abs = 0.0;
+  for (const double v : spike) {
+    sum += v;
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  EXPECT_DOUBLE_EQ(max_abs, 8.0);
+  EXPECT_DOUBLE_EQ(sum, 8.0);  // a single nonzero entry
+
+  initial.distribution = "blocks";
+  const std::vector<double> blocks = build_initial(initial, star);
+  EXPECT_DOUBLE_EQ(blocks.front(), 1.0);
+  EXPECT_DOUBLE_EQ(blocks.back(), -1.0);
+
+  // f2_* are eigenvector starts scaled by n by default; they are
+  // nonzero and, for the walk matrix, pi-orthogonal to the constant.
+  graph.family = "cycle";
+  const Graph cycle = build_graph(graph);
+  initial.distribution = "f2_walk";
+  const std::vector<double> f2 = build_initial(initial, cycle);
+  double norm = 0.0;
+  for (const double v : f2) {
+    norm += v * v;
+  }
+  EXPECT_GT(norm, 1.0);
+  initial.distribution = "f2_laplacian";
+  EXPECT_EQ(build_initial(initial, cycle).size(), 8u);
 }
 
 TEST(ExperimentSpec, OverridesApplyAndOrchestrationKeysAreProtected) {

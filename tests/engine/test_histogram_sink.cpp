@@ -1,0 +1,169 @@
+// The HistogramSink: column selection, binning over the exact data
+// range, exact order-statistic quantiles, CSV output, and the error
+// paths (unknown column, non-numeric cells).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/engine/runner.h"
+#include "src/engine/sinks.h"
+
+namespace opindyn {
+namespace engine {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+HistogramSink::Options options_with(std::string column,
+                                    std::vector<double> quantiles = {}) {
+  HistogramSink::Options options;
+  options.column = std::move(column);
+  options.bins = 4;
+  options.quantiles = std::move(quantiles);
+  return options;
+}
+
+TEST(HistogramSink, BinsSelectedColumnOverExactRange) {
+  HistogramSink sink(options_with("value"));
+  sink.begin({"label", "value"});
+  for (int i = 0; i < 8; ++i) {
+    sink.row({"x", std::to_string(i)});  // 0..7
+  }
+  sink.finish();
+  ASSERT_NE(sink.histogram(), nullptr);
+  EXPECT_EQ(sink.samples(), 8u);
+  EXPECT_EQ(sink.histogram()->bins(), 4u);
+  EXPECT_EQ(sink.histogram()->total(), 8);
+  // The range covers the data exactly: nothing saturates, two samples
+  // per bin.
+  EXPECT_EQ(sink.histogram()->underflow(), 0);
+  EXPECT_EQ(sink.histogram()->overflow(), 0);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(sink.histogram()->count(b), 2) << b;
+  }
+}
+
+TEST(HistogramSink, DefaultsToLastColumnAndComputesExactQuantiles) {
+  HistogramSink sink(options_with("", {0.0, 0.5, 1.0}));
+  sink.begin({"replica", "T"});
+  for (int i = 100; i >= 1; --i) {  // 1..100 in reverse order
+    sink.row({"r", std::to_string(i)});
+  }
+  sink.finish();
+  ASSERT_EQ(sink.quantile_values().size(), 3u);
+  // Exact order statistics of {1..100}, not bin midpoints.
+  EXPECT_DOUBLE_EQ(sink.quantile_values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(sink.quantile_values()[1], 51.0);
+  EXPECT_DOUBLE_EQ(sink.quantile_values()[2], 100.0);
+}
+
+TEST(HistogramSink, WritesBinCsv) {
+  const std::string path = ::testing::TempDir() + "hist_sink_test.csv";
+  HistogramSink::Options options = options_with("value");
+  options.csv_path = path;
+  HistogramSink sink(std::move(options));
+  sink.begin({"value"});
+  sink.row({"0"});
+  sink.row({"4"});
+  sink.finish();
+  const std::string csv = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_NE(csv.find("bin_lo,bin_hi,count"), std::string::npos);
+  // 4 bins + header = 5 lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(HistogramSink, AllEqualValuesDoNotCrash) {
+  HistogramSink sink(options_with("value"));
+  sink.begin({"value"});
+  sink.row({"3.5"});
+  sink.row({"3.5"});
+  sink.finish();
+  ASSERT_NE(sink.histogram(), nullptr);
+  EXPECT_EQ(sink.histogram()->total(), 2);
+  EXPECT_EQ(sink.histogram()->count(0), 2);
+}
+
+TEST(HistogramSink, EmptyChannelFinishesCleanly) {
+  HistogramSink sink(options_with("value", {0.5}));
+  sink.begin({"value"});
+  sink.finish();
+  EXPECT_EQ(sink.histogram(), nullptr);
+  EXPECT_TRUE(sink.quantile_values().empty());
+}
+
+TEST(HistogramSink, RejectsUnknownColumnAndNonNumericCells) {
+  HistogramSink unknown(options_with("missing"));
+  EXPECT_THROW(unknown.begin({"a", "b"}), std::runtime_error);
+
+  HistogramSink sink(options_with("model"));
+  sink.begin({"model", "T"});
+  EXPECT_THROW(sink.row({"NodeModel", "7"}), std::runtime_error);
+  // Trailing garbage is not numeric either.
+  HistogramSink strict(options_with("T"));
+  strict.begin({"model", "T"});
+  EXPECT_THROW(strict.row({"x", "7abc"}), std::runtime_error);
+}
+
+TEST(HistogramSink, SummaryLineNamesColumnAndQuantiles) {
+  std::ostringstream out;
+  HistogramSink::Options options = options_with("T", {0.5});
+  options.summary_out = &out;
+  HistogramSink sink(std::move(options));
+  sink.begin({"replica", "T"});
+  sink.row({"0", "1"});
+  sink.row({"1", "3"});
+  sink.finish();
+  EXPECT_NE(out.str().find("hist(T): 2 values"), std::string::npos);
+  EXPECT_NE(out.str().find("q0.5="), std::string::npos);
+}
+
+// End-to-end: the sink consumes the engine's streamed row channel, and
+// its binned CSV is byte-identical at every thread count (the ISSUE-3
+// determinism criterion for the histogram output).
+TEST(HistogramSink, EngineHistogramCsvIsByteIdenticalAcrossThreadCounts) {
+  ExperimentSpec spec;
+  spec.scenario = "whp_tail";
+  spec.graph.family = "cycle";
+  spec.graph.n = 12;
+  spec.replicas = 16;
+  spec.seed = 5;
+  spec.convergence.epsilon = 1e-6;
+  spec.sweeps = parse_sweeps("alpha:0.3,0.5");
+  spec.print_table = false;
+
+  std::string outputs[3];
+  const std::size_t thread_counts[3] = {1, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    spec.threads = thread_counts[i];
+    const std::string path = ::testing::TempDir() + "engine_hist_" +
+                             std::to_string(i) + ".csv";
+    HistogramSink::Options options;
+    options.column = "T_eps";
+    options.bins = 6;
+    options.quantiles = {0.5, 0.9};
+    options.csv_path = path;
+    HistogramSink hist(std::move(options));
+    std::vector<RowSink*> row_sinks{&hist};
+    run_experiment(spec, {}, row_sinks);
+    EXPECT_EQ(hist.samples(), 64u);  // 2 models x 16 replicas x 2 cells
+    outputs[i] = read_file(path);
+    std::remove(path.c_str());
+    EXPECT_FALSE(outputs[i].empty());
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace opindyn

@@ -30,7 +30,11 @@ TEST(ScenarioRegistry, BuiltinsAreRegistered) {
        {"node", "edge", "lazy", "node_vs_edge", "k_ablation", "voter",
         "gossip", "degroot", "friedkin_johnsen", "averaging_vs_voter",
         "gossip_vs_unilateral", "whp_tail", "thm22_convergence",
-        "trajectory"}) {
+        "trajectory",
+        // The paper-theorem scenarios (the ISSUE-3 bench ports).
+        "duality", "martingale", "qchain", "thm22_variance",
+        "thm24_edge_convergence", "thm24_edge_variance",
+        "prop58_variance", "propB1_drop", "propB2_node", "propB2_edge"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     EXPECT_EQ(registry.get(name).name(), name);
     EXPECT_FALSE(registry.get(name).description().empty()) << name;
@@ -38,14 +42,17 @@ TEST(ScenarioRegistry, BuiltinsAreRegistered) {
   }
   // names() is sorted and covers every registered scenario.
   const std::vector<std::string> names = registry.names();
-  EXPECT_GE(names.size(), 14u);
+  EXPECT_GE(names.size(), 24u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 
   // The streaming scenarios declare per-replica row columns; the plain
   // aggregating ones do not.
   EXPECT_FALSE(registry.get("whp_tail").row_columns().empty());
   EXPECT_FALSE(registry.get("trajectory").row_columns().empty());
+  EXPECT_FALSE(registry.get("thm22_variance").row_columns().empty());
+  EXPECT_FALSE(registry.get("duality").row_columns().empty());
   EXPECT_TRUE(registry.get("node").row_columns().empty());
+  EXPECT_TRUE(registry.get("qchain").row_columns().empty());
 }
 
 TEST(ScenarioRegistry, UnknownScenarioErrorNamesTheKnownOnes) {

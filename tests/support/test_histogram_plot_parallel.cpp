@@ -41,6 +41,54 @@ TEST(Histogram, QuantileApproximatesMedian) {
   EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
 }
 
+// The quantile contract for saturated mass (see histogram.h): ranks are
+// taken against the FULL count including under/overflow, quantiles
+// inside the saturated mass clamp to the matching range edge, and
+// out-of-range samples shift the in-range quantiles -- never "quantiles
+// over in-range bins only".
+TEST(Histogram, QuantileAccountsForSaturatedUnderAndOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 3; ++i) {
+    h.add(-5.0);  // underflow mass
+  }
+  h.add(0.25);  // one in-range sample
+  for (int i = 0; i < 3; ++i) {
+    h.add(7.0);  // overflow mass
+  }
+  EXPECT_EQ(h.total(), 7);
+  EXPECT_EQ(h.underflow(), 3);
+  EXPECT_EQ(h.overflow(), 3);
+  // Ranks 0..2 (q < 3/7) fall in the underflow: clamp to lo.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.3), 0.0);
+  // Rank 3 (the median) is the in-range sample: its bin midpoint.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.25);
+  // Ranks 4..6 fall in the overflow: clamp to hi.
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(Histogram, QuantileShiftsWhenMassSaturates) {
+  // 50 in-range samples around 0.05, then 50 overflow samples: the
+  // median must move to the overflow edge, not stay at the in-range
+  // median as a bins-only computation would report.
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 50; ++i) {
+    h.add(0.05);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.05);
+  for (int i = 0; i < 50; ++i) {
+    h.add(9.0);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.05);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 1.0);  // saturated: clamp to hi
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsLo) {
+  const Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 10), ContractError);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractError);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "src/support/assert.h"
 #include "src/support/cli.h"
@@ -106,6 +108,39 @@ TEST(Cli, BooleanSpellings) {
   EXPECT_TRUE(args.get("b", false));
   EXPECT_TRUE(args.get("c", false));
   EXPECT_FALSE(args.get("d", true));
+}
+
+// Malformed numeric option values throw a catchable std::runtime_error
+// naming the option (never an uncaught std::invalid_argument), and
+// trailing garbage that std::stod would silently accept is rejected.
+TEST(Cli, MalformedNumericValuesThrowWithTheOptionName) {
+  const char* argv[] = {"prog",        "--replicas=abc", "--eps=0.1x",
+                        "--n=9999999999999999999999999", "--ok=12"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get("ok", std::int64_t{0}), 12);
+
+  try {
+    args.get("replicas", std::int64_t{0});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("--replicas"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("abc"), std::string::npos);
+  }
+  try {
+    args.get("eps", 0.0);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("--eps"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("trailing"),
+              std::string::npos);
+  }
+  // Out-of-range integers are diagnosed, not silently truncated.
+  EXPECT_THROW(args.get("n", std::int64_t{0}), std::runtime_error);
+  // Trailing garbage on an integer option.
+  const char* argv2[] = {"prog", "--seed=12banana"};
+  CliArgs args2(2, argv2);
+  EXPECT_THROW(args2.get("seed", std::int64_t{0}), std::runtime_error);
 }
 
 TEST(Cli, EditDistanceCountsInsertsDeletesAndSubstitutions) {
