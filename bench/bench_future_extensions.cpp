@@ -15,9 +15,10 @@
 #include <span>
 
 #include "bench/bench_common.h"
+#include "src/core/convergence.h"
 #include "src/core/initial_values.h"
+#include "src/core/model.h"
 #include "src/core/moments.h"
-#include "src/core/montecarlo.h"
 #include "src/support/cell_scheduler.h"
 #include "src/support/table.h"
 
@@ -107,14 +108,20 @@ int main() {
       config.kind = kind;
       config.alpha = 0.5;
       config.k = 1;
-      MonteCarloOptions options;
-      options.replicas = 12000;
-      options.seed = 31;
-      options.convergence.epsilon = 1e-13;
-      const MonteCarloResult result =
-          monte_carlo(g, config, centered, options);
-      const double measured =
-          result.convergence_value.population_variance();
+      // Monte-Carlo Var(F) on the shared CellScheduler, with the same
+      // streams (Rng::fork(31, r)) the retired monte_carlo harness
+      // assigned, so the table is unchanged.
+      CellScheduler scheduler;
+      const auto stats = scheduler.run(
+          12000, 31, 1,
+          [&g, &config, &centered](std::int64_t, Rng& rng,
+                                   std::span<double> out) {
+            auto process = make_process(g, config, centered);
+            ConvergenceOptions conv;
+            conv.epsilon = 1e-13;
+            out[0] = run_until_converged(*process, rng, conv).final_value;
+          });
+      const double measured = stats[0].population_variance();
       const double scaled = predicted *
                             static_cast<double>(g.node_count()) *
                             static_cast<double>(g.node_count()) /

@@ -1,0 +1,24 @@
+#include "src/core/model.h"
+
+#include <utility>
+
+namespace opindyn {
+
+std::unique_ptr<AveragingProcess> make_process(const Graph& graph,
+                                               const ModelConfig& config,
+                                               std::vector<double> initial) {
+  if (config.kind == ModelKind::node) {
+    NodeModelParams params;
+    params.alpha = config.alpha;
+    params.k = config.k;
+    params.lazy = config.lazy;
+    params.sampling = config.sampling;
+    return std::make_unique<NodeModel>(graph, std::move(initial), params);
+  }
+  EdgeModelParams params;
+  params.alpha = config.alpha;
+  params.lazy = config.lazy;
+  return std::make_unique<EdgeModel>(graph, std::move(initial), params);
+}
+
+}  // namespace opindyn

@@ -1,0 +1,40 @@
+// The one configuration record for the paper's two averaging processes
+// and the factory that instantiates either behind the common
+// AveragingProcess interface.  Every harness -- the scenario engine, the
+// bench shims, the tests -- describes "which model with which knobs"
+// through this struct; replica scheduling itself lives in
+// support/cell_scheduler.h (the historical core/montecarlo harness that
+// used to bundle both is retired).
+#ifndef OPINDYN_CORE_MODEL_H
+#define OPINDYN_CORE_MODEL_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/edge_model.h"
+#include "src/core/node_model.h"
+#include "src/core/process.h"
+#include "src/graph/graph.h"
+
+namespace opindyn {
+
+enum class ModelKind { node, edge };
+
+/// One configuration of either model (k is ignored for the EdgeModel).
+struct ModelConfig {
+  ModelKind kind = ModelKind::node;
+  double alpha = 0.5;
+  std::int64_t k = 1;
+  bool lazy = false;
+  SamplingMode sampling = SamplingMode::without_replacement;
+};
+
+/// Builds the configured process over `graph` starting from `initial`.
+std::unique_ptr<AveragingProcess> make_process(
+    const Graph& graph, const ModelConfig& config,
+    std::vector<double> initial);
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_CORE_MODEL_H

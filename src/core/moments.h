@@ -23,7 +23,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/core/montecarlo.h"
+#include "src/core/model.h"
 #include "src/graph/graph.h"
 #include "src/spectral/matrix.h"
 #include "src/spectral/power_iteration.h"

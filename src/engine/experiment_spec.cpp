@@ -193,7 +193,8 @@ std::vector<std::string> graph_family_names() {
 }
 
 std::vector<double> build_initial(const InitialSpec& spec,
-                                  const Graph& graph) {
+                                  const Graph& graph,
+                                  const GraphSpectra* spectra) {
   Rng rng(spec.seed);
   const NodeId n = graph.node_count();
   std::vector<double> xi;
@@ -226,13 +227,17 @@ std::vector<double> build_initial(const InitialSpec& spec,
   } else if (spec.distribution == "ramp") {
     xi = initial::ramp(n, spec.param_a == 0.0 ? 1.0 : spec.param_a);
   } else if (spec.distribution == "f2_walk") {
-    // Prop. B.2 adversarial state beta * f2(P) of the lazy walk matrix.
+    // Prop. B.2 adversarial state beta * f2(P) of the lazy walk matrix;
+    // the memoised record (when given) and the direct solve produce the
+    // identical deterministic eigenvector.
     xi = initial::scaled_eigenvector(
-        lazy_walk_spectrum(graph).f2,
+        spectra != nullptr ? spectra->walk().f2
+                           : lazy_walk_spectrum(graph).f2,
         spec.param_a == 0.0 ? static_cast<double>(n) : spec.param_a);
   } else if (spec.distribution == "f2_laplacian") {
     xi = initial::scaled_eigenvector(
-        laplacian_spectrum(graph).f2,
+        spectra != nullptr ? spectra->laplacian().f2
+                           : laplacian_spectrum(graph).f2,
         spec.param_a == 0.0 ? static_cast<double>(n) : spec.param_a);
   } else {
     fail("unknown initial distribution '" + spec.distribution +

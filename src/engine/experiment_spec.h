@@ -13,8 +13,9 @@
 #include <vector>
 
 #include "src/core/convergence.h"
-#include "src/core/montecarlo.h"
+#include "src/core/model.h"
 #include "src/graph/graph.h"
+#include "src/spectral/spectrum_cache.h"
 #include "src/support/cli.h"
 #include "src/support/rng.h"
 
@@ -69,8 +70,13 @@ struct InitialSpec {
 
 /// Draws xi(0) per the spec (and applies the requested centering).
 /// Throws std::runtime_error for unknown distributions or centerings.
+/// The f2_walk / f2_laplacian eigenvector states take their eigensolve
+/// from `spectra` when one is passed (the engine passes the batch-wide
+/// SpectrumCache record, so a sweep solves once per distinct graph);
+/// with nullptr they solve directly -- same values either way.
 std::vector<double> build_initial(const InitialSpec& spec,
-                                  const Graph& graph);
+                                  const Graph& graph,
+                                  const GraphSpectra* spectra = nullptr);
 
 /// One sweep axis: the spec key to override and the values to try.
 struct SweepAxis {

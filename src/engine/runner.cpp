@@ -1,11 +1,14 @@
 #include "src/engine/runner.h"
 
 #include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "src/graph/graph_cache.h"
+#include "src/spectral/spectrum_cache.h"
 #include "src/support/assert.h"
 
 namespace opindyn {
@@ -20,10 +23,32 @@ namespace {
 struct Cell {
   ExperimentSpec item;
   std::shared_ptr<const Graph> graph;
+  std::shared_ptr<GraphSpectra> spectra;
   std::vector<double> initial;
   std::vector<std::string> labels;  // non-base sweep label cells
   CellFold fold;
 };
+
+/// Scenario lookup (throws with near-match suggestions for unknown
+/// names).  Shared by run_experiment and the default-sink wrapper, so
+/// the wrapper can validate BEFORE it opens -- and truncates -- any
+/// output file.
+const Scenario& resolve_scenario(const ExperimentSpec& spec) {
+  register_builtin_scenarios();
+  return ScenarioRegistry::instance().get(spec.scenario);
+}
+
+/// Throws unless `scenario` streams per-replica rows (the row-channel
+/// consumers --rows-csv / --hist-csv / --quantiles require it).
+void require_row_channel(const Scenario& scenario) {
+  if (scenario.row_columns().empty()) {
+    throw std::runtime_error(
+        "scenario '" + scenario.name() +
+        "' streams no per-replica rows; drop --rows-csv / --hist-csv / "
+        "--quantiles or pick a streaming scenario (see `opindyn "
+        "describe`)");
+  }
+}
 
 }  // namespace
 
@@ -48,9 +73,7 @@ std::vector<SweepPoint> expand_grid(const ExperimentSpec& spec) {
 BatchResult run_experiment(const ExperimentSpec& spec,
                            const std::vector<RowSink*>& sinks,
                            const std::vector<RowSink*>& row_sinks) {
-  register_builtin_scenarios();
-  const Scenario& scenario =
-      ScenarioRegistry::instance().get(spec.scenario);
+  const Scenario& scenario = resolve_scenario(spec);
 
   // Base columns first, then one label column per sweep axis, then the
   // scenario's own result columns.  Axes over "graph"/"n" get no label
@@ -74,17 +97,12 @@ BatchResult run_experiment(const ExperimentSpec& spec,
                         scenario_columns.end());
   const std::vector<std::string> scenario_row_columns =
       scenario.row_columns();
-  if (!scenario_row_columns.empty() && !row_sinks.empty()) {
+  if (!row_sinks.empty()) {
+    require_row_channel(scenario);
     result.replica_columns = prefix_columns;
     result.replica_columns.insert(result.replica_columns.end(),
                                   scenario_row_columns.begin(),
                                   scenario_row_columns.end());
-  } else if (!row_sinks.empty()) {
-    throw std::runtime_error(
-        "scenario '" + scenario.name() +
-        "' streams no per-replica rows; drop --rows-csv / --hist-csv / "
-        "--quantiles or pick a streaming scenario (see `opindyn "
-        "describe`)");
   }
   // Per-replica rows cost O(replicas x checkpoints) strings per cell,
   // so they are only generated when a row sink consumes them.
@@ -104,6 +122,7 @@ BatchResult run_experiment(const ExperimentSpec& spec,
   // its pool drained) first -- unit bodies reference the cells.
   std::vector<std::unique_ptr<Cell>> cells;
   GraphCache graph_cache;
+  SpectrumCache spectrum_cache;
   CellScheduler scheduler(spec.threads);
   cells.reserve(grid.size());
   for (const SweepPoint& point : grid) {
@@ -116,15 +135,61 @@ BatchResult run_experiment(const ExperimentSpec& spec,
         cell->labels.push_back(value);
       }
     }
-    cell->graph = graph_cache.get(
-        graph_cache_key(cell->item.graph),
-        [&cell] { return build_graph(cell->item.graph); });
-    cell->initial = build_initial(cell->item.initial, *cell->graph);
-    const RunInput input{cell->item, *cell->graph, cell->initial,
-                         scheduler, stream_rows};
-    cell->fold = scenario.start(input);
     cells.push_back(std::move(cell));
   }
+
+  // Prefetch each distinct graph of the grid on the pool: one unit per
+  // key builds the graph and -- for the f2_* eigenvector initials --
+  // runs the matching eigensolve.  The caches' per-key latches are what
+  // make this safe AND parallel: a cold sweep over distinct graphs
+  // constructs and solves concurrently instead of serialising on this
+  // thread, while the warm gets below just read the memo.  Values are
+  // deterministic per key, so results never depend on prefetch order.
+  {
+    std::map<std::string, const ExperimentSpec*> distinct;
+    for (const auto& cell : cells) {
+      distinct.emplace(graph_cache_key(cell->item.graph), &cell->item);
+    }
+    std::vector<std::shared_ptr<ReplicaBatch>> prefetch;
+    prefetch.reserve(distinct.size());
+    for (const auto& [cache_key, item] : distinct) {
+      prefetch.push_back(scheduler.submit(
+          1, 0, 1,
+          [&graph_cache, &spectrum_cache, cache_key = cache_key,
+           item = item](std::int64_t, Rng&, std::span<double>,
+                        RowEmitter&) {
+            const auto graph = graph_cache.get(
+                cache_key, [item] { return build_graph(item->graph); });
+            const auto spectra = spectrum_cache.get(cache_key, graph);
+            if (item->initial.distribution == "f2_walk") {
+              spectra->walk();
+            } else if (item->initial.distribution == "f2_laplacian") {
+              spectra->laplacian();
+            }
+          }));
+    }
+    for (const auto& batch : prefetch) {
+      batch->wait();
+    }
+  }
+
+  for (const auto& cell : cells) {
+    const std::string cache_key = graph_cache_key(cell->item.graph);
+    cell->graph = graph_cache.get(
+        cache_key, [&cell] { return build_graph(cell->item.graph); });
+    // The spectra record is shared per graph key; it solves lazily, so
+    // cells that never touch it (most scenarios) cost nothing, and the
+    // f2_* initials below reuse the same record the scenario's
+    // prediction batches will hit.
+    cell->spectra = spectrum_cache.get(cache_key, cell->graph);
+    cell->initial = build_initial(cell->item.initial, *cell->graph,
+                                  cell->spectra.get());
+    const RunInput input{cell->item,    *cell->graph, cell->initial,
+                         *cell->spectra, scheduler,   stream_rows};
+    cell->fold = scenario.start(input);
+  }
+  // Misses are counted per key on first request (the prefetch pass), so
+  // this is still "distinct graphs actually constructed".
   result.graphs_built = graph_cache.misses();
 
   // Phase 2: fold in cell order.  Each fold blocks only on its own
@@ -179,6 +244,11 @@ BatchResult run_experiment(const ExperimentSpec& spec,
     result.work_items += 1;
   }
 
+  // Spectral counters are read only now: eigensolves run lazily inside
+  // pool batches, which have all completed once every fold returned.
+  result.spectra_solved = spectrum_cache.eigensolves();
+  result.spectra_hits = spectrum_cache.spectrum_hits();
+
   aggregate_flush.finish();
   if (stream_rows) {
     replica_flush.finish();
@@ -187,9 +257,30 @@ BatchResult run_experiment(const ExperimentSpec& spec,
 }
 
 BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
+  // Validate the scenario (and its row channel, if a row-consuming flag
+  // is set) BEFORE any file sink opens: opening truncates, and a typo'd
+  // --scenario must not wipe a pre-existing output file.
+  const Scenario& scenario = resolve_scenario(spec);
+  const bool wants_row_channel =
+      !spec.rows_csv_path.empty() || !spec.hist_csv_path.empty() ||
+      !spec.hist_column.empty() || !spec.quantiles.empty();
+  if (wants_row_channel) {
+    require_row_channel(scenario);
+  }
+
   TableSink table(std::cout);
-  CsvSink csv(spec.csv_path);
-  CsvSink rows_csv(spec.rows_csv_path);
+  // File sinks open their paths at construction, so a typo'd --csv /
+  // --rows-csv / --hist-csv directory fails right here -- with the path
+  // in the message -- instead of after the whole batch has run (or,
+  // worse, silently with exit 0).
+  std::optional<CsvSink> csv;
+  if (!spec.csv_path.empty()) {
+    csv.emplace(spec.csv_path);
+  }
+  std::optional<CsvSink> rows_csv;
+  if (!spec.rows_csv_path.empty()) {
+    rows_csv.emplace(spec.rows_csv_path);
+  }
   HistogramSink::Options hist_options;
   hist_options.column = spec.hist_column;
   hist_options.bins = spec.hist_bins;
@@ -204,12 +295,12 @@ BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
   if (spec.print_table) {
     sinks.push_back(&table);
   }
-  if (!spec.csv_path.empty()) {
-    sinks.push_back(&csv);
+  if (csv.has_value()) {
+    sinks.push_back(&*csv);
   }
   std::vector<RowSink*> row_sinks;
-  if (!spec.rows_csv_path.empty()) {
-    row_sinks.push_back(&rows_csv);
+  if (rows_csv.has_value()) {
+    row_sinks.push_back(&*rows_csv);
   }
   // --hist-csv / --hist-column / --quantiles summarize the streamed row
   // channel, so any of them activates it (and, like --rows-csv,

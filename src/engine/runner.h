@@ -46,6 +46,13 @@ struct BatchResult {
   /// Distinct graphs actually constructed; < work_items whenever the
   /// cache shared a graph across cells.
   std::int64_t graphs_built = 0;
+  /// Eigensolves actually run by the batch-wide SpectrumCache: at most
+  /// one per distinct graph and spectrum kind (walk / Laplacian), no
+  /// matter how many cells or replicas consumed the result.  0 when the
+  /// scenario and the initial distribution need no spectra.
+  std::int64_t spectra_solved = 0;
+  /// Spectrum requests served from the memoised records.
+  std::int64_t spectra_hits = 0;
 };
 
 /// Runs the full batch: looks up the scenario, expands the grid, builds

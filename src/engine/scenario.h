@@ -26,6 +26,7 @@
 #include "src/engine/experiment_spec.h"
 #include "src/engine/shard.h"
 #include "src/graph/graph.h"
+#include "src/spectral/spectrum_cache.h"
 
 namespace opindyn {
 namespace engine {
@@ -37,6 +38,12 @@ struct RunInput {
   const ExperimentSpec& spec;
   const Graph& graph;
   const std::vector<double>& initial;
+  /// Memoised eigensolves of `graph`, shared across every cell of the
+  /// sweep that resolves to the same graph (see SpectrumCache): call
+  /// spectra.walk() / spectra.laplacian() instead of running
+  /// lazy_walk_spectrum / laplacian_spectrum directly, and the whole
+  /// batch performs one eigensolve per distinct graph and kind.
+  const GraphSpectra& spectra;
   CellScheduler& scheduler;
   /// True iff a consumer wants the per-replica row channel; streaming
   /// scenarios skip emitting/formatting replica rows when false, so a

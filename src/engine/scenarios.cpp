@@ -23,7 +23,7 @@
 #include "src/baselines/voter.h"
 #include "src/core/coalescing.h"
 #include "src/core/convergence.h"
-#include "src/core/montecarlo.h"
+#include "src/core/model.h"
 #include "src/core/theory.h"
 #include "src/engine/scenario.h"
 #include "src/engine/scenario_format.h"
@@ -192,7 +192,7 @@ std::shared_ptr<ReplicaBatch> submit_node_prediction(
   return in.scheduler.submit(
       1, subseed(in.spec.seed, 0x9d), 3,
       [in, config](std::int64_t, Rng&, std::span<double> out, RowEmitter&) {
-        const WalkSpectrum spectrum = lazy_walk_spectrum(in.graph);
+        const WalkSpectrum& spectrum = in.spectra.walk();
         OpinionState probe(in.graph, in.initial);
         out[0] = spectrum.gap;
         out[1] = theory::steps_to_epsilon(

@@ -18,7 +18,7 @@
 #include "src/core/convergence.h"
 #include "src/core/diffusion.h"
 #include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
+#include "src/core/model.h"
 #include "src/core/node_model.h"
 #include "src/core/qchain.h"
 #include "src/core/selection.h"
@@ -448,7 +448,7 @@ class Thm24EdgeConvergenceScenario final : public Scenario {
         1, subseed(in.spec.seed, 0x24), 3,
         [in, config, convergence](std::int64_t, Rng&,
                                   std::span<double> out, RowEmitter&) {
-          const LaplacianSpectrum lap = laplacian_spectrum(in.graph);
+          const LaplacianSpectrum& lap = in.spectra.laplacian();
           OpinionState probe(in.graph, in.initial);
           const double rho = theory::edge_model_rho(
               lap.lambda2, config.alpha, in.graph.edge_count(),
@@ -648,7 +648,7 @@ class PropB1DropScenario final : public Scenario {
                 " (the enumeration needs k distinct neighbours "
                 "everywhere)");
           }
-          const WalkSpectrum spectrum = lazy_walk_spectrum(g);
+          const WalkSpectrum& spectrum = in.spectra.walk();
           // Non-lazy normalisation: the exact one-step enumeration below
           // has no laziness coin, so the bound drops the /2 as well.
           const double rho = theory::node_model_rho(
@@ -726,7 +726,7 @@ class PropB2NodeScenario final : public Scenario {
         1, subseed(in.spec.seed, 0xB2), 3,
         [in, config](std::int64_t, Rng&, std::span<double> out,
                      RowEmitter&) {
-          const WalkSpectrum spectrum = lazy_walk_spectrum(in.graph);
+          const WalkSpectrum& spectrum = in.spectra.walk();
           const double n = static_cast<double>(in.graph.node_count());
           const double eps = in.spec.convergence.epsilon;
           OpinionState probe(in.graph, in.initial);
@@ -786,7 +786,7 @@ class PropB2EdgeScenario final : public Scenario {
         1, subseed(in.spec.seed, 0xB3), 2,
         [in, config, convergence](std::int64_t, Rng&,
                                   std::span<double> out, RowEmitter&) {
-          const LaplacianSpectrum lap = laplacian_spectrum(in.graph);
+          const LaplacianSpectrum& lap = in.spectra.laplacian();
           const double n = static_cast<double>(in.graph.node_count());
           out[0] = lap.lambda2;
           out[1] = static_cast<double>(in.graph.edge_count()) *

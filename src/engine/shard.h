@@ -1,7 +1,7 @@
 // The engine's work scheduling is the library-wide CellScheduler
 // (src/support/cell_scheduler.h) -- the single implementation of the
-// thread-count-determinism contract, shared with the core monte_carlo
-// harness.  This header re-exports it under the engine namespace.
+// thread-count-determinism contract.  This header re-exports it under
+// the engine namespace.
 #ifndef OPINDYN_ENGINE_SHARD_H
 #define OPINDYN_ENGINE_SHARD_H
 

@@ -32,21 +32,37 @@ void TableSink::finish() {
   table_.reset();
 }
 
-CsvSink::CsvSink(std::string path) : path_(std::move(path)) {}
+CsvSink::CsvSink(std::string path)
+    : path_(std::move(path)),
+      writer_(std::make_unique<CsvWriter>(path_)) {}
 
 void CsvSink::begin(const std::vector<std::string>& columns) {
-  writer_ = std::make_unique<CsvWriter>(path_, columns);
+  OPINDYN_EXPECTS(writer_ != nullptr, "CsvSink already finished");
+  writer_->write_header(columns);
 }
 
 void CsvSink::row(const std::vector<std::string>& cells) {
-  OPINDYN_EXPECTS(writer_ != nullptr, "CsvSink::begin was not called");
+  OPINDYN_EXPECTS(writer_ != nullptr, "CsvSink already finished");
   writer_->write_row(cells);
 }
 
-void CsvSink::finish() { writer_.reset(); }
+void CsvSink::finish() {
+  OPINDYN_EXPECTS(writer_ != nullptr, "CsvSink already finished");
+  writer_->close();
+  writer_.reset();
+}
 
 HistogramSink::HistogramSink(Options options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // Probe the bin CSV up front (no truncation): an unwritable
+  // --hist-csv path fails here, with the path in the message, before
+  // the batch runs -- while a runtime failure mid-batch still leaves a
+  // pre-existing file's bins from the previous run intact, because the
+  // file is only (re)written inside finish().
+  if (!options_.csv_path.empty()) {
+    probe_csv_writable(options_.csv_path);
+  }
+}
 
 void HistogramSink::begin(const std::vector<std::string>& columns) {
   OPINDYN_EXPECTS(!columns.empty(), "histogram sink needs columns");
@@ -76,15 +92,24 @@ void HistogramSink::row(const std::vector<std::string>& cells) {
   OPINDYN_EXPECTS(column_index_ < cells.size(),
                   "HistogramSink::begin was not called");
   const std::string& cell = cells[column_index_];
+  double value = 0.0;
   try {
-    values_.push_back(
-        parse_double_value("histogram column '" + column_name_ + "'",
-                           cell));
+    value = parse_double_value(
+        "histogram column '" + column_name_ + "'", cell);
   } catch (const std::runtime_error&) {
     throw std::runtime_error("histogram column '" + column_name_ +
                              "': non-numeric cell '" + cell +
                              "' (pick a numeric streamed column)");
   }
+  // A non-finite sample has no position on the binning axis; rejecting
+  // it loudly beats Histogram::add's saturation fallback here, because
+  // a NaN in a streamed metric always indicates an upstream bug.
+  if (!std::isfinite(value)) {
+    throw std::runtime_error("histogram column '" + column_name_ +
+                             "': non-finite cell '" + cell +
+                             "' cannot be binned");
+  }
+  values_.push_back(value);
 }
 
 void HistogramSink::finish() {
@@ -125,6 +150,7 @@ void HistogramSink::finish() {
             static_cast<double>(histogram_->count(b))});
       }
     }
+    writer.close();
   }
 
   if (options_.summary_out != nullptr) {

@@ -48,7 +48,12 @@ class TableSink : public RowSink {
   std::unique_ptr<Table> table_;
 };
 
-/// Streams rows to a CSV file as they arrive.
+/// Streams rows to a CSV file as they arrive.  The file is opened at
+/// CONSTRUCTION: an unwritable path (missing directory, no permission)
+/// throws a one-line error citing the path before any replica work
+/// runs, instead of silently producing no output.  finish() closes the
+/// writer with a stream-state check, so late write failures (disk
+/// full) also surface as errors.
 class CsvSink : public RowSink {
  public:
   explicit CsvSink(std::string path);
@@ -87,11 +92,16 @@ class HistogramSink : public RowSink {
     std::ostream* summary_out = nullptr;
   };
 
+  /// Probes options.csv_path (when set) immediately, so an unwritable
+  /// path fails here with a one-line error citing the path; the file
+  /// itself is only (re)written in finish(), so a failed run preserves
+  /// a pre-existing file's contents.
   explicit HistogramSink(Options options);
 
   void begin(const std::vector<std::string>& columns) override;
   /// Parses the selected cell as a double; throws std::runtime_error
-  /// naming the column on non-numeric content.
+  /// naming the column on non-numeric or non-finite content (a NaN
+  /// sample has no place on the binning axis -- see Histogram::add).
   void row(const std::vector<std::string>& cells) override;
   void finish() override;
 

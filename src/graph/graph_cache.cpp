@@ -6,21 +6,32 @@ namespace opindyn {
 
 std::shared_ptr<const Graph> GraphCache::get(
     const std::string& key, const std::function<Graph()>& build) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = graphs_.find(key);
-  if (it != graphs_.end()) {
-    ++hits_;
-    return it->second;
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      entry = it->second;
+    } else {
+      ++misses_;
+      entry = std::make_shared<Entry>();
+      entries_.emplace(key, entry);
+    }
   }
-  ++misses_;
-  auto graph = std::make_shared<const Graph>(build());
-  graphs_.emplace(key, graph);
-  return graph;
+  // The build runs here, outside the cache-wide lock: only callers of
+  // THIS key serialise on the latch.  A throwing build leaves the latch
+  // unset, so call_once rethrows to everyone waiting and the next
+  // caller retries.
+  std::call_once(entry->once, [&] {
+    entry->graph = std::make_shared<const Graph>(build());
+  });
+  return entry->graph;
 }
 
 std::size_t GraphCache::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return graphs_.size();
+  return entries_.size();
 }
 
 std::int64_t GraphCache::hits() const {
@@ -35,7 +46,7 @@ std::int64_t GraphCache::misses() const {
 
 void GraphCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  graphs_.clear();
+  entries_.clear();
   hits_ = 0;
   misses_ = 0;
 }

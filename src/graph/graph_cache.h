@@ -5,6 +5,12 @@
 // are canonical parameter strings produced by the caller (the scenario
 // engine derives them from its GraphSpec), so the cache itself stays
 // independent of any particular spec schema.
+//
+// The global mutex only guards the key -> entry map; the build itself
+// runs under a per-key once-latch OUTSIDE that lock, so concurrent
+// callers needing *different* graphs build in parallel while concurrent
+// callers of the *same* key still build exactly once (the latecomers
+// block on that key's latch only).
 #ifndef OPINDYN_GRAPH_GRAPH_CACHE_H
 #define OPINDYN_GRAPH_GRAPH_CACHE_H
 
@@ -22,8 +28,10 @@ namespace opindyn {
 class GraphCache {
  public:
   /// Returns the cached graph for `key`, building it via `build` on the
-  /// first request.  Thread-safe; `build` runs under the cache lock, so
-  /// concurrent callers of the same key build once.
+  /// first request.  Thread-safe; `build` runs outside the cache-wide
+  /// lock (per-key latch), so distinct keys build concurrently and one
+  /// key builds once.  If `build` throws, the error propagates to every
+  /// caller waiting on that key and the next `get` retries the build.
   std::shared_ptr<const Graph> get(const std::string& key,
                                    const std::function<Graph()>& build);
 
@@ -35,8 +43,13 @@ class GraphCache {
   void clear();
 
  private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const Graph> graph;
+  };
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const Graph>> graphs_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
 };

@@ -1,0 +1,103 @@
+#include "src/spectral/spectrum_cache.h"
+
+#include <utility>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+GraphSpectra::GraphSpectra(std::shared_ptr<const Graph> graph)
+    : graph_(std::move(graph)) {
+  OPINDYN_EXPECTS(graph_ != nullptr, "GraphSpectra needs a graph");
+}
+
+const WalkSpectrum& GraphSpectra::walk() const {
+  bool solved = false;
+  std::call_once(walk_once_, [&] {
+    walk_ = std::make_unique<const WalkSpectrum>(lazy_walk_spectrum(*graph_));
+    solves_.fetch_add(1, std::memory_order_relaxed);
+    solved = true;
+  });
+  if (!solved) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *walk_;
+}
+
+const LaplacianSpectrum& GraphSpectra::laplacian() const {
+  bool solved = false;
+  std::call_once(laplacian_once_, [&] {
+    laplacian_ = std::make_unique<const LaplacianSpectrum>(
+        laplacian_spectrum(*graph_));
+    solves_.fetch_add(1, std::memory_order_relaxed);
+    solved = true;
+  });
+  if (!solved) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *laplacian_;
+}
+
+std::int64_t GraphSpectra::solves() const noexcept {
+  return solves_.load(std::memory_order_relaxed);
+}
+
+std::int64_t GraphSpectra::hits() const noexcept {
+  return hits_.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<GraphSpectra> SpectrumCache::get(
+    const std::string& key, std::shared_ptr<const Graph> graph) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  if (it != records_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto record = std::make_shared<GraphSpectra>(std::move(graph));
+  records_.emplace(key, record);
+  return record;
+}
+
+std::size_t SpectrumCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::int64_t SpectrumCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::int64_t SpectrumCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::int64_t SpectrumCache::eigensolves() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& [key, record] : records_) {
+    total += record->solves();
+  }
+  return total;
+}
+
+std::int64_t SpectrumCache::spectrum_hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& [key, record] : records_) {
+    total += record->hits();
+  }
+  return total;
+}
+
+void SpectrumCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace opindyn

@@ -1,0 +1,93 @@
+// Memoised per-graph eigensolves.  The paper's tightness and convergence
+// predictions (Prop. B.2, Thm. 2.4, the f2_* initial states) all consume
+// per-graph spectral quantities -- lambda_2 and f_2 of the lazy walk
+// matrix P, the Laplacian spectrum -- and a sweep revisits the same
+// graph in cell after cell.  A GraphSpectra record memoises each
+// eigensolve per graph; the SpectrumCache shares one record per
+// graph-cache key, so a whole sweep performs exactly one eigensolve per
+// distinct graph and spectrum kind.
+//
+// Locking mirrors GraphCache: the cache's global mutex only guards the
+// key -> record map, never an eigensolve.  Each record runs its solves
+// under its own per-kind once-latch (std::call_once), so concurrent
+// cells needing the *same* spectrum solve once while cells needing
+// *different* graphs solve in parallel.
+#ifndef OPINDYN_SPECTRAL_SPECTRUM_CACHE_H
+#define OPINDYN_SPECTRAL_SPECTRUM_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/spectral/spectra.h"
+
+namespace opindyn {
+
+/// Lazily-computed spectral record of one immutable graph.  Each
+/// accessor runs its eigensolve on first use (on the *calling* thread,
+/// under a per-kind once-latch) and returns the memoised result
+/// afterwards; accessors are safe to call concurrently.  The referenced
+/// graph is kept alive by the record.
+class GraphSpectra {
+ public:
+  explicit GraphSpectra(std::shared_ptr<const Graph> graph);
+
+  /// Full lazy-walk spectrum (lambda_2(P), gap, f_2); solved once.
+  const WalkSpectrum& walk() const;
+  /// Full Laplacian spectrum (lambda_2(L), f_2); solved once.
+  const LaplacianSpectrum& laplacian() const;
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+  /// Eigensolves this record has actually run (0..2).
+  std::int64_t solves() const noexcept;
+  /// Accessor calls served from the memo without solving.
+  std::int64_t hits() const noexcept;
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  mutable std::once_flag walk_once_;
+  mutable std::once_flag laplacian_once_;
+  mutable std::unique_ptr<const WalkSpectrum> walk_;
+  mutable std::unique_ptr<const LaplacianSpectrum> laplacian_;
+  mutable std::atomic<std::int64_t> solves_{0};
+  mutable std::atomic<std::int64_t> hits_{0};
+};
+
+/// Thread-safe memo from graph-cache key (see graph_cache_key) to the
+/// graph's GraphSpectra record.  `get` only ever takes the map lock;
+/// the eigensolves themselves run lazily inside the returned record.
+class SpectrumCache {
+ public:
+  /// Returns the (shared) spectra record for `key`, creating an empty
+  /// one holding `graph` on the first request.  No eigensolve runs
+  /// here -- the record solves lazily on first accessor use.
+  std::shared_ptr<GraphSpectra> get(const std::string& key,
+                                    std::shared_ptr<const Graph> graph);
+
+  std::size_t size() const;
+  /// Requests that found an existing record / had to create one.
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  /// Eigensolves actually run across all records (the expensive work);
+  /// a sweep sharing one graph and one spectrum kind reports exactly 1.
+  std::int64_t eigensolves() const;
+  /// Spectrum accesses served from a memoised result.
+  std::int64_t spectrum_hits() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<GraphSpectra>> records_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SPECTRAL_SPECTRUM_CACHE_H

@@ -14,8 +14,9 @@
 // the fold order depend on shard boundaries, so aggregated statistics
 // and streamed rows are bit-identical for every thread count.
 //
-// Both the core monte_carlo harness (via the synchronous `run`) and the
-// scenario engine's batch runner (via `submit`) go through this class.
+// Every replica harness goes through this class: the scenario engine's
+// batch runner via `submit`, and the benches / examples / tests that
+// run one standalone batch via the synchronous `run`.
 #ifndef OPINDYN_SUPPORT_CELL_SCHEDULER_H
 #define OPINDYN_SUPPORT_CELL_SCHEDULER_H
 

@@ -23,31 +23,55 @@ std::string csv_escape(const std::string& field) {
   return quoted;
 }
 
-CsvWriter::CsvWriter(const std::string& path,
-                     const std::vector<std::string>& columns)
-    : path_(path), columns_(columns.size()), out_(path) {
-  OPINDYN_EXPECTS(!columns.empty(), "CSV needs at least one column");
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  OPINDYN_EXPECTS(!path.empty(), "CSV writer needs a non-empty path");
   if (!out_) {
     throw std::runtime_error("cannot open CSV file for writing: " + path);
   }
-  std::vector<std::string> escaped;
-  escaped.reserve(columns.size());
-  for (const auto& c : columns) {
-    escaped.push_back(csv_escape(c));
+}
+
+void probe_csv_writable(const std::string& path) {
+  OPINDYN_EXPECTS(!path.empty(), "CSV writer needs a non-empty path");
+  const std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    throw std::runtime_error("cannot open CSV file for writing: " + path);
   }
-  for (std::size_t i = 0; i < escaped.size(); ++i) {
-    out_ << (i > 0 ? "," : "") << escaped[i];
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : CsvWriter(path) {
+  write_header(columns);
+}
+
+void CsvWriter::check_stream(const char* when) {
+  if (!out_) {
+    throw std::runtime_error(std::string("CSV write failed (") + when +
+                             "): " + path_);
+  }
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  OPINDYN_EXPECTS(!columns.empty(), "CSV needs at least one column");
+  OPINDYN_EXPECTS(!header_written_, "CSV header already written");
+  columns_ = columns.size();
+  header_written_ = true;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << (i > 0 ? "," : "") << csv_escape(columns[i]);
   }
   out_ << "\n";
+  check_stream("header");
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& values) {
+  OPINDYN_EXPECTS(header_written_, "CSV header not written yet");
   OPINDYN_EXPECTS(values.size() == columns_,
                   "CSV row width does not match header");
   for (std::size_t i = 0; i < values.size(); ++i) {
     out_ << (i > 0 ? "," : "") << csv_escape(values[i]);
   }
   out_ << "\n";
+  check_stream("row");
 }
 
 void CsvWriter::write_row(const std::vector<double>& values) {
@@ -60,6 +84,16 @@ void CsvWriter::write_row(const std::vector<double>& values) {
     as_text.push_back(s.str());
   }
   write_row(as_text);
+}
+
+void CsvWriter::close() {
+  if (!out_.is_open()) {
+    return;
+  }
+  out_.flush();
+  check_stream("close");
+  out_.close();
+  check_stream("close");
 }
 
 }  // namespace opindyn

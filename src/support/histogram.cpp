@@ -16,6 +16,16 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
+  // NaN first: it compares false against both edges, so without this
+  // guard it would fall through to the bin cast below -- undefined
+  // behaviour for a NaN-to-integer conversion -- and poison a bin.
+  // See the header contract: NaN is counted separately, outside the
+  // total()/quantile mass; +-infinity saturates like any other
+  // out-of-range sample.
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
   ++total_;
   if (x < lo_) {
     ++underflow_;
@@ -89,6 +99,9 @@ std::string Histogram::render(std::size_t width) const {
   }
   if (overflow_ > 0) {
     out << "overflow: " << overflow_ << "\n";
+  }
+  if (nan_ > 0) {
+    out << "nan: " << nan_ << "\n";
   }
   return out.str();
 }

@@ -15,13 +15,22 @@ class Histogram {
   /// in saturating under/overflow cells.
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Adds one sample.  Finite out-of-range samples (and +-infinity)
+  /// saturate into the under/overflow cells.  NaN carries no position,
+  /// so it lands in a dedicated nan_count() cell and is EXCLUDED from
+  /// total() and the quantile mass -- it is never cast to a bin index
+  /// (that cast is undefined behaviour for NaN).
   void add(double x) noexcept;
 
+  /// Samples with a defined position: in-range + under/overflow, NaN
+  /// excluded.
   std::int64_t total() const noexcept { return total_; }
   std::size_t bins() const noexcept { return counts_.size(); }
   std::int64_t count(std::size_t bin) const;
   std::int64_t underflow() const noexcept { return underflow_; }
   std::int64_t overflow() const noexcept { return overflow_; }
+  /// NaN samples routed past the bins (see add()).
+  std::int64_t nan_count() const noexcept { return nan_; }
   double bin_low(std::size_t bin) const;
   double bin_high(std::size_t bin) const;
 
@@ -45,6 +54,7 @@ class Histogram {
   std::vector<std::int64_t> counts_;
   std::int64_t underflow_ = 0;
   std::int64_t overflow_ = 0;
+  std::int64_t nan_ = 0;
   std::int64_t total_ = 0;
 };
 

@@ -1,17 +1,29 @@
+// run_until_converged contracts plus replica-level Monte-Carlo checks of
+// E[F] / Var(F) against the paper's martingale and Prop. 5.8 values.
+// Replica batches run on the engine's CellScheduler via the shared
+// tests/replica_harness.h helper (the retired core/montecarlo harness
+// used the same streams, so the statistical expectations are
+// unchanged).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "src/core/convergence.h"
 #include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
+#include "src/core/model.h"
 #include "src/core/theory.h"
 #include "src/graph/generators.h"
 #include "src/spectral/spectra.h"
 #include "src/support/assert.h"
+#include "src/support/cell_scheduler.h"
+#include "tests/replica_harness.h"
 
 namespace opindyn {
 namespace {
+
+using test_support::ReplicaSummary;
+using test_support::run_replicas;
 
 TEST(Convergence, ReachesEpsilonAndReportsCommonValue) {
   const Graph g = gen::complete(16);
@@ -88,17 +100,16 @@ TEST(MonteCarlo, MeanOfFMatchesMartingaleExpectation) {
   config.kind = ModelKind::node;
   config.alpha = 0.5;
   config.k = 1;
-  MonteCarloOptions options;
-  options.replicas = 4000;
-  options.seed = 11;
-  options.convergence.epsilon = 1e-14;
-  const MonteCarloResult result = monte_carlo(g, config, xi, options);
-  EXPECT_EQ(result.replicas, 4000);
+  ConvergenceOptions convergence;
+  convergence.epsilon = 1e-14;
+  const ReplicaSummary result =
+      run_replicas(g, config, xi, 4000, 11, convergence);
+  EXPECT_EQ(result.value.count(), 4000);
   EXPECT_EQ(result.diverged, 0);
-  EXPECT_NEAR(result.convergence_value.mean(), m0,
-              4.0 * result.convergence_value.mean_ci_halfwidth());
+  EXPECT_NEAR(result.value.mean(), m0,
+              4.0 * result.value.mean_ci_halfwidth());
   // And NOT the plain average.
-  EXPECT_GT(std::abs(result.convergence_value.mean() - 7.0 / 8.0), 0.5);
+  EXPECT_GT(std::abs(result.value.mean() - 7.0 / 8.0), 0.5);
 }
 
 TEST(MonteCarlo, EdgeModelMeanOfFIsPlainAverageEvenIrregular) {
@@ -108,13 +119,12 @@ TEST(MonteCarlo, EdgeModelMeanOfFIsPlainAverageEvenIrregular) {
   ModelConfig config;
   config.kind = ModelKind::edge;
   config.alpha = 0.5;
-  MonteCarloOptions options;
-  options.replicas = 4000;
-  options.seed = 13;
-  options.convergence.epsilon = 1e-14;
-  const MonteCarloResult result = monte_carlo(g, config, xi, options);
-  EXPECT_NEAR(result.convergence_value.mean(), 7.0 / 8.0,
-              4.0 * result.convergence_value.mean_ci_halfwidth());
+  ConvergenceOptions convergence;
+  convergence.epsilon = 1e-14;
+  const ReplicaSummary result =
+      run_replicas(g, config, xi, 4000, 13, convergence);
+  EXPECT_NEAR(result.value.mean(), 7.0 / 8.0,
+              4.0 * result.value.mean_ci_halfwidth());
 }
 
 TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
@@ -125,19 +135,15 @@ TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
   ModelConfig config;
   config.alpha = 0.5;
   config.k = 1;
-  MonteCarloOptions options;
-  options.replicas = 64;
-  options.seed = 17;
-  options.convergence.epsilon = 1e-12;
-  options.threads = 1;
-  const MonteCarloResult serial = monte_carlo(g, config, xi, options);
-  options.threads = 4;
-  const MonteCarloResult parallel = monte_carlo(g, config, xi, options);
-  EXPECT_EQ(serial.replicas, parallel.replicas);
-  EXPECT_NEAR(serial.convergence_value.mean(),
-              parallel.convergence_value.mean(), 1e-12);
-  EXPECT_NEAR(serial.convergence_value.variance(),
-              parallel.convergence_value.variance(), 1e-12);
+  ConvergenceOptions convergence;
+  convergence.epsilon = 1e-12;
+  const ReplicaSummary serial =
+      run_replicas(g, config, xi, 64, 17, convergence, 1);
+  const ReplicaSummary parallel =
+      run_replicas(g, config, xi, 64, 17, convergence, 4);
+  EXPECT_EQ(serial.value.count(), parallel.value.count());
+  EXPECT_NEAR(serial.value.mean(), parallel.value.mean(), 1e-12);
+  EXPECT_NEAR(serial.value.variance(), parallel.value.variance(), 1e-12);
   EXPECT_NEAR(serial.steps.mean(), parallel.steps.mean(), 1e-9);
 }
 
@@ -153,15 +159,13 @@ TEST(MonteCarlo, VarianceOfFMatchesProp58OnCycle) {
   ModelConfig config;
   config.alpha = 0.5;
   config.k = 1;
-  MonteCarloOptions options;
-  options.replicas = 20000;
-  options.seed = 19;
-  options.convergence.epsilon = 1e-13;
-  const MonteCarloResult result = monte_carlo(g, config, xi, options);
-  const double measured = result.convergence_value.population_variance();
+  ConvergenceOptions convergence;
+  convergence.epsilon = 1e-13;
+  const ReplicaSummary result =
+      run_replicas(g, config, xi, 20000, 19, convergence);
+  const double measured = result.value.population_variance();
   EXPECT_NEAR(measured, predicted,
-              4.0 * result.convergence_value.variance_ci_halfwidth() +
-                  1e-4);
+              4.0 * result.value.variance_ci_halfwidth() + 1e-4);
 }
 
 TEST(MonteCarlo, TrajectoryTracksMartingaleAndPhiDecay) {
@@ -172,39 +176,44 @@ TEST(MonteCarlo, TrajectoryTracksMartingaleAndPhiDecay) {
   ModelConfig config;
   config.alpha = 0.5;
   config.k = 2;
+  // Metric layout per replica: (M(t), phi(t)) per checkpoint.
   const std::vector<std::int64_t> checkpoints{0, 50, 200, 1000, 4000};
-  const TrajectoryResult result =
-      monte_carlo_trajectory(g, config, xi, checkpoints, 500, 21);
-  ASSERT_EQ(result.martingale.size(), checkpoints.size());
+  CellScheduler scheduler;
+  const std::vector<RunningStats> stats = scheduler.run(
+      500, 21, checkpoints.size() * 2,
+      [&](std::int64_t, Rng& rng, std::span<double> out) {
+        auto process = make_process(g, config, xi);
+        for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+          while (process->time() < checkpoints[c]) {
+            process->step(rng);
+          }
+          out[2 * c] = process->state().weighted_average();
+          out[2 * c + 1] = process->state().phi_exact();
+        }
+      });
   // M(t) is a martingale: mean stays at M(0) = Avg(0) = 0.
-  for (const auto& stats : result.martingale) {
-    EXPECT_NEAR(stats.mean(), 0.0,
-                4.0 * stats.mean_ci_halfwidth() + 1e-3);
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    EXPECT_NEAR(stats[2 * c].mean(), 0.0,
+                4.0 * stats[2 * c].mean_ci_halfwidth() + 1e-3);
   }
   // Var(M(t)) is non-decreasing in t (stated after Prop. 5.8); allow
   // sampling noise at the later checkpoint's CI scale.
-  for (std::size_t i = 1; i < result.martingale.size(); ++i) {
+  for (std::size_t c = 1; c < checkpoints.size(); ++c) {
     const double slack =
-        3.0 * result.martingale[i].variance_ci_halfwidth() + 1e-4;
-    EXPECT_GE(result.martingale[i].population_variance() + slack,
-              result.martingale[i - 1].population_variance());
+        3.0 * stats[2 * c].variance_ci_halfwidth() + 1e-4;
+    EXPECT_GE(stats[2 * c].population_variance() + slack,
+              stats[2 * (c - 1)].population_variance());
   }
   // phi decays.
-  EXPECT_LT(result.phi.back().mean(), result.phi.front().mean() * 1e-2);
+  EXPECT_LT(stats[2 * (checkpoints.size() - 1) + 1].mean(),
+            stats[1].mean() * 1e-2);
 }
 
-TEST(MonteCarlo, RejectsBadOptions) {
-  const Graph g = gen::cycle(4);
-  const std::vector<double> xi(4, 0.0);
-  ModelConfig config;
-  MonteCarloOptions options;
-  options.replicas = 0;
-  EXPECT_THROW(monte_carlo(g, config, xi, options), ContractError);
-  EXPECT_THROW(
-      monte_carlo_trajectory(g, config, xi, {10, 5}, 10, 1),
-      ContractError);
-  EXPECT_THROW(monte_carlo_trajectory(g, config, xi, {}, 10, 1),
-               ContractError);
+TEST(MonteCarlo, SchedulerRejectsDegenerateBatches) {
+  CellScheduler scheduler(1);
+  const auto noop = [](std::int64_t, Rng&, std::span<double>) {};
+  EXPECT_THROW(scheduler.run(0, 1, 1, noop), ContractError);
+  EXPECT_THROW(scheduler.run(4, 1, 0, noop), ContractError);
 }
 
 }  // namespace

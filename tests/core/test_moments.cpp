@@ -7,11 +7,13 @@
 
 #include <cmath>
 
+#include "src/core/convergence.h"
 #include "src/core/initial_values.h"
 #include "src/core/qchain.h"
 #include "src/core/theory.h"
 #include "src/graph/generators.h"
 #include "src/support/assert.h"
+#include "tests/replica_harness.h"
 
 namespace opindyn {
 namespace {
@@ -93,14 +95,13 @@ TEST(Moments, IrregularVarianceMatchesMonteCarlo) {
   ModelConfig config;
   config.alpha = 0.5;
   config.k = 1;
-  MonteCarloOptions options;
-  options.replicas = 20000;
-  options.seed = 5;
-  options.convergence.epsilon = 1e-13;
-  const MonteCarloResult result = monte_carlo(g, config, xi, options);
-  EXPECT_NEAR(result.convergence_value.population_variance(), predicted,
-              4.0 * result.convergence_value.variance_ci_halfwidth() +
-                  1e-3);
+  ConvergenceOptions convergence;
+  convergence.epsilon = 1e-13;
+  const RunningStats f =
+      test_support::run_replicas(g, config, xi, 20000, 5, convergence)
+          .value;
+  EXPECT_NEAR(f.population_variance(), predicted,
+              4.0 * f.variance_ci_halfwidth() + 1e-3);
 }
 
 TEST(Moments, EdgeModelIrregularVarianceMatchesMonteCarlo) {
@@ -113,15 +114,14 @@ TEST(Moments, EdgeModelIrregularVarianceMatchesMonteCarlo) {
   ModelConfig config;
   config.kind = ModelKind::edge;
   config.alpha = 0.5;
-  MonteCarloOptions options;
-  options.replicas = 20000;
-  options.seed = 7;
-  options.convergence.epsilon = 1e-13;
-  options.convergence.use_plain_potential = true;
-  const MonteCarloResult result = monte_carlo(g, config, xi, options);
-  EXPECT_NEAR(result.convergence_value.population_variance(), predicted,
-              4.0 * result.convergence_value.variance_ci_halfwidth() +
-                  1e-3);
+  ConvergenceOptions convergence;
+  convergence.epsilon = 1e-13;
+  convergence.use_plain_potential = true;
+  const RunningStats f =
+      test_support::run_replicas(g, config, xi, 20000, 7, convergence)
+          .value;
+  EXPECT_NEAR(f.population_variance(), predicted,
+              4.0 * f.variance_ci_halfwidth() + 1e-3);
 }
 
 TEST(Moments, ThirdMomentMatchesMonteCarloOnSmallGraph) {

@@ -1,15 +1,17 @@
-// The engine's determinism contract: for a fixed seed, both the core
-// monte_carlo harness and a full engine batch (grid expansion + sharded
+// The engine's determinism contract: for a fixed seed, both a raw
+// CellScheduler batch and a full engine batch (grid expansion + sharded
 // replicas + CSV emission) produce bit-identical results at any thread
 // count.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <sstream>
 
+#include "src/core/convergence.h"
 #include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
+#include "src/core/model.h"
 #include "src/engine/runner.h"
 #include "src/engine/shard.h"
 #include "src/graph/generators.h"
@@ -25,7 +27,7 @@ std::string read_file(const std::string& path) {
   return out.str();
 }
 
-TEST(EngineDeterminism, MonteCarloIsBitIdenticalAcrossThreadCounts) {
+TEST(EngineDeterminism, ReplicaBatchIsBitIdenticalAcrossThreadCounts) {
   const Graph g = gen::cycle(16);
   Rng init_rng(8);
   auto xi = initial::rademacher(init_rng, 16);
@@ -33,29 +35,28 @@ TEST(EngineDeterminism, MonteCarloIsBitIdenticalAcrossThreadCounts) {
   ModelConfig config;
   config.alpha = 0.5;
   config.k = 1;
-  MonteCarloOptions options;
-  options.replicas = 48;
-  options.seed = 17;
-  options.convergence.epsilon = 1e-10;
+  const auto body = [&](std::int64_t, Rng& rng, std::span<double> out) {
+    auto process = make_process(g, config, xi);
+    ConvergenceOptions convergence;
+    convergence.epsilon = 1e-10;
+    const ConvergenceResult res =
+        run_until_converged(*process, rng, convergence);
+    out[0] = res.final_value;
+    out[1] = static_cast<double>(res.steps);
+  };
+  CellScheduler one(1);
+  CellScheduler eight(8);
+  const auto serial = one.run(48, 17, 2, body);
+  const auto parallel = eight.run(48, 17, 2, body);
 
-  options.threads = 1;
-  const MonteCarloResult serial = monte_carlo(g, config, xi, options);
-  options.threads = 8;
-  const MonteCarloResult parallel = monte_carlo(g, config, xi, options);
-
-  EXPECT_EQ(serial.replicas, parallel.replicas);
-  EXPECT_EQ(serial.diverged, parallel.diverged);
+  EXPECT_EQ(serial[0].count(), parallel[0].count());
   // Bitwise equality, not EXPECT_NEAR: the fold order is fixed.
-  EXPECT_EQ(serial.convergence_value.mean(),
-            parallel.convergence_value.mean());
-  EXPECT_EQ(serial.convergence_value.variance(),
-            parallel.convergence_value.variance());
-  EXPECT_EQ(serial.convergence_value.min(),
-            parallel.convergence_value.min());
-  EXPECT_EQ(serial.convergence_value.max(),
-            parallel.convergence_value.max());
-  EXPECT_EQ(serial.steps.mean(), parallel.steps.mean());
-  EXPECT_EQ(serial.steps.variance(), parallel.steps.variance());
+  EXPECT_EQ(serial[0].mean(), parallel[0].mean());
+  EXPECT_EQ(serial[0].variance(), parallel[0].variance());
+  EXPECT_EQ(serial[0].min(), parallel[0].min());
+  EXPECT_EQ(serial[0].max(), parallel[0].max());
+  EXPECT_EQ(serial[1].mean(), parallel[1].mean());
+  EXPECT_EQ(serial[1].variance(), parallel[1].variance());
 }
 
 TEST(EngineDeterminism, CellSchedulerFoldsInReplicaOrder) {
@@ -245,6 +246,32 @@ TEST(EngineDeterminism, AllPaperScenariosRunThroughTheEngine) {
     EXPECT_EQ(result.work_items, 1) << scenario;
     EXPECT_FALSE(result.rows.empty()) << scenario;
   }
+}
+
+// Regression: the default-sink wrapper validates the scenario BEFORE
+// opening any output file, so a typo'd --scenario (or --quantiles on a
+// non-streaming scenario) must not truncate a pre-existing CSV.
+TEST(EngineDeterminism, FailedValidationLeavesExistingOutputIntact) {
+  const std::string path =
+      ::testing::TempDir() + "opindyn_precious_output.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "precious,rows\n1,2\n";
+  }
+  ExperimentSpec spec;
+  spec.scenario = "nodde";  // unknown
+  spec.csv_path = path;
+  spec.print_table = false;
+  EXPECT_THROW(run_experiment_with_default_sinks(spec),
+               std::runtime_error);
+  EXPECT_EQ(read_file(path), "precious,rows\n1,2\n");
+
+  spec.scenario = "node";  // known, but streams no rows
+  spec.quantiles = {0.5};
+  EXPECT_THROW(run_experiment_with_default_sinks(spec),
+               std::runtime_error);
+  EXPECT_EQ(read_file(path), "precious,rows\n1,2\n");
+  std::remove(path.c_str());
 }
 
 TEST(EngineDeterminism, BaselineScenarioIsDeterministicToo) {

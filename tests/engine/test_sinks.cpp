@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "src/engine/sinks.h"
@@ -48,6 +49,75 @@ TEST(Sinks, CsvSinkQuotesSeparatorsAndFormatsNan) {
             "\"quote \"\" inside\",3\n"
             "\"newline\ninside\",4\n"
             "missing,nan\n");
+}
+
+// The silent-failure bugfix: file sinks open their paths at
+// construction, so an unopenable --csv / --hist-csv path fails
+// immediately with the path in the message -- never a full batch run
+// followed by no output and exit 0.
+TEST(Sinks, CsvSinkFailsAtConstructionForUnopenablePath) {
+  const std::string path =
+      ::testing::TempDir() + "missing_dir/out.csv";
+  try {
+    CsvSink sink(path);
+    FAIL() << "construction must throw for an unopenable path";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(path), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Sinks, HistogramSinkFailsAtConstructionForUnopenablePath) {
+  HistogramSink::Options options;
+  options.csv_path = ::testing::TempDir() + "missing_dir/hist.csv";
+  try {
+    HistogramSink sink(std::move(options));
+    FAIL() << "construction must throw for an unopenable path";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("missing_dir/hist.csv"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+// The construction-time check must be a PROBE, not a truncating open:
+// when a run fails after validation (a scenario contract throw
+// mid-batch), the previous run's bins must survive -- the file is only
+// rewritten inside finish().
+TEST(Sinks, HistogramSinkPreservesExistingFileUntilFinish) {
+  const std::string path =
+      ::testing::TempDir() + "opindyn_hist_keep.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "bin_lo,bin_hi,count\n0,1,7\n";
+  }
+  {
+    HistogramSink::Options options;
+    options.csv_path = path;
+    HistogramSink sink(std::move(options));
+    sink.begin({"value"});
+    sink.row({"1.5"});
+    // No finish(): the batch "failed" -- the old bins must remain.
+  }
+  EXPECT_EQ(read_file(path), "bin_lo,bin_hi,count\n0,1,7\n");
+  std::remove(path.c_str());
+}
+
+TEST(Sinks, HistogramSinkRejectsNonFiniteCells) {
+  HistogramSink::Options options;
+  options.column = "value";
+  HistogramSink sink(std::move(options));
+  sink.begin({"replica", "value"});
+  sink.row({"0", "1.5"});
+  EXPECT_THROW(sink.row({"1", "nan"}), std::runtime_error);
+  EXPECT_THROW(sink.row({"2", "inf"}), std::runtime_error);
+  try {
+    sink.row({"3", "-nan"});
+    FAIL() << "a NaN cell must be rejected, not binned";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("value"), std::string::npos)
+        << "the diagnostic must name the column: " << error.what();
+  }
 }
 
 TEST(Sinks, OrderedFlushReleasesRowsInCellOrder) {

@@ -1,6 +1,15 @@
-// GraphCache: one build per distinct key, shared immutable results, and
-// hit/miss accounting.
+// GraphCache: one build per distinct key, shared immutable results,
+// hit/miss accounting, and the locking contract -- builds run under a
+// per-key latch outside the cache-wide mutex, so distinct keys build
+// concurrently while one key still builds exactly once.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "src/graph/generators.h"
 #include "src/graph/graph_cache.h"
@@ -26,6 +35,66 @@ TEST(GraphCache, BuildsOncePerKeyAndSharesTheResult) {
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.hits(), 1);
   EXPECT_EQ(cache.misses(), 2);
+}
+
+// Regression test for the serialised-build bug: GraphCache::get used to
+// run `build` under the cache-wide mutex, so two cells needing
+// *different* graphs built one at a time.  Each build below blocks
+// until BOTH builds have started -- possible only if they run
+// concurrently.  Under the old locking this times out (rather than
+// deadlocking forever) and fails.
+TEST(GraphCache, DistinctKeysBuildConcurrently) {
+  GraphCache cache;
+  std::mutex mutex;
+  std::condition_variable both_started;
+  int started = 0;
+  const auto blocking_build = [&](NodeId n) {
+    return [&, n] {
+      std::unique_lock<std::mutex> lock(mutex);
+      ++started;
+      both_started.notify_all();
+      EXPECT_TRUE(both_started.wait_for(lock, std::chrono::seconds(20),
+                                        [&] { return started == 2; }))
+          << "builds for distinct keys did not overlap: the cache is "
+             "serialising construction under its global lock again";
+      return gen::cycle(n);
+    };
+  };
+  std::thread a([&] { cache.get("cycle;8", blocking_build(8)); });
+  std::thread b([&] { cache.get("cycle;12", blocking_build(12)); });
+  a.join();
+  b.join();
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(GraphCache, OneKeyStillBuildsExactlyOnceUnderContention) {
+  GraphCache cache;
+  std::atomic<int> builds{0};
+  std::vector<std::shared_ptr<const Graph>> results(8);
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&cache, &builds, &results, t] {
+      results[t] = cache.get("cycle;16", [&builds] {
+        ++builds;
+        // Keep the build slow enough that latecomers pile onto the
+        // latch while it runs.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        return gen::cycle(16);
+      });
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& graph : results) {
+    EXPECT_EQ(graph.get(), results.front().get());
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::int64_t>(results.size()));
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(GraphCache, CachedGraphsOutliveTheCache) {

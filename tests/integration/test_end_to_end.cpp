@@ -7,14 +7,18 @@
 
 #include "src/core/convergence.h"
 #include "src/core/initial_values.h"
-#include "src/core/montecarlo.h"
+#include "src/core/model.h"
 #include "src/core/theory.h"
 #include "src/graph/generators.h"
 #include "src/spectral/spectra.h"
 #include "src/support/stats.h"
+#include "tests/replica_harness.h"
 
 namespace opindyn {
 namespace {
+
+using test_support::ReplicaSummary;
+using test_support::run_replicas;
 
 TEST(EndToEnd, NodeModelConvergenceScalesWithSpectralBound) {
   // Measured T_eps should be within a constant factor of the predicted
@@ -31,11 +35,10 @@ TEST(EndToEnd, NodeModelConvergenceScalesWithSpectralBound) {
     config.alpha = 0.5;
     config.k = 1;
     config.lazy = true;  // the variant Prop. B.1 is stated for
-    MonteCarloOptions options;
-    options.replicas = 40;
-    options.seed = 3;
-    options.convergence.epsilon = 1e-8;
-    const MonteCarloResult result = monte_carlo(g, config, xi, options);
+    ConvergenceOptions convergence;
+    convergence.epsilon = 1e-8;
+    const ReplicaSummary result =
+        run_replicas(g, config, xi, 40, 3, convergence);
     ASSERT_EQ(result.diverged, 0) << g.name();
 
     OpinionState probe(g, xi);
@@ -59,12 +62,11 @@ TEST(EndToEnd, EdgeModelConvergenceScalesWithLaplacianBound) {
     ModelConfig config;
     config.kind = ModelKind::edge;
     config.alpha = 0.5;
-    MonteCarloOptions options;
-    options.replicas = 40;
-    options.seed = 5;
-    options.convergence.epsilon = 1e-8;
-    options.convergence.use_plain_potential = true;
-    const MonteCarloResult result = monte_carlo(g, config, xi, options);
+    ConvergenceOptions convergence;
+    convergence.epsilon = 1e-8;
+    convergence.use_plain_potential = true;
+    const ReplicaSummary result =
+        run_replicas(g, config, xi, 40, 5, convergence);
     ASSERT_EQ(result.diverged, 0) << g.name();
 
     OpinionState probe(g, xi);
@@ -86,13 +88,13 @@ TEST(EndToEnd, LazinessRoughlyDoublesConvergenceTime) {
   ModelConfig config;
   config.alpha = 0.5;
   config.k = 1;
-  MonteCarloOptions options;
-  options.replicas = 200;
-  options.seed = 7;
-  options.convergence.epsilon = 1e-8;
-  const MonteCarloResult fast = monte_carlo(g, config, xi, options);
+  ConvergenceOptions convergence;
+  convergence.epsilon = 1e-8;
+  const ReplicaSummary fast = run_replicas(g, config, xi, 200, 7,
+                                           convergence);
   config.lazy = true;
-  const MonteCarloResult lazy = monte_carlo(g, config, xi, options);
+  const ReplicaSummary lazy = run_replicas(g, config, xi, 200, 7,
+                                           convergence);
   const double ratio = lazy.steps.mean() / fast.steps.mean();
   EXPECT_GT(ratio, 1.7);
   EXPECT_LT(ratio, 2.3);
@@ -122,21 +124,19 @@ TEST(EndToEnd, VarianceEnvelopeHoldsAcrossGraphFamiliesAndK) {
     ModelConfig config;
     config.alpha = 0.5;
     config.k = c.k;
-    MonteCarloOptions options;
-    options.replicas = 6000;
-    options.seed = 10;
-    options.convergence.epsilon = 1e-13;
-    const MonteCarloResult result = monte_carlo(c.graph, config, xi, options);
+    ConvergenceOptions convergence;
+    convergence.epsilon = 1e-13;
+    const ReplicaSummary result =
+        run_replicas(c.graph, config, xi, 6000, 10, convergence);
     const double scaled =
-        result.convergence_value.population_variance() * 16.0 * 16.0 / norm;
+        result.value.population_variance() * 16.0 * 16.0 / norm;
     EXPECT_GT(scaled, 0.2) << c.graph.name() << " k=" << c.k;
     EXPECT_LT(scaled, 3.0) << c.graph.name() << " k=" << c.k;
     // And the exact Prop 5.8 prediction is inside the MC error bars.
     const double predicted =
         theory::variance_exact(c.graph, 0.5, c.k, xi);
-    EXPECT_NEAR(result.convergence_value.population_variance(), predicted,
-                5.0 * result.convergence_value.variance_ci_halfwidth() +
-                    2e-4)
+    EXPECT_NEAR(result.value.population_variance(), predicted,
+                5.0 * result.value.variance_ci_halfwidth() + 2e-4)
         << c.graph.name() << " k=" << c.k;
   }
 }

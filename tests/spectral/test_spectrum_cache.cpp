@@ -1,0 +1,95 @@
+// SpectrumCache / GraphSpectra: one eigensolve per graph and spectrum
+// kind, lazily and under concurrency; shared records per cache key; the
+// memoised values match the direct solvers bit for bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/spectral/spectrum_cache.h"
+
+namespace opindyn {
+namespace {
+
+TEST(GraphSpectra, SolvesEachKindLazilyAndOnce) {
+  GraphSpectra spectra(std::make_shared<const Graph>(gen::cycle(8)));
+  EXPECT_EQ(spectra.solves(), 0);  // nothing solved until asked
+
+  const WalkSpectrum& walk = spectra.walk();
+  EXPECT_EQ(spectra.solves(), 1);
+  const LaplacianSpectrum& laplacian = spectra.laplacian();
+  EXPECT_EQ(spectra.solves(), 2);
+
+  // Repeat accesses are memo hits, never new solves.
+  EXPECT_EQ(&spectra.walk(), &walk);
+  EXPECT_EQ(&spectra.laplacian(), &laplacian);
+  EXPECT_EQ(spectra.solves(), 2);
+  EXPECT_EQ(spectra.hits(), 2);
+}
+
+TEST(GraphSpectra, ValuesMatchTheDirectSolvers) {
+  const auto graph = std::make_shared<const Graph>(gen::petersen());
+  GraphSpectra spectra(graph);
+  const WalkSpectrum direct_walk = lazy_walk_spectrum(*graph);
+  const LaplacianSpectrum direct_lap = laplacian_spectrum(*graph);
+  // The record runs the identical deterministic solver, so the values
+  // are bitwise equal -- the cache can never change golden outputs.
+  EXPECT_EQ(spectra.walk().lambda2, direct_walk.lambda2);
+  EXPECT_EQ(spectra.walk().f2, direct_walk.f2);
+  EXPECT_EQ(spectra.laplacian().lambda2, direct_lap.lambda2);
+  EXPECT_EQ(spectra.laplacian().f2, direct_lap.f2);
+}
+
+TEST(GraphSpectra, ConcurrentAccessorsSolveExactlyOnce) {
+  GraphSpectra spectra(std::make_shared<const Graph>(gen::complete(24)));
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&spectra] {
+      // Latecomers block on the once-latch and then read the memo.
+      EXPECT_GT(spectra.walk().lambda2, 0.0);
+      EXPECT_GT(spectra.laplacian().lambda2, 0.0);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(spectra.solves(), 2);
+  EXPECT_EQ(spectra.hits(), 14);  // 8 accesses per kind, 1 solve each
+}
+
+TEST(SpectrumCache, SharesOneRecordPerKey) {
+  SpectrumCache cache;
+  const auto cycle = std::make_shared<const Graph>(gen::cycle(8));
+  const auto star = std::make_shared<const Graph>(gen::star(8));
+
+  const auto a = cache.get("cycle;8", cycle);
+  const auto b = cache.get("cycle;8", cycle);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+
+  const auto c = cache.get("star;8", star);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // get() never solves anything; only accessor use does.
+  EXPECT_EQ(cache.eigensolves(), 0);
+  a->walk();
+  b->walk();  // same record: second access is a spectrum hit
+  c->laplacian();
+  EXPECT_EQ(cache.eigensolves(), 2);
+  EXPECT_EQ(cache.spectrum_hits(), 1);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.eigensolves(), 0);
+  // Records already handed out survive a clear (shared ownership).
+  EXPECT_EQ(a->graph().node_count(), 8);
+}
+
+}  // namespace
+}  // namespace opindyn

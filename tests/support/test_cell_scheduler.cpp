@@ -108,7 +108,7 @@ TEST(CellScheduler, UnitExceptionsSurfaceOnWait) {
 }
 
 TEST(CellScheduler, SynchronousRunMatchesHistoricalReplicaScheduler) {
-  // The sync convenience used by the core monte_carlo harness is just
+  // The sync convenience used by standalone benches and tests is just
   // submit + fold; the historical alias still compiles.
   ReplicaScheduler scheduler(3);
   const std::vector<RunningStats> stats = scheduler.run(

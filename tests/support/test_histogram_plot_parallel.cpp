@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/support/ascii_plot.h"
@@ -29,6 +32,34 @@ TEST(Histogram, BinsAndOverflow) {
     EXPECT_DOUBLE_EQ(h.bin_low(b), static_cast<double>(b));
     EXPECT_DOUBLE_EQ(h.bin_high(b), static_cast<double>(b) + 1.0);
   }
+}
+
+// The NaN-guard contract (see histogram.h): NaN never reaches the bin
+// cast (which is UB), lands in the dedicated nan_count() cell, and
+// leaves total(), the bins, and the quantile mass untouched.
+// +-infinity is an ordinary out-of-range sample and saturates.
+TEST(Histogram, NanIsRoutedPastTheBinsAndInfinitySaturates) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(2.5);
+  h.add(7.5);
+  const double median_before = h.quantile(0.5);
+
+  h.add(std::nan(""));
+  h.add(-std::nan(""));
+  EXPECT_EQ(h.nan_count(), 2);
+  EXPECT_EQ(h.total(), 2);  // NaN is outside the positional mass
+  EXPECT_EQ(h.underflow(), 0);
+  EXPECT_EQ(h.overflow(), 0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), median_before);
+
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.total(), 4);
+
+  // The render footer reports the NaN cell so it cannot hide.
+  EXPECT_NE(h.render(10).find("nan: 2"), std::string::npos);
 }
 
 TEST(Histogram, QuantileApproximatesMedian) {

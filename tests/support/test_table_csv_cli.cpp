@@ -86,6 +86,60 @@ TEST(Csv, RejectsWrongRowWidth) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, UnopenablePathFailsAtConstructionNamingThePath) {
+  const std::string path =
+      ::testing::TempDir() + "no_such_directory/opindyn_test.csv";
+  try {
+    CsvWriter writer(path, {"x"});
+    FAIL() << "construction must throw for an unopenable path";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(path), std::string::npos)
+        << "the error must cite the path: " << error.what();
+  }
+}
+
+TEST(Csv, RowsBeforeHeaderAreRejected) {
+  const std::string path = ::testing::TempDir() + "opindyn_test3.csv";
+  CsvWriter writer(path);
+  EXPECT_THROW(writer.write_row(std::vector<std::string>{"1"}),
+               ContractError);
+  writer.write_header({"x"});
+  writer.write_row(std::vector<std::string>{"1"});
+  EXPECT_THROW(writer.write_header({"x"}), ContractError);
+  writer.close();
+  writer.close();  // idempotent
+  std::remove(path.c_str());
+}
+
+TEST(Csv, CloseReportsWriteFailureNamingThePath) {
+  // /dev/full opens fine but every flush fails with ENOSPC -- exactly
+  // the silent late-write failure the close() check is for.  Skip on
+  // systems without it.
+  std::ofstream probe("/dev/full");
+  if (!probe.is_open()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  probe.close();
+  bool reported = false;
+  try {
+    CsvWriter writer("/dev/full");
+    writer.write_header({"x"});
+    // Push past the stream buffer so the device error surfaces; the
+    // per-row check may fire mid-loop, close() catches it at the
+    // latest.
+    for (int i = 0; i < 10000; ++i) {
+      writer.write_row(std::vector<std::string>{"0123456789"});
+    }
+    writer.close();
+  } catch (const std::runtime_error& error) {
+    reported = true;
+    EXPECT_NE(std::string(error.what()).find("/dev/full"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_TRUE(reported) << "the failed writes were never reported";
+}
+
 TEST(Cli, ParsesOptionsAndPositionals) {
   const char* argv[] = {"prog",      "--n=32",      "--alpha=0.25",
                         "positional", "--flag",     "--name=cycle"};
