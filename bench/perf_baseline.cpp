@@ -1,0 +1,215 @@
+// perf_baseline -- the tracked steps/sec baseline behind BENCH_*.json.
+//
+// Times the two averaging processes on random 4-regular graphs through
+// both stepping paths -- the recorded single-step path (one virtual
+// step_recorded per step, allocating its NodeSelection) and the ISSUE-5
+// burst kernel (one virtual step_burst per 4096 steps, allocation-free)
+// -- plus the tracked-extrema variant, and emits one JSON document:
+//
+//   perf_baseline --out BENCH_5.json [--min-time 0.3]
+//
+// Each workload row also carries the pre-PR-5 reference throughput for
+// this container (measured from the seed build's bench_perf_throughput
+// at PR 5; the pre_pr_sps column of kWorkloads below) and the
+// resulting speedup, so
+// the checked-in BENCH_5.json documents the kernel's win and gives
+// future PRs a number to beat.  Ratios against the reference are only
+// meaningful on the machine the reference was measured on; re-measure
+// both sides when moving hardware (see README "Performance").
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/edge_model.h"
+#include "src/core/initial_values.h"
+#include "src/core/model.h"
+#include "src/core/node_model.h"
+#include "src/graph/generators.h"
+#include "src/support/rng.h"
+
+namespace {
+
+using namespace opindyn;
+
+constexpr std::int64_t kBurst = 4096;
+
+struct Workload {
+  ModelKind kind = ModelKind::node;
+  NodeId n = 0;
+  std::int64_t k = 1;
+  bool track_extrema = false;
+  /// Steps/sec of the same workload on the pre-PR-5 seed build (0 = not
+  /// measured); single-step path, per-step discrepancy reads when
+  /// track_extrema.
+  double pre_pr_sps = 0.0;
+};
+
+// Pre-PR-5 reference: seed-build bench_perf_throughput on this
+// container (Release, one core), items_per_second of BM_NodeModelStep /
+// BM_EdgeModelStep / BM_NodeModelStepWithExtrema.
+const Workload kWorkloads[] = {
+    {ModelKind::node, 1024, 1, false, 17.45e6},
+    {ModelKind::node, 1024, 4, false, 10.28e6},
+    {ModelKind::node, 16384, 1, false, 18.45e6},
+    {ModelKind::node, 16384, 4, false, 10.34e6},
+    {ModelKind::edge, 1024, 1, false, 19.86e6},
+    {ModelKind::edge, 16384, 1, false, 18.53e6},
+    {ModelKind::node, 1024, 1, true, 7.71e6},
+    {ModelKind::node, 16384, 1, true, 2.34e6},
+};
+
+std::unique_ptr<AveragingProcess> build_process(const Workload& w,
+                                                const Graph& g) {
+  Rng init_rng(2);
+  auto xi = initial::gaussian(init_rng, g.node_count(), 0.0, 1.0);
+  if (w.kind == ModelKind::node) {
+    NodeModelParams params;
+    params.alpha = 0.5;
+    params.k = w.k;
+    params.track_extrema = w.track_extrema;
+    return std::make_unique<NodeModel>(g, std::move(xi), params);
+  }
+  EdgeModelParams params;
+  params.alpha = 0.5;
+  params.track_extrema = w.track_extrema;
+  return std::make_unique<EdgeModel>(g, std::move(xi), params);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Steps/sec of the recorded single-step path.  Tracked-extrema runs
+/// read the discrepancy every step (the pre-kernel K(t) workload shape).
+double measure_single(const Workload& w, const Graph& g, double min_time) {
+  auto process = build_process(w, g);
+  Rng rng(3);
+  volatile double sink = 0.0;
+  std::int64_t steps = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    for (std::int64_t i = 0; i < kBurst; ++i) {
+      process->step(rng);
+      if (w.track_extrema) {
+        sink = process->state().discrepancy();
+      }
+    }
+    steps += kBurst;
+    elapsed = seconds_since(start);
+  } while (elapsed < min_time);
+  (void)sink;
+  return static_cast<double>(steps) / elapsed;
+}
+
+/// Steps/sec of the burst kernel.  Tracked-extrema runs read the
+/// discrepancy once per burst (the check-interval shape of a scenario).
+double measure_burst(const Workload& w, const Graph& g, double min_time) {
+  auto process = build_process(w, g);
+  Rng rng(3);
+  volatile double sink = 0.0;
+  std::int64_t steps = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    process->step_burst(rng, kBurst);
+    if (w.track_extrema) {
+      sink = process->state().discrepancy();
+    } else {
+      sink = process->state().phi();
+    }
+    steps += kBurst;
+    elapsed = seconds_since(start);
+  } while (elapsed < min_time);
+  (void)sink;
+  return static_cast<double>(steps) / elapsed;
+}
+
+std::string json_number(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  double min_time = 0.3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--min-time" && i + 1 < argc) {
+      min_time = std::stod(argv[++i]);
+    } else {
+      std::cerr << "usage: perf_baseline [--out FILE] [--min-time SEC]\n";
+      return 1;
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"BENCH_5\",\n"
+       << "  \"description\": \"steps/sec of the averaging-process "
+          "stepping paths on random 4-regular graphs (single = recorded "
+          "per-step path, burst = ISSUE-5 zero-allocation kernel); "
+          "pre_pr_sps is the seed-build reference for this container\",\n"
+       << "  \"regenerate\": \"cmake -B build -S . && cmake --build build "
+          "--target perf_baseline && build/bench/perf_baseline --out "
+          "BENCH_5.json\",\n"
+       << "  \"burst_steps\": " << kBurst << ",\n"
+       << "  \"workloads\": [\n";
+  bool first = true;
+  for (const Workload& w : kWorkloads) {
+    Rng graph_rng(1);
+    const Graph g = gen::random_regular(graph_rng, w.n, 4);
+    const double single = measure_single(w, g, min_time);
+    const double burst = measure_burst(w, g, min_time);
+    if (!first) {
+      json << ",\n";
+    }
+    first = false;
+    json << "    {\"model\": \""
+         << (w.kind == ModelKind::node ? "node" : "edge") << "\", \"n\": "
+         << w.n << ", \"k\": " << w.k << ", \"track_extrema\": "
+         << (w.track_extrema ? "true" : "false")
+         << ", \"single_step_sps\": " << json_number(single)
+         << ", \"burst_sps\": " << json_number(burst)
+         << ", \"burst_over_single\": " << json_number(burst / single);
+    if (w.pre_pr_sps > 0.0) {
+      json << ", \"pre_pr_sps\": " << json_number(w.pre_pr_sps)
+           << ", \"burst_over_pre_pr\": "
+           << json_number(burst / w.pre_pr_sps);
+    }
+    json << "}";
+    std::cerr << (w.kind == ModelKind::node ? "node" : "edge") << " n="
+              << w.n << " k=" << w.k
+              << (w.track_extrema ? " extrema" : "") << ": single "
+              << json_number(single / 1e6) << " M/s, burst "
+              << json_number(burst / 1e6) << " M/s ("
+              << json_number(burst / single) << "x)\n";
+  }
+  json << "\n  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "perf_baseline: cannot open " << out_path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

@@ -26,32 +26,24 @@ ConvergenceResult run_until_converged(AveragingProcess& process, Rng& rng,
 
   ConvergenceResult result;
   const std::int64_t start_time = process.time();
-  // The fast accumulator check is a trigger; the exact centered form
-  // confirms, so drift can delay but never fake a stop.
-  if (exact_phi() <= options.epsilon) {
-    result.converged = true;
-    result.steps = 0;
-    result.final_phi = exact_phi();
-    result.final_value = process.state().weighted_average();
-    return result;
-  }
-  while (process.time() - start_time < options.max_steps) {
-    const std::int64_t burst =
-        std::min(interval, options.max_steps - (process.time() - start_time));
-    for (std::int64_t i = 0; i < burst; ++i) {
-      process.step(rng);
-    }
-    if (exact_phi() <= options.epsilon) {
-      result.converged = true;
-      break;
+  // Each check evaluates the O(n) centered form exactly once and reuses
+  // the value for both the stop decision and the reported final_phi.
+  double phi = exact_phi();
+  if (phi > options.epsilon) {
+    while (process.time() - start_time < options.max_steps) {
+      const std::int64_t burst = std::min(
+          interval, options.max_steps - (process.time() - start_time));
+      process.step_burst(rng, burst);
+      phi = exact_phi();
+      if (phi <= options.epsilon) {
+        break;
+      }
     }
   }
   result.steps = process.time() - start_time;
-  result.final_phi = exact_phi();
+  result.converged = phi <= options.epsilon;
+  result.final_phi = phi;
   result.final_value = process.state().weighted_average();
-  if (!result.converged) {
-    result.converged = result.final_phi <= options.epsilon;
-  }
   return result;
 }
 

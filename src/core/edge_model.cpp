@@ -26,4 +26,28 @@ NodeSelection EdgeModel::step_recorded(Rng& rng) {
   return selection;
 }
 
+void EdgeModel::step_burst(Rng& rng, std::int64_t n_steps) {
+  OPINDYN_EXPECTS(n_steps >= 0, "n_steps must be >= 0");
+  OpinionState& state = mutable_state();
+  const Graph& g = graph();
+  const double* values = state.values().data();
+  const double a = alpha();
+  const double one_minus_a = 1.0 - a;
+  const auto arcs = static_cast<std::uint64_t>(g.arc_count());
+  const bool lazy = params_.lazy;
+  for (std::int64_t s = 0; s < n_steps; ++s) {
+    if (lazy && rng.next_bool(0.5)) {
+      continue;  // lazy no-op: consumes the coin, still counts a step
+    }
+    const auto arc = static_cast<ArcId>(rng.next_below(arcs));
+    const NodeId u = g.arc_source(arc);
+    const NodeId v = g.arc_target(arc);
+    // The k = 1 "mean" is value(v) / 1.0 == value(v) bit-exactly, so the
+    // kernel matches apply_update without the division.
+    state.set_value(u, a * values[static_cast<std::size_t>(u)] +
+                           one_minus_a * values[static_cast<std::size_t>(v)]);
+  }
+  advance_time(n_steps);
+}
+
 }  // namespace opindyn

@@ -27,6 +27,8 @@ class EdgeModel final : public AveragingProcess {
 
   NodeSelection step_recorded(Rng& rng) override;
 
+  void step_burst(Rng& rng, std::int64_t n_steps) override;
+
   const EdgeModelParams& params() const noexcept { return params_; }
 
  private:

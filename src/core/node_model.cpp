@@ -4,6 +4,99 @@
 #include "src/support/sampling.h"
 
 namespace opindyn {
+namespace {
+
+// Fused Floyd draw + neighbour gather + sum for compile-time k: the
+// subset lives in registers and the values are read in one pass.  Draws
+// and sum order match sample_without_replacement + the scratch gather
+// exactly (Floyd pushes the chosen index -- t if fresh, else j -- in j
+// order), so the rng stream and the floating-point result are
+// bit-identical to the recorded path.
+template <int K>
+double draw_sum_without_replacement(Rng& rng, const NodeId* row,
+                                    std::int64_t d, const double* values) {
+  std::int32_t picked[K];
+  double sum = 0.0;
+  for (int i = 0; i < K; ++i) {
+    const std::int64_t j = d - K + i;
+    const auto t = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    bool duplicate = false;
+    for (int p = 0; p < i; ++p) {
+      duplicate |= picked[p] == t;
+    }
+    const std::int32_t idx = duplicate ? static_cast<std::int32_t>(j) : t;
+    picked[i] = idx;
+    sum += values[static_cast<std::size_t>(
+        row[static_cast<std::size_t>(idx)])];
+  }
+  return sum;
+}
+
+template <int K>
+double draw_sum_with_replacement(Rng& rng, const NodeId* row,
+                                 std::int64_t d, const double* values) {
+  double sum = 0.0;
+  for (int i = 0; i < K; ++i) {
+    sum += values[static_cast<std::size_t>(row[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(d)))])];
+  }
+  return sum;
+}
+
+/// The devirtualized inner loop, instantiated per (k, sampling mode).
+template <int K, SamplingMode Mode>
+void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy,
+                    const Graph& g, OpinionState& state, double a) {
+  // values() never reallocates under set_value, so one raw pointer
+  // serves the whole burst; reads through it skip per-access checks.
+  const double* values = state.values().data();
+  const double one_minus_a = 1.0 - a;
+  const double k_count = static_cast<double>(K);
+  const auto n = static_cast<std::uint64_t>(g.node_count());
+  for (std::int64_t s = 0; s < n_steps; ++s) {
+    if (lazy && rng.next_bool(0.5)) {
+      continue;  // lazy no-op: consumes the coin, still counts a step
+    }
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto row = g.neighbors(u);
+    const auto d = static_cast<std::int64_t>(row.size());
+    const double neighbour_sum =
+        Mode == SamplingMode::without_replacement
+            ? draw_sum_without_replacement<K>(rng, row.data(), d, values)
+            : draw_sum_with_replacement<K>(rng, row.data(), d, values);
+    const double neighbour_mean = neighbour_sum / k_count;
+    state.set_value(u, a * values[static_cast<std::size_t>(u)] +
+                           one_minus_a * neighbour_mean);
+  }
+}
+
+template <SamplingMode Mode>
+bool dispatch_node_burst(std::int64_t k, Rng& rng, std::int64_t n_steps,
+                         bool lazy, const Graph& g, OpinionState& state,
+                         double a) {
+  switch (k) {
+    case 1:
+      run_node_burst<1, Mode>(rng, n_steps, lazy, g, state, a);
+      return true;
+    case 2:
+      run_node_burst<2, Mode>(rng, n_steps, lazy, g, state, a);
+      return true;
+    case 3:
+      run_node_burst<3, Mode>(rng, n_steps, lazy, g, state, a);
+      return true;
+    case 4:
+      run_node_burst<4, Mode>(rng, n_steps, lazy, g, state, a);
+      return true;
+    case 8:
+      run_node_burst<8, Mode>(rng, n_steps, lazy, g, state, a);
+      return true;
+    default:
+      return false;  // uncommon k: the generic loop handles it
+  }
+}
+
+}  // namespace
 
 NodeModel::NodeModel(const Graph& graph, std::vector<double> initial,
                      const NodeModelParams& params)
@@ -17,6 +110,28 @@ NodeModel::NodeModel(const Graph& graph, std::vector<double> initial,
                     "replacement");
   }
   scratch_.reserve(static_cast<std::size_t>(params.k));
+  sample_scratch_.resize(static_cast<std::size_t>(params.k));
+}
+
+NodeId NodeModel::draw_selection(Rng& rng) {
+  const auto u = static_cast<NodeId>(
+      rng.next_below(static_cast<std::uint64_t>(graph().node_count())));
+  const auto row = graph().neighbors(u);
+  const auto d = static_cast<std::int64_t>(row.size());
+  const auto k = static_cast<std::size_t>(params_.k);
+  if (params_.sampling == SamplingMode::without_replacement) {
+    sample_without_replacement(rng, d, params_.k, scratch_);
+    for (std::size_t i = 0; i < k; ++i) {
+      sample_scratch_[i] =
+          row[static_cast<std::size_t>(scratch_[i])];
+    }
+  } else {
+    for (std::size_t i = 0; i < k; ++i) {
+      sample_scratch_[i] = row[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(d)))];
+    }
+  }
+  return u;
 }
 
 NodeSelection NodeModel::step_recorded(Rng& rng) {
@@ -25,26 +140,54 @@ NodeSelection NodeModel::step_recorded(Rng& rng) {
     apply(selection);  // records a no-op time step
     return selection;
   }
-  const auto u = static_cast<NodeId>(
-      rng.next_below(static_cast<std::uint64_t>(graph().node_count())));
-  selection.node = u;
-  const auto row = graph().neighbors(u);
-  const auto d = static_cast<std::int64_t>(row.size());
-  selection.sample.reserve(static_cast<std::size_t>(params_.k));
-  if (params_.sampling == SamplingMode::without_replacement) {
-    sample_without_replacement(rng, d, params_.k, scratch_);
-    for (const std::int32_t idx : scratch_) {
-      selection.sample.push_back(row[static_cast<std::size_t>(idx)]);
-    }
-  } else {
-    for (std::int64_t i = 0; i < params_.k; ++i) {
-      selection.sample.push_back(
-          row[static_cast<std::size_t>(
-              rng.next_below(static_cast<std::uint64_t>(d)))]);
-    }
-  }
+  selection.node = draw_selection(rng);
+  // The returned selection owns its copy (the duality replay API keeps
+  // whole sequences alive); the draw itself stayed on the scratch.
+  selection.sample.assign(sample_scratch_.begin(), sample_scratch_.end());
   apply(selection);
   return selection;
+}
+
+void NodeModel::step_burst(Rng& rng, std::int64_t n_steps) {
+  OPINDYN_EXPECTS(n_steps >= 0, "n_steps must be >= 0");
+  const bool specialised =
+      params_.sampling == SamplingMode::without_replacement
+          ? dispatch_node_burst<SamplingMode::without_replacement>(
+                params_.k, rng, n_steps, params_.lazy, graph(),
+                mutable_state(), alpha())
+          : dispatch_node_burst<SamplingMode::with_replacement>(
+                params_.k, rng, n_steps, params_.lazy, graph(),
+                mutable_state(), alpha());
+  if (!specialised) {
+    step_burst_generic(rng, n_steps);
+    return;
+  }
+  advance_time(n_steps);
+}
+
+void NodeModel::step_burst_generic(Rng& rng, std::int64_t n_steps) {
+  OpinionState& state = mutable_state();
+  // values() never reallocates under set_value, so one raw pointer
+  // serves the whole burst; reads through it skip per-access checks.
+  const double* values = state.values().data();
+  const double a = alpha();
+  const double one_minus_a = 1.0 - a;
+  const double k_count = static_cast<double>(params_.k);
+  const bool lazy = params_.lazy;
+  for (std::int64_t s = 0; s < n_steps; ++s) {
+    if (lazy && rng.next_bool(0.5)) {
+      continue;  // lazy no-op: consumes the coin, still counts a step
+    }
+    const NodeId u = draw_selection(rng);
+    double neighbour_sum = 0.0;
+    for (const NodeId v : sample_scratch_) {
+      neighbour_sum += values[static_cast<std::size_t>(v)];
+    }
+    const double neighbour_mean = neighbour_sum / k_count;
+    state.set_value(u, a * values[static_cast<std::size_t>(u)] +
+                           one_minus_a * neighbour_mean);
+  }
+  advance_time(n_steps);
 }
 
 }  // namespace opindyn

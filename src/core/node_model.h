@@ -45,11 +45,23 @@ class NodeModel final : public AveragingProcess {
 
   NodeSelection step_recorded(Rng& rng) override;
 
+  void step_burst(Rng& rng, std::int64_t n_steps) override;
+
   const NodeModelParams& params() const noexcept { return params_; }
 
  private:
+  /// Draws one step's updating node and its k-sample into the member
+  /// scratch buffers (no allocation), consuming `rng` exactly as
+  /// step_recorded does; returns the updating node u.
+  NodeId draw_selection(Rng& rng);
+
+  /// step_burst fallback for configurations without a specialised
+  /// compile-time-k kernel.
+  void step_burst_generic(Rng& rng, std::int64_t n_steps);
+
   NodeModelParams params_;
-  std::vector<std::int32_t> scratch_;  // sample indices buffer
+  std::vector<std::int32_t> scratch_;   // Floyd subset indices buffer
+  std::vector<NodeId> sample_scratch_;  // sampled node ids, draw order
 };
 
 }  // namespace opindyn

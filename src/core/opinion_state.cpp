@@ -14,33 +14,11 @@ OpinionState::OpinionState(const Graph& graph, std::vector<double> initial,
   OPINDYN_EXPECTS(values_.size() ==
                       static_cast<std::size_t>(graph.node_count()),
                   "initial value vector size must equal node count");
+  stationary_.resize(values_.size());
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    stationary_[static_cast<std::size_t>(u)] = graph.stationary(u);
+  }
   recompute();
-}
-
-double OpinionState::value(NodeId u) const {
-  OPINDYN_EXPECTS(u >= 0 && u < node_count(), "node id out of range");
-  return values_[static_cast<std::size_t>(u)];
-}
-
-void OpinionState::set_value(NodeId u, double x) {
-  OPINDYN_EXPECTS(u >= 0 && u < node_count(), "node id out of range");
-  const auto idx = static_cast<std::size_t>(u);
-  const double old = values_[idx];
-  const double pi = graph_->stationary(u);
-  sum_ += x - old;
-  sum_sq_ += x * x - old * old;
-  wsum_ += pi * (x - old);
-  wsum_sq_ += pi * (x * x - old * old);
-  if (track_extrema_) {
-    const auto it = sorted_.find(old);
-    OPINDYN_ENSURES(it != sorted_.end(), "extremum multiset out of sync");
-    sorted_.erase(it);
-    sorted_.insert(x);
-  }
-  values_[idx] = x;
-  if (++updates_since_recompute_ >= recompute_interval_) {
-    recompute();
-  }
 }
 
 double OpinionState::average() const noexcept {
@@ -54,7 +32,7 @@ double OpinionState::phi_exact() const {
   double total = 0.0;
   for (NodeId u = 0; u < node_count(); ++u) {
     const double d = values_[static_cast<std::size_t>(u)] - center;
-    total += graph_->stationary(u) * d * d;
+    total += stationary_[static_cast<std::size_t>(u)] * d * d;
   }
   return total;
 }
@@ -80,7 +58,10 @@ double OpinionState::discrepancy() const {
 double OpinionState::min_value() const {
   OPINDYN_EXPECTS(!values_.empty(), "empty state");
   if (track_extrema_) {
-    return *sorted_.begin();
+    if (!extrema_valid_) {
+      refresh_extrema();
+    }
+    return min_;
   }
   return *std::min_element(values_.begin(), values_.end());
 }
@@ -88,9 +69,24 @@ double OpinionState::min_value() const {
 double OpinionState::max_value() const {
   OPINDYN_EXPECTS(!values_.empty(), "empty state");
   if (track_extrema_) {
-    return *sorted_.rbegin();
+    if (!extrema_valid_) {
+      refresh_extrema();
+    }
+    return max_;
   }
   return *std::max_element(values_.begin(), values_.end());
+}
+
+void OpinionState::refresh_extrema() const {
+  double lo = values_[0];
+  double hi = values_[0];
+  for (const double v : values_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  min_ = lo;
+  max_ = hi;
+  extrema_valid_ = true;
 }
 
 void OpinionState::recompute() {
@@ -100,15 +96,14 @@ void OpinionState::recompute() {
   wsum_sq_ = 0.0;
   for (NodeId u = 0; u < node_count(); ++u) {
     const double v = values_[static_cast<std::size_t>(u)];
-    const double pi = graph_->stationary(u);
+    const double pi = stationary_[static_cast<std::size_t>(u)];
     sum_ += v;
     sum_sq_ += v * v;
     wsum_ += pi * v;
     wsum_sq_ += pi * v * v;
   }
   if (track_extrema_) {
-    sorted_.clear();
-    sorted_.insert(values_.begin(), values_.end());
+    refresh_extrema();
   }
   updates_since_recompute_ = 0;
 }

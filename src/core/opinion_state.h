@@ -12,16 +12,20 @@
 // rebuilt from scratch every `recompute_interval` updates, and
 // `phi_exact()` evaluates the potential in centered two-pass form, which
 // does not suffer the catastrophic cancellation of the S2 - S1^2 formula
-// near convergence.  Extremum tracking (for K) costs O(log n) per update
-// and is opt-in.
+// near convergence.  Extremum tracking (for K) is opt-in and lazy: an
+// update that displaces the cached min/max merely invalidates them, and
+// the next read rescans once.  Displacing an extremum needs the updated
+// node to *hold* it (probability ~1/n per step), so tracking costs O(1)
+// amortized per update with zero allocations -- the step kernels stay
+// malloc-free.
 #ifndef OPINDYN_CORE_OPINION_STATE_H
 #define OPINDYN_CORE_OPINION_STATE_H
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/support/assert.h"
 
 namespace opindyn {
 
@@ -34,11 +38,61 @@ class OpinionState {
   const Graph& graph() const noexcept { return *graph_; }
   NodeId node_count() const noexcept { return graph_->node_count(); }
 
-  double value(NodeId u) const;
+  double value(NodeId u) const {
+    OPINDYN_HOT_EXPECTS(u >= 0 && u < node_count(), "node id out of range");
+    return values_[static_cast<std::size_t>(u)];
+  }
   const std::vector<double>& values() const noexcept { return values_; }
 
-  /// Replaces the value at u, updating all running statistics.
-  void set_value(NodeId u, double x);
+  /// Replaces the value at u, updating all running statistics.  Inline:
+  /// this is the one mutation every process step performs, so the burst
+  /// kernels must not pay a call (or, in optimised builds, a range
+  /// check) for it.
+  void set_value(NodeId u, double x) {
+    OPINDYN_HOT_EXPECTS(u >= 0 && u < node_count(), "node id out of range");
+    const auto idx = static_cast<std::size_t>(u);
+    const double old = values_[idx];
+    const double pi = stationary_[idx];
+    sum_ += x - old;
+    sum_sq_ += x * x - old * old;
+    wsum_ += pi * (x - old);
+    wsum_sq_ += pi * (x * x - old * old);
+    if (track_extrema_ && extrema_valid_) {
+      // A node that held an extremum and stays on its side of it keeps
+      // the cache valid (x <= min_ is the new min even if other nodes
+      // share the old one); only an extremum holder moving inward hides
+      // where the extremum went, so only that invalidates -- the next
+      // read rescans once.  Near-converged states, where many nodes
+      // share the extremal values, thus stay O(1) instead of rescanning
+      // every step.
+      bool displaced = false;
+      if (old == min_) {
+        if (x <= min_) {
+          min_ = x;
+        } else {
+          displaced = true;
+        }
+      } else if (x < min_) {
+        min_ = x;
+      }
+      if (old == max_) {
+        if (x >= max_) {
+          max_ = x;
+        } else {
+          displaced = true;
+        }
+      } else if (x > max_) {
+        max_ = x;
+      }
+      if (displaced) {
+        extrema_valid_ = false;
+      }
+    }
+    values_[idx] = x;
+    if (++updates_since_recompute_ >= recompute_interval_) {
+      recompute();
+    }
+  }
 
   /// Plain average Avg(t).
   double average() const noexcept;
@@ -55,8 +109,8 @@ class OpinionState {
   double phi_plain_exact() const;
   /// sum_u xi_u(t)^2.
   double l2_squared() const noexcept { return sum_sq_; }
-  /// Discrepancy K(t) = max - min.  O(1) when extremum tracking is on,
-  /// O(n) otherwise.
+  /// Discrepancy K(t) = max - min.  O(1) amortized when extremum
+  /// tracking is on, O(n) otherwise.
   double discrepancy() const;
   double min_value() const;
   double max_value() const;
@@ -67,10 +121,17 @@ class OpinionState {
   void recompute();
 
  private:
+  /// Rescans the value vector into the cached extrema (tracking only).
+  void refresh_extrema() const;
+
   const Graph* graph_;
   std::vector<double> values_;
+  std::vector<double> stationary_;  // pi_u = d_u / 2m, cached per node
   bool track_extrema_;
-  std::multiset<double> sorted_;
+  // Lazily maintained extrema cache; mutable because reads refresh it.
+  mutable bool extrema_valid_ = false;
+  mutable double min_ = 0.0;
+  mutable double max_ = 0.0;
 
   double sum_ = 0.0;       // sum xi
   double sum_sq_ = 0.0;    // sum xi^2

@@ -26,8 +26,16 @@ class AveragingProcess {
   /// Advances the process one time step using `rng` for all choices.
   void step(Rng& rng);
 
+  /// Advances `n_steps` time steps.  Contract: consumes `rng` exactly as
+  /// `n_steps` calls to step() would and leaves bit-identical state; the
+  /// NodeModel/EdgeModel overrides run devirtualized, allocation-free
+  /// inner loops, so every long-horizon harness (run_until_converged,
+  /// the engine's replica bodies) should step through this.
+  virtual void step_burst(Rng& rng, std::int64_t n_steps);
+
   /// Advances one step and returns the selection chi(t) that was made
-  /// (empty sample = lazy no-op).
+  /// (empty sample = lazy no-op).  This is the recorded slow path the
+  /// Section-5 duality replay machinery consumes.
   virtual NodeSelection step_recorded(Rng& rng) = 0;
 
   /// Applies a fixed selection deterministically (replay; Lemma 5.2).
@@ -50,6 +58,9 @@ class AveragingProcess {
 
   /// The common update rule: xi_u <- alpha*xi_u + (1-alpha)*mean(sample).
   void apply_update(const NodeSelection& selection);
+
+  /// Bulk time advance for step_burst overrides (lazy no-ops count too).
+  void advance_time(std::int64_t n) noexcept { time_ += n; }
 
  private:
   OpinionState state_;

@@ -246,9 +246,7 @@ class MartingaleScenario final : public Scenario {
             return;  // slot stays NaN -> "n/a" row cells
           }
           auto process = make_process(in.graph, node, in.initial);
-          while (process->time() < horizon) {
-            process->step(rng);
-          }
+          process->step_burst(rng, horizon - process->time());
           out[0] = process->state().weighted_average();
         });
 

@@ -54,21 +54,6 @@ Graph::Graph(NodeId node_count,
   }
 }
 
-NodeId Graph::degree(NodeId u) const {
-  OPINDYN_EXPECTS(u >= 0 && u < node_count_, "node id out of range");
-  return static_cast<NodeId>(offsets_[static_cast<std::size_t>(u) + 1] -
-                             offsets_[static_cast<std::size_t>(u)]);
-}
-
-std::span<const NodeId> Graph::neighbors(NodeId u) const {
-  OPINDYN_EXPECTS(u >= 0 && u < node_count_, "node id out of range");
-  const auto begin = static_cast<std::size_t>(
-      offsets_[static_cast<std::size_t>(u)]);
-  const auto end = static_cast<std::size_t>(
-      offsets_[static_cast<std::size_t>(u) + 1]);
-  return {adjacency_.data() + begin, end - begin};
-}
-
 NodeId Graph::neighbor(NodeId u, NodeId i) const {
   const auto row = neighbors(u);
   OPINDYN_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < row.size(),
@@ -79,21 +64,6 @@ NodeId Graph::neighbor(NodeId u, NodeId i) const {
 bool Graph::has_edge(NodeId u, NodeId v) const {
   const auto row = neighbors(u);
   return std::binary_search(row.begin(), row.end(), v);
-}
-
-NodeId Graph::arc_source(ArcId j) const {
-  OPINDYN_EXPECTS(j >= 0 && j < arc_count(), "arc id out of range");
-  return arc_source_[static_cast<std::size_t>(j)];
-}
-
-NodeId Graph::arc_target(ArcId j) const {
-  OPINDYN_EXPECTS(j >= 0 && j < arc_count(), "arc id out of range");
-  return adjacency_[static_cast<std::size_t>(j)];
-}
-
-double Graph::stationary(NodeId u) const {
-  return static_cast<double>(degree(u)) /
-         static_cast<double>(arc_count());
 }
 
 std::vector<std::pair<NodeId, NodeId>> Graph::undirected_edges() const {

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "src/support/assert.h"
+
 namespace opindyn {
 
 using NodeId = std::int32_t;
@@ -35,13 +37,26 @@ class Graph {
     return static_cast<ArcId>(adjacency_.size());
   }
 
-  NodeId degree(NodeId u) const;
+  /// Degree of u.  Hot-path checked: the range precondition is compiled
+  /// out of optimised builds (OPINDYN_HOT_EXPECTS in support/assert.h).
+  NodeId degree(NodeId u) const {
+    OPINDYN_HOT_EXPECTS(u >= 0 && u < node_count_, "node id out of range");
+    return static_cast<NodeId>(offsets_[static_cast<std::size_t>(u) + 1] -
+                               offsets_[static_cast<std::size_t>(u)]);
+  }
   NodeId min_degree() const noexcept { return min_degree_; }
   NodeId max_degree() const noexcept { return max_degree_; }
   bool is_regular() const noexcept { return min_degree_ == max_degree_; }
 
-  /// Neighbours of u, sorted ascending.
-  std::span<const NodeId> neighbors(NodeId u) const;
+  /// Neighbours of u, sorted ascending.  Hot-path checked.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    OPINDYN_HOT_EXPECTS(u >= 0 && u < node_count_, "node id out of range");
+    const auto begin =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u)]);
+    const auto end =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u) + 1]);
+    return {adjacency_.data() + begin, end - begin};
+  }
 
   /// i-th neighbour of u (0 <= i < degree(u)).
   NodeId neighbor(NodeId u, NodeId i) const;
@@ -49,12 +64,20 @@ class Graph {
   /// True iff {u, v} is an edge (binary search, O(log deg)).
   bool has_edge(NodeId u, NodeId v) const;
 
-  /// Source / target of directed arc j in [0, 2m).
-  NodeId arc_source(ArcId j) const;
-  NodeId arc_target(ArcId j) const;
+  /// Source / target of directed arc j in [0, 2m).  Hot-path checked.
+  NodeId arc_source(ArcId j) const {
+    OPINDYN_HOT_EXPECTS(j >= 0 && j < arc_count(), "arc id out of range");
+    return arc_source_[static_cast<std::size_t>(j)];
+  }
+  NodeId arc_target(ArcId j) const {
+    OPINDYN_HOT_EXPECTS(j >= 0 && j < arc_count(), "arc id out of range");
+    return adjacency_[static_cast<std::size_t>(j)];
+  }
 
   /// Stationary probability of the (lazy) random walk at u: d_u / 2m.
-  double stationary(NodeId u) const;
+  double stationary(NodeId u) const {
+    return static_cast<double>(degree(u)) / static_cast<double>(arc_count());
+  }
 
   /// All undirected edges, each once with u < v.
   std::vector<std::pair<NodeId, NodeId>> undirected_edges() const;

@@ -44,4 +44,23 @@ namespace detail {
     }                                                                        \
   } while (false)
 
+/// Hot-path preconditions (per-step Graph accessors, OpinionState
+/// updates): active in unoptimised builds and whenever the build opts
+/// back in with -DOPINDYN_CHECKED_HOT_PATH (the sanitizer CI job does),
+/// compiled out of plain Release binaries so billion-step inner loops do
+/// not pay redundant range checks.
+#if !defined(NDEBUG) || defined(OPINDYN_CHECKED_HOT_PATH)
+#define OPINDYN_HOT_PATH_CHECKS 1
+#else
+#define OPINDYN_HOT_PATH_CHECKS 0
+#endif
+
+#if OPINDYN_HOT_PATH_CHECKS
+#define OPINDYN_HOT_EXPECTS(cond, message) OPINDYN_EXPECTS(cond, message)
+#else
+#define OPINDYN_HOT_EXPECTS(cond, message) \
+  do {                                     \
+  } while (false)
+#endif
+
 #endif  // OPINDYN_SUPPORT_ASSERT_H

@@ -14,12 +14,6 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) noexcept : state_{} {
   std::uint64_t s = seed;
   for (auto& word : state_) {
@@ -27,45 +21,9 @@ Rng::Rng(std::uint64_t seed) noexcept : state_{} {
   }
 }
 
-Rng::result_type Rng::operator()() noexcept {
-  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
-  // Lemire 2019: unbiased bounded integers without division in the common
-  // path.
-  if (bound == 0) {
-    return 0;
-  }
-  std::uint64_t x = (*this)();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = (0ULL - bound) % bound;
-    while (low < threshold) {
-      x = (*this)();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
 std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) noexcept {
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1ULL;
   return lo + static_cast<std::int64_t>(next_below(span));
-}
-
-double Rng::next_double() noexcept {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
 double Rng::next_double(double lo, double hi) noexcept {
@@ -90,8 +48,6 @@ double Rng::next_gaussian() noexcept {
   has_cached_gaussian_ = true;
   return u * factor;
 }
-
-bool Rng::next_bool(double p) noexcept { return next_double() < p; }
 
 Rng Rng::fork(std::uint64_t seed, std::uint64_t stream_index) noexcept {
   // Mix the stream index into the seed through two splitmix64 rounds so

@@ -29,18 +29,53 @@ class Rng {
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~0ULL; }
 
+  // The per-step draws (raw word, bounded integer, unit double, coin)
+  // are defined inline: the burst kernels draw up to k + 1 times per
+  // step, and an out-of-line call per draw dominates their loop.
+
   /// Next raw 64-bit value.
-  result_type operator()() noexcept;
+  result_type operator()() noexcept {
+    const std::uint64_t result =
+        rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound).  Uses Lemire's multiply-shift rejection
   /// method, which is unbiased and avoids the modulo.
-  std::uint64_t next_below(std::uint64_t bound) noexcept;
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Lemire 2019: unbiased bounded integers without division in the
+    // common path.
+    if (bound == 0) {
+      return 0;
+    }
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] (inclusive).
   std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Uniform double in [0, 1) with 53 random bits.
-  double next_double() noexcept;
+  double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double next_double(double lo, double hi) noexcept;
@@ -49,13 +84,17 @@ class Rng {
   double next_gaussian() noexcept;
 
   /// Bernoulli(p).
-  bool next_bool(double p) noexcept;
+  bool next_bool(double p) noexcept { return next_double() < p; }
 
   /// Derives the i-th independent child stream of this generator's seed.
   /// Deterministic: fork(s, i) always yields the same stream.
   static Rng fork(std::uint64_t seed, std::uint64_t stream_index) noexcept;
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_;
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;

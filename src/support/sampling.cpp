@@ -7,26 +7,6 @@
 
 namespace opindyn {
 
-void sample_without_replacement(Rng& rng, std::int64_t population,
-                                std::int64_t k,
-                                std::vector<std::int32_t>& out) {
-  OPINDYN_EXPECTS(k >= 0, "sample size must be non-negative");
-  OPINDYN_EXPECTS(k <= population, "sample size exceeds population");
-  out.clear();
-  out.reserve(static_cast<std::size_t>(k));
-  // Floyd's algorithm: for j = population-k .. population-1, draw
-  // t uniform in [0, j]; insert t unless already present, else insert j.
-  for (std::int64_t j = population - k; j < population; ++j) {
-    const auto t = static_cast<std::int32_t>(
-        rng.next_below(static_cast<std::uint64_t>(j) + 1));
-    if (std::find(out.begin(), out.end(), t) == out.end()) {
-      out.push_back(t);
-    } else {
-      out.push_back(static_cast<std::int32_t>(j));
-    }
-  }
-}
-
 std::vector<std::int32_t> random_permutation(Rng& rng, std::int64_t n) {
   OPINDYN_EXPECTS(n >= 0, "permutation size must be non-negative");
   std::vector<std::int32_t> perm(static_cast<std::size_t>(n));

@@ -9,9 +9,11 @@
 #ifndef OPINDYN_SUPPORT_SAMPLING_H
 #define OPINDYN_SUPPORT_SAMPLING_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "src/support/assert.h"
 #include "src/support/rng.h"
 
 namespace opindyn {
@@ -20,8 +22,29 @@ namespace opindyn {
 /// into `out` (resized to k).  Order of elements is unspecified but the
 /// subset is exactly uniform among all C(population, k) subsets.
 /// Precondition: 0 <= k <= population.
-void sample_without_replacement(Rng& rng, std::int64_t population,
-                                std::int64_t k, std::vector<std::int32_t>& out);
+///
+/// Inline: this runs once per NodeModel step, and both the recorded path
+/// and the burst kernel must share one definition so their rng draw
+/// sequences agree by construction.
+inline void sample_without_replacement(Rng& rng, std::int64_t population,
+                                       std::int64_t k,
+                                       std::vector<std::int32_t>& out) {
+  OPINDYN_EXPECTS(k >= 0, "sample size must be non-negative");
+  OPINDYN_EXPECTS(k <= population, "sample size exceeds population");
+  out.clear();
+  out.reserve(static_cast<std::size_t>(k));
+  // Floyd's algorithm: for j = population-k .. population-1, draw
+  // t uniform in [0, j]; insert t unless already present, else insert j.
+  for (std::int64_t j = population - k; j < population; ++j) {
+    const auto t = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(static_cast<std::int32_t>(j));
+    }
+  }
+}
 
 /// Returns a uniformly random permutation of {0, ..., n-1} (Fisher-Yates).
 std::vector<std::int32_t> random_permutation(Rng& rng, std::int64_t n);
