@@ -31,6 +31,8 @@
 #include "src/core/model.h"
 #include "src/core/node_model.h"
 #include "src/graph/generators.h"
+#include "src/support/build_info.h"
+#include "src/support/json.h"
 #include "src/support/rng.h"
 
 namespace {
@@ -156,41 +158,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ostringstream json;
-  json << "{\n"
-       << "  \"bench\": \"BENCH_5\",\n"
-       << "  \"description\": \"steps/sec of the averaging-process "
-          "stepping paths on random 4-regular graphs (single = recorded "
-          "per-step path, burst = ISSUE-5 zero-allocation kernel); "
-          "pre_pr_sps is the seed-build reference for this container\",\n"
-       << "  \"regenerate\": \"cmake -B build -S . && cmake --build build "
-          "--target perf_baseline && build/bench/perf_baseline --out "
-          "BENCH_5.json\",\n"
-       << "  \"burst_steps\": " << kBurst << ",\n"
-       << "  \"workloads\": [\n";
-  bool first = true;
+  json::Object doc;
+  doc.emplace_back("bench", "BENCH_5");
+  doc.emplace_back(
+      "description",
+      "steps/sec of the averaging-process stepping paths on random "
+      "4-regular graphs (single = recorded per-step path, burst = "
+      "ISSUE-5 zero-allocation kernel); pre_pr_sps is the seed-build "
+      "reference for this container");
+  doc.emplace_back(
+      "regenerate",
+      "cmake -B build -S . && cmake --build build --target perf_baseline "
+      "&& build/bench/perf_baseline --out BENCH_5.json");
+  doc.emplace_back("build", build_info_json());
+  doc.emplace_back("burst_steps", kBurst);
+  json::Array workloads;
   for (const Workload& w : kWorkloads) {
     Rng graph_rng(1);
     const Graph g = gen::random_regular(graph_rng, w.n, 4);
     const double single = measure_single(w, g, min_time);
     const double burst = measure_burst(w, g, min_time);
-    if (!first) {
-      json << ",\n";
-    }
-    first = false;
-    json << "    {\"model\": \""
-         << (w.kind == ModelKind::node ? "node" : "edge") << "\", \"n\": "
-         << w.n << ", \"k\": " << w.k << ", \"track_extrema\": "
-         << (w.track_extrema ? "true" : "false")
-         << ", \"single_step_sps\": " << json_number(single)
-         << ", \"burst_sps\": " << json_number(burst)
-         << ", \"burst_over_single\": " << json_number(burst / single);
+    json::Object row;
+    row.emplace_back("model",
+                     w.kind == ModelKind::node ? "node" : "edge");
+    row.emplace_back("n", static_cast<std::int64_t>(w.n));
+    row.emplace_back("k", w.k);
+    row.emplace_back("track_extrema", w.track_extrema);
+    row.emplace_back("single_step_sps", single);
+    row.emplace_back("burst_sps", burst);
+    row.emplace_back("burst_over_single", burst / single);
     if (w.pre_pr_sps > 0.0) {
-      json << ", \"pre_pr_sps\": " << json_number(w.pre_pr_sps)
-           << ", \"burst_over_pre_pr\": "
-           << json_number(burst / w.pre_pr_sps);
+      row.emplace_back("pre_pr_sps", w.pre_pr_sps);
+      row.emplace_back("burst_over_pre_pr", burst / w.pre_pr_sps);
     }
-    json << "}";
+    workloads.push_back(json::Value(std::move(row)));
     std::cerr << (w.kind == ModelKind::node ? "node" : "edge") << " n="
               << w.n << " k=" << w.k
               << (w.track_extrema ? " extrema" : "") << ": single "
@@ -198,17 +199,18 @@ int main(int argc, char** argv) {
               << json_number(burst / 1e6) << " M/s ("
               << json_number(burst / single) << "x)\n";
   }
-  json << "\n  ]\n}\n";
+  doc.emplace_back("workloads", std::move(workloads));
+  const std::string text = json::Value(std::move(doc)).dump(2) + "\n";
 
   if (out_path.empty()) {
-    std::cout << json.str();
+    std::cout << text;
   } else {
     std::ofstream out(out_path, std::ios::binary);
     if (!out) {
       std::cerr << "perf_baseline: cannot open " << out_path << "\n";
       return 1;
     }
-    out << json.str();
+    out << text;
     std::cout << "wrote " << out_path << "\n";
   }
   return 0;

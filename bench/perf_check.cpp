@@ -1,0 +1,208 @@
+// perf_check -- the CI perf regression gate.
+//
+// Compares a freshly measured perf_baseline JSON against the checked-in
+// reference (BENCH_5.json) and fails when any workload's throughput
+// dropped by more than the tolerance:
+//
+//   perf_check --baseline BENCH_5.json --current fresh.json \
+//       [--max-drop 0.15] [--metric burst_sps]
+//
+// Workloads are matched by identity (model, n, k, track_extrema) -- a
+// workload present in the baseline but missing from the current run is
+// itself a failure, so the gate cannot be silenced by deleting rows.
+// Every workload is printed with its ratio; the exit code is 1 iff any
+// regressed beyond --max-drop (default 15%, loose enough for shared CI
+// runners, tight enough to catch a real kernel regression).
+//
+//   perf_check --self-test
+//
+// runs the comparator against embedded synthetic documents (pass,
+// regression, missing-workload) so CTest exercises the gate logic
+// without timing anything.
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+
+namespace {
+
+using opindyn::json::Value;
+
+struct WorkloadKey {
+  std::string model;
+  std::int64_t n = 0;
+  std::int64_t k = 1;
+  bool track_extrema = false;
+
+  std::string label() const {
+    std::ostringstream out;
+    out << model << " n=" << n << " k=" << k
+        << (track_extrema ? " extrema" : "");
+    return out.str();
+  }
+  bool operator==(const WorkloadKey& other) const {
+    return model == other.model && n == other.n && k == other.k &&
+           track_extrema == other.track_extrema;
+  }
+};
+
+WorkloadKey key_of(const Value& row) {
+  WorkloadKey key;
+  key.model = row.find("model")->as_string();
+  key.n = row.find("n")->as_int();
+  if (const Value* k = row.find("k")) {
+    key.k = k->as_int();
+  }
+  if (const Value* extrema = row.find("track_extrema")) {
+    key.track_extrema = extrema->as_bool();
+  }
+  return key;
+}
+
+const Value& workloads_of(const Value& doc, const std::string& which) {
+  const Value* workloads = doc.find("workloads");
+  if (workloads == nullptr || !workloads->is_array()) {
+    throw std::runtime_error(which +
+                             " document has no \"workloads\" array");
+  }
+  return *workloads;
+}
+
+/// Compares the two parsed documents; prints one line per baseline
+/// workload to `out`.  Returns the number of failures (regressions
+/// beyond max_drop + workloads missing from `current`).
+int compare(const Value& baseline, const Value& current,
+            const std::string& metric, double max_drop,
+            std::ostream& out) {
+  int failures = 0;
+  for (const Value& base_row : workloads_of(baseline, "baseline")
+                                   .as_array()) {
+    const WorkloadKey key = key_of(base_row);
+    const Value* base_metric = base_row.find(metric);
+    if (base_metric == nullptr) {
+      out << "SKIP  " << key.label() << ": baseline row has no \""
+          << metric << "\"\n";
+      continue;
+    }
+    const Value* match = nullptr;
+    for (const Value& cur_row : workloads_of(current, "current")
+                                    .as_array()) {
+      if (key_of(cur_row) == key) {
+        match = &cur_row;
+        break;
+      }
+    }
+    if (match == nullptr || match->find(metric) == nullptr) {
+      out << "FAIL  " << key.label()
+          << ": missing from the current run\n";
+      ++failures;
+      continue;
+    }
+    const double base = base_metric->as_double();
+    const double cur = match->find(metric)->as_double();
+    const double ratio = base > 0.0 ? cur / base : 0.0;
+    const bool regressed = ratio < 1.0 - max_drop;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%s  %-24s %s: %.4g -> %.4g (%+.1f%%)\n",
+                  regressed ? "FAIL" : "ok  ", key.label().c_str(),
+                  metric.c_str(), base, cur, (ratio - 1.0) * 100.0);
+    out << line;
+    if (regressed) {
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+int self_test() {
+  const char* kBaseline = R"({"workloads": [
+    {"model": "node", "n": 1024, "k": 1, "track_extrema": false,
+     "burst_sps": 100.0},
+    {"model": "node", "n": 1024, "k": 4, "track_extrema": false,
+     "burst_sps": 50.0},
+    {"model": "edge", "n": 1024, "k": 1, "track_extrema": true,
+     "burst_sps": 10.0}
+  ]})";
+  // k=1 within tolerance (-10%), k=4 regressed (-40%), extrema missing.
+  const char* kCurrent = R"({"workloads": [
+    {"model": "node", "n": 1024, "k": 1, "track_extrema": false,
+     "burst_sps": 90.0},
+    {"model": "node", "n": 1024, "k": 4, "track_extrema": false,
+     "burst_sps": 30.0}
+  ]})";
+  const Value baseline = opindyn::json::parse(kBaseline);
+  const Value current = opindyn::json::parse(kCurrent);
+
+  std::ostringstream sink;
+  int rc = 0;
+  const auto expect = [&rc](bool ok, const char* what) {
+    if (!ok) {
+      std::cerr << "self-test FAILED: " << what << "\n";
+      rc = 1;
+    }
+  };
+  expect(compare(baseline, baseline, "burst_sps", 0.15, sink) == 0,
+         "identity comparison must pass");
+  expect(compare(baseline, current, "burst_sps", 0.15, sink) == 2,
+         "one regression + one missing workload must count 2 failures");
+  expect(compare(baseline, current, "burst_sps", 0.5, sink) == 1,
+         "with 50% tolerance only the missing workload must fail");
+  if (rc == 0) {
+    std::cout << "perf_check self-test passed\n";
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string metric = "burst_sps";
+  double max_drop = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (arg == "--metric" && i + 1 < argc) {
+      metric = argv[++i];
+    } else if (arg == "--max-drop" && i + 1 < argc) {
+      max_drop = std::stod(argv[++i]);
+    } else if (arg == "--self-test") {
+      return self_test();
+    } else {
+      std::cerr << "usage: perf_check --baseline FILE --current FILE "
+                   "[--metric NAME] [--max-drop FRAC] | --self-test\n";
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "perf_check: --baseline and --current are required "
+                 "(or --self-test)\n";
+    return 2;
+  }
+  try {
+    const Value baseline = opindyn::json::parse_file(baseline_path);
+    const Value current = opindyn::json::parse_file(current_path);
+    const int failures =
+        compare(baseline, current, metric, max_drop, std::cout);
+    if (failures > 0) {
+      std::cerr << "perf_check: " << failures << " workload(s) regressed "
+                << "more than " << max_drop * 100.0 << "% on " << metric
+                << "\n";
+      return 1;
+    }
+    std::cout << "perf_check: all workloads within " << max_drop * 100.0
+              << "% of baseline\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "perf_check: " << error.what() << "\n";
+    return 1;
+  }
+}

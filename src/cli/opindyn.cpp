@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "src/engine/runner.h"
+#include "src/support/build_info.h"
 #include "src/support/cli.h"
 
 namespace {
@@ -30,6 +31,8 @@ usage:
   opindyn describe --scenario=<name>   show one scenario and its columns
   opindyn run [--spec=<file>] [--key=value ...]
                                        run a scenario batch
+  opindyn version                      build info (git hash, compiler,
+                                       flags); also --version
   opindyn help                         this text
 
 run flags (every spec key; flags override --spec file entries):
@@ -63,6 +66,11 @@ run flags (every spec key; flags override --spec file entries):
   --hist-bins=<int>      histogram bin count            (default 20)
   --quantiles=q1,q2,...  print exact order-statistic quantiles of the
                          selected streamed column (each q in [0,1])
+  --metrics-json=<path>  write a JSON run report: spec echo, build info,
+                         counters (steps, cache hits), per-cell timing
+                         table, steps/sec, peak RSS
+  --trace-json=<path>    write a Chrome trace-event file of the batch
+                         (open in Perfetto / chrome://tracing)
   --table=<bool>         print the markdown table       (default true)
 
 examples:
@@ -140,6 +148,11 @@ int main(int argc, char** argv) {
   const std::string command =
       args.positional().empty() ? "help" : args.positional().front();
   try {
+    // --version wins over the bare-invocation help default.
+    if (command == "version" || args.has("version")) {
+      std::cout << build_info_text();
+      return 0;
+    }
     if (command == "help" || args.has("help")) {
       return cmd_help();
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/assert.h"
+#include "src/support/metrics.h"
 
 namespace opindyn {
 
@@ -44,6 +45,12 @@ ConvergenceResult run_until_converged(AveragingProcess& process, Rng& rng,
   result.converged = phi <= options.epsilon;
   result.final_phi = phi;
   result.final_value = process.state().weighted_average();
+  // Observability: one counter bump per converged run (never per step);
+  // a thread_local check + return when no metrics scope is active.
+  metrics::count("engine.steps", result.steps);
+  if (!result.converged) {
+    metrics::count("engine.unconverged_runs", 1);
+  }
   return result;
 }
 

@@ -128,6 +128,10 @@ bool apply_key(ExperimentSpec& spec, const std::string& key,
     spec.hist_bins = static_cast<std::size_t>(bins);
   } else if (key == "quantiles") {
     spec.quantiles = parse_quantiles(value);
+  } else if (key == "metrics-json") {
+    spec.metrics_json_path = value;
+  } else if (key == "trace-json") {
+    spec.trace_json_path = value;
   } else if (key == "table") {
     spec.print_table = parse_bool(key, value);
   } else {
@@ -277,7 +281,8 @@ std::vector<std::string> spec_keys() {
           "check-interval", "plain-potential", "horizon",
           "sweep",     "csv",       "rows-csv",
           "hist-csv",  "hist-column", "hist-bins",
-          "quantiles", "table"};
+          "quantiles", "metrics-json", "trace-json",
+          "table"};
 }
 
 std::vector<double> parse_quantiles(const std::string& clause) {
@@ -423,6 +428,12 @@ std::string to_key_values(const ExperimentSpec& spec) {
     }
     out << "\n";
   }
+  if (!spec.metrics_json_path.empty()) {
+    out << "metrics-json=" << spec.metrics_json_path << "\n";
+  }
+  if (!spec.trace_json_path.empty()) {
+    out << "trace-json=" << spec.trace_json_path << "\n";
+  }
   out << "table=" << (spec.print_table ? "true" : "false") << "\n";
   return out.str();
 }
@@ -434,6 +445,7 @@ void apply_override(ExperimentSpec& spec, const std::string& key,
   if (key == "scenario" || key == "sweep" || key == "csv" ||
       key == "rows-csv" || key == "hist-csv" || key == "hist-column" ||
       key == "hist-bins" || key == "quantiles" || key == "table" ||
+      key == "metrics-json" || key == "trace-json" ||
       key == "threads" || key == "replicas" || key == "seed") {
     fail("spec key '" + key + "' cannot be swept");
   }

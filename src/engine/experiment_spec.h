@@ -120,6 +120,14 @@ struct ExperimentSpec {
   /// statistics of the streamed values, printed on stdout (and they
   /// activate the row channel just like hist-csv / rows-csv do).
   std::vector<double> quantiles;
+  /// Optional run-report output path ("" = none): a JSON manifest of
+  /// the run (spec echo, build info, counters, per-cell timing table,
+  /// steps/sec, peak RSS; see engine/run_report.h).  Setting it enables
+  /// metrics collection for the batch.
+  std::string metrics_json_path;
+  /// Optional Chrome trace-event output path ("" = none), viewable in
+  /// Perfetto / chrome://tracing.  Also enables metrics collection.
+  std::string trace_json_path;
   /// Print the markdown table to stdout.
   bool print_table = true;
 };
@@ -129,7 +137,7 @@ struct ExperimentSpec {
 /// init-b, init-seed, center, alpha, k, lazy, sampling, replicas, seed,
 /// threads, eps, max-steps, check-interval, plain-potential, horizon,
 /// sweep, csv, rows-csv, hist-csv, hist-column, hist-bins, quantiles,
-/// table.
+/// metrics-json, trace-json, table.
 std::vector<std::string> spec_keys();
 
 /// Parses a comma-separated quantile list ("0.5,0.9,0.99"); every value

@@ -1,0 +1,73 @@
+// Run-report and trace emission: turns a finished batch plus its folded
+// metrics into (a) the "opindyn-run-report-v1" JSON manifest written by
+// --metrics-json -- spec echo, seed/threads, build info, counters,
+// per-cell table, timings, steps/sec, peak RSS -- and (b) a Chrome
+// trace-event file written by --trace-json, loadable in Perfetto or
+// chrome://tracing.
+//
+// Determinism contract: the report is split into sections.  "spec",
+// "build", "counters", "cells", and "result" depend only on the spec
+// and the simulation (identical at any --threads value); everything
+// wall-clock -- "timings_ms", "gauges", "workers", "perf" -- is
+// timing-dependent and can be dropped via RunReportOptions so tests can
+// byte-compare the deterministic remainder across thread counts.
+#ifndef OPINDYN_ENGINE_RUN_REPORT_H
+#define OPINDYN_ENGINE_RUN_REPORT_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/engine/experiment_spec.h"
+#include "src/engine/runner.h"
+#include "src/support/json.h"
+#include "src/support/metrics.h"
+
+namespace opindyn {
+namespace engine {
+
+struct RunReportOptions {
+  /// Include the wall-clock sections (timings_ms, gauges, workers, perf,
+  /// per-cell busy time).  The determinism tests set this false to
+  /// byte-compare reports across --threads values.
+  bool include_timings = true;
+  /// Total batch wall time measured by the caller, in milliseconds
+  /// (feeds perf.steps_per_sec).
+  double wall_ms = 0.0;
+};
+
+/// Builds the run manifest.  Top-level keys: schema, scenario, seed,
+/// threads, spec (full key=value echo), build (see build_info_json),
+/// counters, cells (grid-order summaries joined with their labeled
+/// counters), result (row/work-item totals and cache hit rates), and --
+/// when options.include_timings -- timings_ms, gauges, workers, perf
+/// (wall_ms, steps, steps_per_sec, peak_rss_bytes).
+json::Value build_run_report(const ExperimentSpec& spec,
+                             const BatchResult& result,
+                             const FoldedMetrics& folded,
+                             const RunReportOptions& options = {});
+
+/// Builds the Chrome trace-event document: {"traceEvents": [...]} with
+/// one "X" (complete) slice per recorded span -- ts/dur in microseconds
+/// since the registry epoch, tid = stable worker index -- plus
+/// "thread_name" metadata events naming each worker lane.
+json::Value build_trace_json(const FoldedMetrics& folded);
+
+/// Writes `value` pretty-printed (2-space indent, trailing newline) to
+/// `path`.  Throws std::runtime_error naming the path on I/O failure.
+void write_json_file(const std::string& path, const json::Value& value);
+
+/// Fails fast -- with the path in the message -- if `path` cannot be
+/// opened for writing.  Opens in append mode so probing never clobbers
+/// an existing file when a later validation step aborts the run; the
+/// real write truncates.  Mirrors the CSV sinks' fail-before-running
+/// policy for typo'd directories.
+void probe_output_path(const std::string& path);
+
+/// Peak resident set size of this process in bytes (Linux VmHWM, with a
+/// getrusage fallback); 0 when unavailable.
+std::int64_t peak_rss_bytes();
+
+}  // namespace engine
+}  // namespace opindyn
+
+#endif  // OPINDYN_ENGINE_RUN_REPORT_H

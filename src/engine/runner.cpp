@@ -1,5 +1,6 @@
 #include "src/engine/runner.h"
 
+#include <chrono>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/engine/run_report.h"
 #include "src/graph/graph_cache.h"
 #include "src/spectral/spectrum_cache.h"
 #include "src/support/assert.h"
@@ -37,6 +39,33 @@ const Scenario& resolve_scenario(const ExperimentSpec& spec) {
   register_builtin_scenarios();
   return ScenarioRegistry::instance().get(spec.scenario);
 }
+
+/// Wall-clock phase instrumentation: records one "phase" trace span and
+/// one phase.<name> timer over its lifetime.  A no-op without metrics.
+class PhaseTimer {
+ public:
+  PhaseTimer(MetricsRegistry* metrics, const char* name)
+      : metrics_(metrics), name_(name) {
+    if (metrics_ != nullptr) {
+      start_us_ = metrics_->now_us();
+    }
+  }
+  ~PhaseTimer() {
+    if (metrics_ == nullptr) {
+      return;
+    }
+    const std::uint64_t end_us = metrics_->now_us();
+    metrics_->buffer().add_span(
+        TraceSpan{name_, "phase", -1, start_us_, end_us - start_us_, 0});
+    metrics_->add_timing(std::string("phase.") + name_,
+                         static_cast<double>(end_us - start_us_) / 1000.0);
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+};
 
 /// Throws unless `scenario` streams per-replica rows (the row-channel
 /// consumers --rows-csv / --hist-csv / --quantiles require it).
@@ -72,7 +101,8 @@ std::vector<SweepPoint> expand_grid(const ExperimentSpec& spec) {
 
 BatchResult run_experiment(const ExperimentSpec& spec,
                            const std::vector<RowSink*>& sinks,
-                           const std::vector<RowSink*>& row_sinks) {
+                           const std::vector<RowSink*>& row_sinks,
+                           MetricsRegistry* metrics) {
   const Scenario& scenario = resolve_scenario(spec);
 
   // Base columns first, then one label column per sweep axis, then the
@@ -124,18 +154,22 @@ BatchResult run_experiment(const ExperimentSpec& spec,
   GraphCache graph_cache;
   SpectrumCache spectrum_cache;
   CellScheduler scheduler(spec.threads);
-  cells.reserve(grid.size());
-  for (const SweepPoint& point : grid) {
-    auto cell = std::make_unique<Cell>();
-    cell->item = spec;
-    cell->item.sweeps.clear();
-    for (const auto& [key, value] : point.overrides) {
-      apply_override(cell->item, key, value);
-      if (!is_base_key(key)) {
-        cell->labels.push_back(value);
+  scheduler.set_metrics(metrics);
+  {
+    const PhaseTimer phase(metrics, "expand");
+    cells.reserve(grid.size());
+    for (const SweepPoint& point : grid) {
+      auto cell = std::make_unique<Cell>();
+      cell->item = spec;
+      cell->item.sweeps.clear();
+      for (const auto& [key, value] : point.overrides) {
+        apply_override(cell->item, key, value);
+        if (!is_base_key(key)) {
+          cell->labels.push_back(value);
+        }
       }
+      cells.push_back(std::move(cell));
     }
-    cells.push_back(std::move(cell));
   }
 
   // Prefetch each distinct graph of the grid on the pool: one unit per
@@ -146,6 +180,8 @@ BatchResult run_experiment(const ExperimentSpec& spec,
   // thread, while the warm gets below just read the memo.  Values are
   // deterministic per key, so results never depend on prefetch order.
   {
+    const PhaseTimer phase(metrics, "prefetch");
+    scheduler.set_submit_label("prefetch");
     std::map<std::string, const ExperimentSpec*> distinct;
     for (const auto& cell : cells) {
       distinct.emplace(graph_cache_key(cell->item.graph), &cell->item);
@@ -155,15 +191,22 @@ BatchResult run_experiment(const ExperimentSpec& spec,
     for (const auto& [cache_key, item] : distinct) {
       prefetch.push_back(scheduler.submit(
           1, 0, 1,
-          [&graph_cache, &spectrum_cache, cache_key = cache_key,
+          [&graph_cache, &spectrum_cache, metrics, cache_key = cache_key,
            item = item](std::int64_t, Rng&, std::span<double>,
                         RowEmitter&) {
-            const auto graph = graph_cache.get(
-                cache_key, [item] { return build_graph(item->graph); });
+            // The builder lambdas only run on a cache miss (under the
+            // per-key latch), so the spans below time actual builds.
+            const auto graph =
+                graph_cache.get(cache_key, [item, metrics, &cache_key] {
+                  const ScopedSpan span(metrics, cache_key, "graph_build");
+                  return build_graph(item->graph);
+                });
             const auto spectra = spectrum_cache.get(cache_key, graph);
             if (item->initial.distribution == "f2_walk") {
+              const ScopedSpan span(metrics, cache_key, "eigensolve");
               spectra->walk();
             } else if (item->initial.distribution == "f2_laplacian") {
+              const ScopedSpan span(metrics, cache_key, "eigensolve");
               spectra->laplacian();
             }
           }));
@@ -171,30 +214,50 @@ BatchResult run_experiment(const ExperimentSpec& spec,
     for (const auto& batch : prefetch) {
       batch->wait();
     }
+    scheduler.set_submit_label("");
   }
 
-  for (const auto& cell : cells) {
-    const std::string cache_key = graph_cache_key(cell->item.graph);
-    cell->graph = graph_cache.get(
-        cache_key, [&cell] { return build_graph(cell->item.graph); });
-    // The spectra record is shared per graph key; it solves lazily, so
-    // cells that never touch it (most scenarios) cost nothing, and the
-    // f2_* initials below reuse the same record the scenario's
-    // prediction batches will hit.
-    cell->spectra = spectrum_cache.get(cache_key, cell->graph);
-    cell->initial = build_initial(cell->item.initial, *cell->graph,
-                                  cell->spectra.get());
-    const RunInput input{cell->item,    *cell->graph, cell->initial,
-                         *cell->spectra, scheduler,   stream_rows};
-    cell->fold = scenario.start(input);
+  {
+    const PhaseTimer phase(metrics, "start");
+    for (std::size_t index = 0; index < cells.size(); ++index) {
+      Cell& cell = *cells[index];
+      const std::string cache_key = graph_cache_key(cell.item.graph);
+      cell.graph = graph_cache.get(
+          cache_key, [&cell] { return build_graph(cell.item.graph); });
+      // The spectra record is shared per graph key; it solves lazily, so
+      // cells that never touch it (most scenarios) cost nothing, and the
+      // f2_* initials below reuse the same record the scenario's
+      // prediction batches will hit.
+      cell.spectra = spectrum_cache.get(cache_key, cell.graph);
+      cell.initial = build_initial(cell.item.initial, *cell.graph,
+                                   cell.spectra.get());
+      const RunInput input{cell.item,     *cell.graph, cell.initial,
+                           *cell.spectra, scheduler,   stream_rows,
+                           metrics};
+      // Submits inside start() run synchronously on this thread, so the
+      // label tags every batch of this cell; counters bumped inside the
+      // cell's units then land in the report's "cell/<index>" row.
+      scheduler.set_submit_label("cell/" + std::to_string(index));
+      cell.fold = scenario.start(input);
+      CellSummary summary;
+      summary.label = "cell/" + std::to_string(index);
+      summary.graph = cell.graph->name();
+      summary.n = cell.graph->node_count();
+      summary.replicas = cell.item.replicas;
+      summary.overrides = grid[index].overrides;
+      result.cells.push_back(std::move(summary));
+    }
+    scheduler.set_submit_label("");
   }
   // Misses are counted per key on first request (the prefetch pass), so
   // this is still "distinct graphs actually constructed".
   result.graphs_built = graph_cache.misses();
+  result.graph_cache_hits = graph_cache.hits();
 
   // Phase 2: fold in cell order.  Each fold blocks only on its own
   // cell's batches while every later cell keeps running on the pool;
   // the OrderedFlush then releases rows to the sinks in cell order.
+  const PhaseTimer fold_phase(metrics, "fold");
   for (std::size_t index = 0; index < cells.size(); ++index) {
     Cell& cell = *cells[index];
     CellRows cell_rows = cell.fold();
@@ -248,6 +311,25 @@ BatchResult run_experiment(const ExperimentSpec& spec,
   // pool batches, which have all completed once every fold returned.
   result.spectra_solved = spectrum_cache.eigensolves();
   result.spectra_hits = spectrum_cache.spectrum_hits();
+
+  if (metrics != nullptr) {
+    // Cache and batch totals are deterministic (they depend only on the
+    // grid), so they join the counter section; the scheduler's in-flight
+    // high-water mark is timing-dependent and goes in as a gauge.
+    MetricsBuffer& buffer = metrics->buffer();
+    buffer.count("engine.cells",
+                 static_cast<std::int64_t>(cells.size()));
+    buffer.count("engine.rows_emitted",
+                 static_cast<std::int64_t>(result.rows.size()));
+    buffer.count("engine.replica_rows_emitted",
+                 static_cast<std::int64_t>(result.replica_rows.size()));
+    buffer.count("graph_cache.builds", result.graphs_built);
+    buffer.count("graph_cache.hits", result.graph_cache_hits);
+    buffer.count("spectrum_cache.eigensolves", result.spectra_solved);
+    buffer.count("spectrum_cache.hits", result.spectra_hits);
+    metrics->set_gauge("scheduler.max_inflight_units",
+                       scheduler.max_inflight_units());
+  }
 
   aggregate_flush.finish();
   if (stream_rows) {
@@ -311,7 +393,52 @@ BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
       !spec.quantiles.empty()) {
     row_sinks.push_back(&hist);
   }
-  BatchResult result = run_experiment(spec, sinks, row_sinks);
+  // The report / trace paths are probed up front for the same reason:
+  // a typo'd --metrics-json directory must fail before the batch runs,
+  // not after minutes of simulation (probing appends nothing, so a
+  // pre-existing file survives an unrelated validation failure).
+  const bool wants_metrics =
+      !spec.metrics_json_path.empty() || !spec.trace_json_path.empty();
+  if (!spec.metrics_json_path.empty()) {
+    probe_output_path(spec.metrics_json_path);
+  }
+  if (!spec.trace_json_path.empty()) {
+    probe_output_path(spec.trace_json_path);
+  }
+  std::optional<MetricsRegistry> registry;
+  if (wants_metrics) {
+    registry.emplace();
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  BatchResult result = run_experiment(spec, sinks, row_sinks,
+                                      registry.has_value() ? &*registry
+                                                           : nullptr);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  if (registry.has_value()) {
+    const FoldedMetrics folded = registry->fold();
+    if (!spec.metrics_json_path.empty()) {
+      RunReportOptions options;
+      options.wall_ms = wall_ms;
+      write_json_file(spec.metrics_json_path,
+                      build_run_report(spec, result, folded, options));
+      if (spec.print_table) {
+        std::cout << "\nwrote run report to " << spec.metrics_json_path
+                  << "\n";
+      }
+    }
+    if (!spec.trace_json_path.empty()) {
+      write_json_file(spec.trace_json_path, build_trace_json(folded));
+      if (spec.print_table) {
+        std::cout << (spec.metrics_json_path.empty() ? "\n" : "")
+                  << "wrote trace to " << spec.trace_json_path << "\n";
+      }
+    }
+  }
   if (!spec.csv_path.empty() && spec.print_table) {
     std::cout << "\nwrote " << result.rows.size() << " rows to "
               << spec.csv_path << "\n";

@@ -18,6 +18,7 @@
 #include "src/engine/experiment_spec.h"
 #include "src/engine/scenario.h"
 #include "src/engine/sinks.h"
+#include "src/support/metrics.h"
 
 namespace opindyn {
 namespace engine {
@@ -30,6 +31,18 @@ struct SweepPoint {
 /// Cartesian product of the spec's sweep axes, row-major with the first
 /// axis slowest.  A spec without sweeps yields one empty point.
 std::vector<SweepPoint> expand_grid(const ExperimentSpec& spec);
+
+/// Deterministic description of one resolved grid cell, kept for the
+/// run report's per-cell table (the labels match the "cell/<index>"
+/// batch labels the scheduler's metrics are recorded under).
+struct CellSummary {
+  std::string label;  // "cell/<index>" in grid order
+  std::string graph;
+  std::int64_t n = 0;
+  std::int64_t replicas = 0;
+  /// The sweep overrides that produced this cell, in axis order.
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
 
 struct BatchResult {
   /// Aggregate channel: base + sweep-label + scenario columns.
@@ -46,6 +59,9 @@ struct BatchResult {
   /// Distinct graphs actually constructed; < work_items whenever the
   /// cache shared a graph across cells.
   std::int64_t graphs_built = 0;
+  /// Graph requests served from the cache without building -- the other
+  /// half of the hit-rate that graphs_built (misses) alone cannot show.
+  std::int64_t graph_cache_hits = 0;
   /// Eigensolves actually run by the batch-wide SpectrumCache: at most
   /// one per distinct graph and spectrum kind (walk / Laplacian), no
   /// matter how many cells or replicas consumed the result.  0 when the
@@ -53,6 +69,8 @@ struct BatchResult {
   std::int64_t spectra_solved = 0;
   /// Spectrum requests served from the memoised records.
   std::int64_t spectra_hits = 0;
+  /// One entry per grid cell, in grid (= fold = emission) order.
+  std::vector<CellSummary> cells;
 };
 
 /// Runs the full batch: looks up the scenario, expands the grid, builds
@@ -61,13 +79,23 @@ struct BatchResult {
 /// and per-replica rows to `row_sinks` (begin/row/finish, in cell
 /// order).  Also returns everything in the BatchResult for programmatic
 /// callers.
+///
+/// `metrics` (optional) turns on observability for the batch: phase
+/// timings and per-(cell x replica) spans are recorded into the
+/// registry, counters bumped inside replica bodies are attributed to
+/// their cell, and cache/scheduler totals are folded in at batch end --
+/// see engine/run_report.h for turning the registry into a manifest.
+/// The emitted rows and CSV bytes are identical with and without it.
 BatchResult run_experiment(const ExperimentSpec& spec,
                            const std::vector<RowSink*>& sinks = {},
-                           const std::vector<RowSink*>& row_sinks = {});
+                           const std::vector<RowSink*>& row_sinks = {},
+                           MetricsRegistry* metrics = nullptr);
 
 /// Convenience wrapper: renders a markdown table of the aggregate rows
 /// to stdout (unless spec.print_table is false), writes spec.csv_path
-/// and spec.rows_csv_path if set.
+/// and spec.rows_csv_path if set, and -- when spec.metrics_json_path /
+/// spec.trace_json_path are set -- collects metrics and writes the run
+/// report and Chrome trace files.
 BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec);
 
 }  // namespace engine

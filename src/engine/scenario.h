@@ -27,6 +27,7 @@
 #include "src/engine/shard.h"
 #include "src/graph/graph.h"
 #include "src/spectral/spectrum_cache.h"
+#include "src/support/metrics.h"
 
 namespace opindyn {
 namespace engine {
@@ -49,6 +50,11 @@ struct RunInput {
   /// scenarios skip emitting/formatting replica rows when false, so a
   /// plain aggregate run never pays the O(replicas x rows) memory.
   bool stream_rows = false;
+  /// Observability sink for the batch, or nullptr when disabled.  Most
+  /// scenarios never touch it: the scheduler already records unit spans
+  /// and attributes metrics::count bumps to the cell, so this is only
+  /// for scenarios that want extra spans or main-thread timings.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// What one cell's fold produces.

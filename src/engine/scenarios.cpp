@@ -29,6 +29,7 @@
 #include "src/engine/scenario_format.h"
 #include "src/graph/algorithms.h"
 #include "src/spectral/spectra.h"
+#include "src/support/metrics.h"
 
 namespace opindyn {
 namespace engine {
@@ -386,6 +387,7 @@ class TrajectoryScenario final : public Scenario {
           }
           out[0] = process->state().weighted_average();
           out[1] = process->state().phi_exact();
+          metrics::count("engine.steps", process->time());
         });
     const std::int64_t per_replica = horizon / stride + 1;
     return [batch, per_replica] {

@@ -27,6 +27,7 @@
 #include "src/engine/scenario_format.h"
 #include "src/graph/algorithms.h"
 #include "src/spectral/spectra.h"
+#include "src/support/metrics.h"
 
 namespace opindyn {
 namespace engine {
@@ -248,6 +249,7 @@ class MartingaleScenario final : public Scenario {
           auto process = make_process(in.graph, node, in.initial);
           process->step_burst(rng, horizon - process->time());
           out[0] = process->state().weighted_average();
+          metrics::count("engine.steps", process->time());
         });
 
     const bool stream_rows = in.stream_rows;

@@ -27,16 +27,45 @@ ReplicaBatch::ReplicaBatch(std::int64_t replicas, std::uint64_t seed,
       unit_rows_(static_cast<std::size_t>(replicas)),
       pending_(replicas) {}
 
+void ReplicaBatch::run_unit(std::int64_t r) {
+  Rng rng = Rng::fork(seed_, static_cast<std::uint64_t>(r));
+  RowEmitter emitter(&unit_rows_[static_cast<std::size_t>(r)]);
+  body_(r, rng,
+        std::span<double>(
+            buffer_.data() + static_cast<std::size_t>(r) * metric_count_,
+            metric_count_),
+        emitter);
+}
+
+void ReplicaBatch::run_unit_instrumented(std::int64_t r) {
+  MetricsRegistry& registry = *metrics_registry_;
+  const std::uint64_t start_us = registry.now_us();
+  {
+    // Library code below (e.g. run_until_converged) reports through
+    // metrics::count; the scope attributes those counts to this batch's
+    // label, which is how the run report's per-cell table is built.
+    MetricsScope scope(&registry, label_);
+    run_unit(r);
+  }
+  const std::uint64_t end_us = registry.now_us();
+  MetricsBuffer& buffer = registry.buffer();
+  buffer.add_span(
+      TraceSpan{label_, "unit", r, start_us, end_us - start_us, 0});
+  buffer.add_busy(end_us - start_us);
+  buffer.count("scheduler.units_run", 1);
+  if (inflight_ != nullptr) {
+    inflight_->fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
 void ReplicaBatch::run_range(std::int64_t begin, std::int64_t end) noexcept {
   try {
     for (std::int64_t r = begin; r < end; ++r) {
-      Rng rng = Rng::fork(seed_, static_cast<std::uint64_t>(r));
-      RowEmitter emitter(&unit_rows_[static_cast<std::size_t>(r)]);
-      body_(r, rng,
-            std::span<double>(
-                buffer_.data() + static_cast<std::size_t>(r) * metric_count_,
-                metric_count_),
-            emitter);
+      if (metrics_registry_ != nullptr) {
+        run_unit_instrumented(r);
+      } else {
+        run_unit(r);
+      }
     }
   } catch (...) {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -123,6 +152,31 @@ std::shared_ptr<ReplicaBatch> CellScheduler::submit(std::int64_t replicas,
   // make_shared is unavailable for the private constructor.
   std::shared_ptr<ReplicaBatch> batch(
       new ReplicaBatch(replicas, seed, metrics, std::move(body)));
+
+  if (metrics_registry_ != nullptr) {
+    batch->metrics_registry_ = metrics_registry_;
+    batch->label_ = submit_label_;
+    batch->inflight_ = inflight_;
+    // Submission happens on one thread, so these counters fold to the
+    // same totals at every thread count (the determinism contract).
+    MetricsBuffer& buffer = metrics_registry_->buffer();
+    buffer.count("scheduler.batches_submitted", 1);
+    buffer.count("scheduler.units_submitted", replicas);
+    if (!submit_label_.empty()) {
+      buffer.count_labeled(submit_label_, "units", replicas);
+      buffer.count_labeled(submit_label_, "batches", 1);
+    }
+    // Queue-depth high-water mark, observed at submission (worker-side
+    // decrements race this, which only ever under-counts the peak).
+    const std::int64_t depth =
+        inflight_->fetch_add(replicas, std::memory_order_relaxed) +
+        replicas;
+    std::int64_t seen = max_inflight_->load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !max_inflight_->compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
 
   if (threads_ <= 1) {
     batch->run_range(0, replicas);

@@ -20,6 +20,7 @@
 #ifndef OPINDYN_SUPPORT_CELL_SCHEDULER_H
 #define OPINDYN_SUPPORT_CELL_SCHEDULER_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -30,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/support/metrics.h"
 #include "src/support/rng.h"
 #include "src/support/stats.h"
 #include "src/support/thread_pool.h"
@@ -105,11 +107,23 @@ class ReplicaBatch {
   /// Runs units [begin, end); never throws (failures are captured and
   /// rethrown by wait()).
   void run_range(std::int64_t begin, std::int64_t end) noexcept;
+  /// The instrumented unit loop body (out of line so the common
+  /// metrics-off path stays branch-only).
+  void run_unit_instrumented(std::int64_t r);
+  void run_unit(std::int64_t r);
 
   const std::int64_t replicas_;
   const std::size_t metric_count_;
   const std::uint64_t seed_;
   const Body body_;
+  /// Observability (all nullptr/empty when metrics are off): the
+  /// scheduler's registry at submit time, the submit label that tags
+  /// this batch's spans and counters ("cell/3", "prefetch", ...), and
+  /// the scheduler's in-flight unit counter (shared so a batch that
+  /// outlives its scheduler never writes through a dangling pointer).
+  MetricsRegistry* metrics_registry_ = nullptr;
+  std::string label_;
+  std::shared_ptr<std::atomic<std::int64_t>> inflight_;
   std::vector<double> buffer_;  // replicas x metrics, NaN-filled
   std::vector<std::vector<std::vector<std::string>>> unit_rows_;
 
@@ -150,9 +164,37 @@ class CellScheduler {
 
   std::size_t threads() const noexcept { return threads_; }
 
+  /// Observability hooks (see support/metrics.h).  With a registry set,
+  /// every replica unit records a trace span named after the submit
+  /// label, bumps the scheduler counters, and runs under a MetricsScope
+  /// so library-level metrics::count calls are attributed to the label.
+  /// nullptr (the default) keeps the whole path to a pointer check.
+  void set_metrics(MetricsRegistry* registry) noexcept {
+    metrics_registry_ = registry;
+  }
+  MetricsRegistry* metrics() const noexcept { return metrics_registry_; }
+  /// Label stamped on batches submitted from now on (the runner sets
+  /// "cell/<index>" around each scenario start and "prefetch" around
+  /// the graph prefetch pass).
+  void set_submit_label(std::string label) { submit_label_ = std::move(label); }
+
+  /// High-water mark of units submitted but not yet finished -- the
+  /// queue-depth gauge of the run report.  Timing-dependent, so it
+  /// lives outside the deterministic counter section.  Only tracked
+  /// while a metrics registry is set.
+  std::int64_t max_inflight_units() const noexcept {
+    return max_inflight_->load(std::memory_order_relaxed);
+  }
+
  private:
   std::size_t threads_;
   std::unique_ptr<ThreadPool> pool_;
+  MetricsRegistry* metrics_registry_ = nullptr;
+  std::string submit_label_;
+  std::shared_ptr<std::atomic<std::int64_t>> inflight_ =
+      std::make_shared<std::atomic<std::int64_t>>(0);
+  std::shared_ptr<std::atomic<std::int64_t>> max_inflight_ =
+      std::make_shared<std::atomic<std::int64_t>>(0);
 };
 
 /// Historical name: the scheduler used to shard only replicas within one

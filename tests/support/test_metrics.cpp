@@ -1,0 +1,148 @@
+// The metrics layer's contracts: counters fold order-independently
+// (determinism across worker placements), labels attribute counts to
+// their cell, spans carry stable worker indices, and everything is a
+// no-op without an installed scope.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/support/metrics.h"
+
+namespace opindyn {
+namespace {
+
+TEST(Metrics, CountWithoutScopeIsANoOp) {
+  EXPECT_FALSE(metrics::active());
+  metrics::count("engine.steps", 1000);  // must not crash or record
+  MetricsRegistry registry;
+  const FoldedMetrics folded = registry.fold();
+  EXPECT_TRUE(folded.counters.empty());
+}
+
+TEST(Metrics, ScopeAttributesCountsGloballyAndToItsLabel) {
+  MetricsRegistry registry;
+  {
+    const MetricsScope scope(&registry, "cell/0");
+    EXPECT_TRUE(metrics::active());
+    metrics::count("engine.steps", 10);
+    metrics::count("engine.steps", 5);
+  }
+  EXPECT_FALSE(metrics::active());
+  const FoldedMetrics folded = registry.fold();
+  EXPECT_EQ(folded.counters.at("engine.steps"), 15);
+  EXPECT_EQ(folded.labeled.at("cell/0").at("engine.steps"), 15);
+}
+
+TEST(Metrics, ScopesNestAndRestoreThePreviousLabel) {
+  MetricsRegistry registry;
+  {
+    const MetricsScope outer(&registry, "cell/0");
+    {
+      const MetricsScope inner(&registry, "cell/1");
+      metrics::count("x", 1);
+    }
+    metrics::count("x", 1);
+  }
+  const FoldedMetrics folded = registry.fold();
+  EXPECT_EQ(folded.counters.at("x"), 2);
+  EXPECT_EQ(folded.labeled.at("cell/0").at("x"), 1);
+  EXPECT_EQ(folded.labeled.at("cell/1").at("x"), 1);
+}
+
+TEST(Metrics, NullRegistryScopeInstallsNothing) {
+  const MetricsScope scope(nullptr, "cell/0");
+  EXPECT_FALSE(metrics::active());
+  metrics::count("x", 1);  // dropped
+}
+
+TEST(Metrics, UnlabeledScopeCountsOnlyGlobally) {
+  MetricsRegistry registry;
+  {
+    const MetricsScope scope(&registry, "");
+    metrics::count("x", 3);
+  }
+  const FoldedMetrics folded = registry.fold();
+  EXPECT_EQ(folded.counters.at("x"), 3);
+  EXPECT_TRUE(folded.labeled.empty());
+}
+
+// The determinism contract: the same per-label increments, distributed
+// over different worker threads, fold to identical counter maps.
+TEST(Metrics, FoldedCountersAreIndependentOfThreadPlacement) {
+  const auto run = [](int threads) {
+    MetricsRegistry registry;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&registry, t, threads] {
+        // 12 units spread round-robin over the workers.
+        for (int unit = t; unit < 12; unit += threads) {
+          const MetricsScope scope(&registry,
+                                   "cell/" + std::to_string(unit % 3));
+          metrics::count("engine.steps", 100 + unit);
+          metrics::count("scheduler.units_run", 1);
+        }
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    return registry.fold();
+  };
+  const FoldedMetrics one = run(1);
+  const FoldedMetrics four = run(4);
+  EXPECT_EQ(one.counters, four.counters);
+  EXPECT_EQ(one.labeled, four.labeled);
+  EXPECT_EQ(one.counters.at("scheduler.units_run"), 12);
+}
+
+TEST(Metrics, ScopedSpanRecordsDurationAndBusyTime) {
+  MetricsRegistry registry;
+  {
+    const ScopedSpan span(&registry, "cell/0", "unit", 7);
+  }
+  const FoldedMetrics folded = registry.fold();
+  ASSERT_EQ(folded.spans.size(), 1u);
+  EXPECT_EQ(folded.spans[0].name, "cell/0");
+  EXPECT_EQ(folded.spans[0].category, "unit");
+  EXPECT_EQ(folded.spans[0].replica, 7);
+  ASSERT_EQ(folded.workers.size(), 1u);
+  EXPECT_EQ(folded.workers[0].spans, 1);
+  EXPECT_EQ(folded.label_busy_us.at("cell/0"),
+            folded.spans[0].duration_us);
+}
+
+TEST(Metrics, NullScopedSpanRecordsNothing) {
+  { const ScopedSpan span(nullptr, "x", "unit"); }
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.fold().spans.empty());
+}
+
+TEST(Metrics, TimingsAccumulateAndGaugesOverwrite) {
+  MetricsRegistry registry;
+  registry.add_timing("phase.fold", 1.5);
+  registry.add_timing("phase.fold", 2.5);
+  registry.set_gauge("scheduler.max_inflight_units", 3);
+  registry.set_gauge("scheduler.max_inflight_units", 9);
+  const FoldedMetrics folded = registry.fold();
+  EXPECT_DOUBLE_EQ(folded.timings_ms.at("phase.fold"), 4.0);
+  EXPECT_EQ(folded.gauges.at("scheduler.max_inflight_units"), 9);
+}
+
+TEST(Metrics, SpansSortByWorkerThenStart) {
+  MetricsRegistry registry;
+  registry.buffer().add_span(TraceSpan{"b", "unit", -1, 50, 1, 0});
+  registry.buffer().add_span(TraceSpan{"a", "unit", -1, 10, 1, 0});
+  std::thread([&registry] {
+    registry.buffer().add_span(TraceSpan{"c", "unit", -1, 5, 1, 0});
+  }).join();
+  const FoldedMetrics folded = registry.fold();
+  ASSERT_EQ(folded.spans.size(), 3u);
+  EXPECT_EQ(folded.spans[0].name, "a");  // worker 0, earliest first
+  EXPECT_EQ(folded.spans[1].name, "b");
+  EXPECT_EQ(folded.spans[2].name, "c");  // worker 1 after worker 0
+  EXPECT_EQ(folded.spans[2].worker, 1);
+}
+
+}  // namespace
+}  // namespace opindyn
