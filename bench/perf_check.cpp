@@ -33,31 +33,42 @@ using opindyn::json::Value;
 
 struct WorkloadKey {
   std::string model;
+  // Rows before BENCH_7 carried no graph/reorder fields; the defaults
+  // make old documents comparable against new ones.
+  std::string graph = "random_regular";
   std::int64_t n = 0;
   std::int64_t k = 1;
   bool track_extrema = false;
+  bool reorder = false;
 
   std::string label() const {
     std::ostringstream out;
-    out << model << " n=" << n << " k=" << k
-        << (track_extrema ? " extrema" : "");
+    out << model << " " << graph << " n=" << n << " k=" << k
+        << (track_extrema ? " extrema" : "") << (reorder ? " reorder" : "");
     return out.str();
   }
   bool operator==(const WorkloadKey& other) const {
-    return model == other.model && n == other.n && k == other.k &&
-           track_extrema == other.track_extrema;
+    return model == other.model && graph == other.graph && n == other.n &&
+           k == other.k && track_extrema == other.track_extrema &&
+           reorder == other.reorder;
   }
 };
 
 WorkloadKey key_of(const Value& row) {
   WorkloadKey key;
   key.model = row.find("model")->as_string();
+  if (const Value* graph = row.find("graph")) {
+    key.graph = graph->as_string();
+  }
   key.n = row.find("n")->as_int();
   if (const Value* k = row.find("k")) {
     key.k = k->as_int();
   }
   if (const Value* extrema = row.find("track_extrema")) {
     key.track_extrema = extrema->as_bool();
+  }
+  if (const Value* reorder = row.find("reorder")) {
+    key.reorder = reorder->as_bool();
   }
   return key;
 }
@@ -125,14 +136,20 @@ int self_test() {
     {"model": "node", "n": 1024, "k": 4, "track_extrema": false,
      "burst_sps": 50.0},
     {"model": "edge", "n": 1024, "k": 1, "track_extrema": true,
-     "burst_sps": 10.0}
+     "burst_sps": 10.0},
+    {"model": "node", "graph": "torus", "n": 2048, "k": 1,
+     "burst_sps": 70.0}
   ]})";
-  // k=1 within tolerance (-10%), k=4 regressed (-40%), extrema missing.
+  // k=1 within tolerance (-10%), k=4 regressed (-40%), extrema missing,
+  // torus row present only under a different graph family (so the
+  // graph field is part of the identity and the row counts missing).
   const char* kCurrent = R"({"workloads": [
     {"model": "node", "n": 1024, "k": 1, "track_extrema": false,
      "burst_sps": 90.0},
     {"model": "node", "n": 1024, "k": 4, "track_extrema": false,
-     "burst_sps": 30.0}
+     "burst_sps": 30.0},
+    {"model": "node", "graph": "pref_attach", "n": 2048, "k": 1,
+     "burst_sps": 70.0}
   ]})";
   const Value baseline = opindyn::json::parse(kBaseline);
   const Value current = opindyn::json::parse(kCurrent);
@@ -147,10 +164,10 @@ int self_test() {
   };
   expect(compare(baseline, baseline, "burst_sps", 0.15, sink) == 0,
          "identity comparison must pass");
-  expect(compare(baseline, current, "burst_sps", 0.15, sink) == 2,
-         "one regression + one missing workload must count 2 failures");
-  expect(compare(baseline, current, "burst_sps", 0.5, sink) == 1,
-         "with 50% tolerance only the missing workload must fail");
+  expect(compare(baseline, current, "burst_sps", 0.15, sink) == 3,
+         "one regression + two missing workloads must count 3 failures");
+  expect(compare(baseline, current, "burst_sps", 0.5, sink) == 2,
+         "with 50% tolerance only the missing workloads must fail");
   if (rc == 0) {
     std::cout << "perf_check self-test passed\n";
   }

@@ -1,8 +1,262 @@
 #include "src/core/edge_model.h"
 
+#include <algorithm>
+#include <bit>
+
+#include "src/core/burst_kernels.h"
 #include "src/support/assert.h"
 
 namespace opindyn {
+namespace {
+
+// Arc-resolution policies: how a kernel instantiation turns a drawn
+// arc index into (updating slot, neighbour slot, stationary weight)
+// arrays for one chunk.  All calls inline into the chunk loop.
+
+/// Regular graph with power-of-two degree: arc -> source is a shift
+/// (arcs are emitted row by row, d per node) and pi = d / 2m is one
+/// constant, so the only memory the resolution touches is the
+/// adjacency array.
+struct EdgeRegularPow2Topo {
+  static constexpr bool kUniformPi = true;
+  const NodeId* adj;
+  int shift;
+  double pi;
+  void resolve(const std::int32_t* pos, std::int32_t* uslot,
+               std::int32_t* vslot, double* pis, int count) const noexcept {
+    (void)pis;
+    burst::translate_indices(adj, pos, vslot, count);
+    for (int i = 0; i < count; ++i) {
+      uslot[i] = pos[i] >> shift;
+    }
+  }
+  double uniform_pi() const noexcept { return pi; }
+  NodeId source(std::int32_t p) const noexcept { return p >> shift; }
+  NodeId target(std::int32_t p) const noexcept {
+    return adj[static_cast<std::size_t>(p)];
+  }
+  double pi_of(std::int32_t p, NodeId) const noexcept {
+    (void)p;
+    return pi;
+  }
+};
+
+/// General graph, natural order: arc source/target arrays + per-node pi.
+struct EdgeGeneralTopo {
+  static constexpr bool kUniformPi = false;
+  const NodeId* adj;
+  const NodeId* src;
+  const double* pi;
+  void resolve(const std::int32_t* pos, std::int32_t* uslot,
+               std::int32_t* vslot, double* pis, int count) const noexcept {
+    burst::translate_indices(adj, pos, vslot, count);
+    burst::translate_indices(src, pos, uslot, count);
+    for (int i = 0; i < count; ++i) {
+      pis[i] = pi[static_cast<std::size_t>(uslot[i])];
+    }
+  }
+  double uniform_pi() const noexcept { return 0.0; }  // unused
+  NodeId source(std::int32_t p) const noexcept {
+    return src[static_cast<std::size_t>(p)];
+  }
+  NodeId target(std::int32_t p) const noexcept {
+    return adj[static_cast<std::size_t>(p)];
+  }
+  double pi_of(std::int32_t p, NodeId u) const noexcept {
+    (void)p;
+    return pi[static_cast<std::size_t>(u)];
+  }
+};
+
+/// Degree-sorted mirror: slot arrays come from the layout's translated
+/// arc arrays (original arc order preserved); pi still keys on the
+/// ORIGINAL source node, read from the graph's own arc array.
+struct EdgeReorderTopo {
+  static constexpr bool kUniformPi = false;
+  const NodeId* adj_internal;
+  const NodeId* src_internal;
+  const NodeId* src_original;
+  const double* pi;
+  void resolve(const std::int32_t* pos, std::int32_t* uslot,
+               std::int32_t* vslot, double* pis, int count) const noexcept {
+    burst::translate_indices(adj_internal, pos, vslot, count);
+    burst::translate_indices(src_internal, pos, uslot, count);
+    for (int i = 0; i < count; ++i) {
+      pis[i] = pi[static_cast<std::size_t>(
+          src_original[static_cast<std::size_t>(pos[i])])];
+    }
+  }
+  double uniform_pi() const noexcept { return 0.0; }  // unused
+  NodeId source(std::int32_t p) const noexcept {
+    return src_internal[static_cast<std::size_t>(p)];
+  }
+  NodeId target(std::int32_t p) const noexcept {
+    return adj_internal[static_cast<std::size_t>(p)];
+  }
+  double pi_of(std::int32_t p, NodeId) const noexcept {
+    return pi[static_cast<std::size_t>(
+        src_original[static_cast<std::size_t>(p)])];
+  }
+};
+
+/// The burst kernel.  Consumes the rng in EXACT step() order and
+/// performs set_value's arithmetic through a register-resident cursor,
+/// so the result is bit-identical to n_steps repeated step() calls.
+/// Portable builds run one fused loop per step (draw, resolve the arc
+/// inline, apply -- no intermediate buffers); OPINDYN_SIMD_AVX2 builds
+/// batch-draw each chunk with Rng::fill_below (stream-identical to
+/// sequential next_below) and resolve the whole chunk's slots with
+/// vpgatherdd before the sequential apply.  Neighbour values are read
+/// live either way (exact sequential semantics).  Recompute cadence is
+/// counted per chunk via the cursor countdown, exactly as in the node
+/// kernel.  Track is compile-time for the same reason as there: the
+/// per-step extrema check otherwise survives in every non-tracking hot
+/// loop.
+template <bool Track, class Topo, class Sync>
+void run_edge_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
+                    OpinionState& state, double* vals, std::uint64_t arcs,
+                    const Topo& topo, Sync&& sync) {
+  const double one_minus_a = 1.0 - a;
+  auto cursor = state.begin_burst();
+  const double uniform_pi = topo.uniform_pi();
+  const auto recompute_now = [&] {
+    sync();  // mirror kernels make values_ current first
+    state.recompute();
+    cursor = state.begin_burst();
+  };
+#if !defined(OPINDYN_SIMD_AVX2)
+  const auto apply_arc = [&](std::int32_t p) {
+    const std::int32_t us = topo.source(p);
+    const std::int32_t vs = topo.target(p);
+    const double old = vals[static_cast<std::size_t>(us)];
+    const double nv = vals[static_cast<std::size_t>(vs)];
+    // apply_update computes (0.0 + value(v)) / 1.0; the division by
+    // one is exact, the leading add is kept for the -0.0 case.
+    const double x = a * old + one_minus_a * (0.0 + nv);
+    cursor.update<Track>(Topo::kUniformPi ? uniform_pi : topo.pi_of(p, us),
+                         old, x);
+    vals[static_cast<std::size_t>(us)] = x;
+  };
+  const auto one_step = [&] {
+    apply_arc(static_cast<std::int32_t>(rng.next_below_nonzero(arcs)));
+  };
+  std::int64_t done = 0;
+  while (done < n_steps) {
+    const std::int64_t chunk =
+        std::min<std::int64_t>(burst::kChunkSteps, n_steps - done);
+    if (!lazy && cursor.countdown() > chunk) [[likely]] {
+      // Software-pipelined 8-wide: each group's draws are hoisted
+      // ahead of its applies, decoupling the serial rng chain from the
+      // load->fp->store chains so their latencies overlap.  Same
+      // legality as the chunked phase split: draws depend on no value,
+      // and each apply still reads its neighbours live, in step order.
+      // 8 measured best on a wide OoO core (4 leaves latency unhidden,
+      // 16 spills the group to the stack).
+      std::int64_t c = 0;
+      for (; c + 8 <= chunk; c += 8) {
+        std::int32_t ps[8];
+        for (int i = 0; i < 8; ++i) {
+          ps[i] = static_cast<std::int32_t>(rng.next_below_nonzero(arcs));
+        }
+        for (int i = 0; i < 8; ++i) {
+          apply_arc(ps[i]);
+        }
+      }
+      for (; c < chunk; ++c) {
+        one_step();
+      }
+      cursor.advance(chunk);
+    } else {
+      for (std::int64_t c = 0; c < chunk; ++c) {
+        if (lazy && rng.next_bool(0.5)) {
+          continue;  // lazy no-op: consumes the coin, still counts a step
+        }
+        one_step();
+        if (cursor.advance_one()) {
+          recompute_now();
+        }
+      }
+    }
+    done += chunk;
+  }
+#else
+  std::uint64_t raw[burst::kChunkSteps];
+  std::int32_t pos[burst::kChunkSteps];
+  std::int32_t uslot[burst::kChunkSteps];
+  std::int32_t vslot[burst::kChunkSteps];
+  double pis[burst::kChunkSteps];
+  std::int64_t done = 0;
+  while (done < n_steps) {
+    const int chunk = static_cast<int>(
+        std::min<std::int64_t>(burst::kChunkSteps, n_steps - done));
+    // Phase A: draw the chunk's arcs in exact step() order.
+    int emitted;
+    if (lazy) {
+      emitted = 0;
+      for (int c = 0; c < chunk; ++c) {
+        if (rng.next_bool(0.5)) {
+          continue;  // lazy no-op: consumes the coin, still counts a step
+        }
+        raw[emitted++] = rng.next_below(arcs);
+      }
+    } else {
+      rng.fill_below(arcs, raw, static_cast<std::size_t>(chunk));
+      emitted = chunk;
+    }
+    // Phase B: resolve the whole chunk's slots up front with
+    // vpgatherdd through the translation arrays.
+    for (int e = 0; e < emitted; ++e) {
+      pos[e] = static_cast<std::int32_t>(raw[e]);
+    }
+    topo.resolve(pos, uslot, vslot, pis, emitted);
+    // Phase C: sequential apply with set_value's exact arithmetic;
+    // neighbour values are read live.
+    const auto apply_entry = [&](int e) {
+      const std::int32_t us = uslot[e];
+      const double old = vals[static_cast<std::size_t>(us)];
+      const double nv = vals[static_cast<std::size_t>(vslot[e])];
+      // apply_update computes (0.0 + value(v)) / 1.0; the division by
+      // one is exact, the leading add is kept for the -0.0 case.
+      const double x = a * old + one_minus_a * (0.0 + nv);
+      cursor.update<Track>(Topo::kUniformPi ? uniform_pi : pis[e], old, x);
+      vals[static_cast<std::size_t>(us)] = x;
+    };
+    if (cursor.countdown() > emitted) [[likely]] {
+      for (int e = 0; e < emitted; ++e) {
+        apply_entry(e);
+      }
+      cursor.advance(emitted);
+    } else {
+      // Recompute falls inside this chunk: per-update cadence check at
+      // exactly the count where set_value's tail recompute would fire.
+      for (int e = 0; e < emitted; ++e) {
+        apply_entry(e);
+        if (cursor.advance_one()) {
+          recompute_now();
+        }
+      }
+    }
+    done += chunk;
+  }
+#endif
+  state.end_burst(cursor);
+}
+
+template <class Topo, class Sync>
+void dispatch_edge_burst(Rng& rng, std::int64_t n_steps, bool lazy,
+                         double a, OpinionState& state, double* vals,
+                         std::uint64_t arcs, const Topo& topo,
+                         Sync&& sync) {
+  if (state.tracks_extrema()) {
+    run_edge_burst<true>(rng, n_steps, lazy, a, state, vals, arcs, topo,
+                         sync);
+  } else {
+    run_edge_burst<false>(rng, n_steps, lazy, a, state, vals, arcs, topo,
+                          sync);
+  }
+}
+
+}  // namespace
 
 EdgeModel::EdgeModel(const Graph& graph, std::vector<double> initial,
                      const EdgeModelParams& params)
@@ -10,6 +264,14 @@ EdgeModel::EdgeModel(const Graph& graph, std::vector<double> initial,
                        params.track_extrema),
       params_(params) {
   OPINDYN_EXPECTS(graph.edge_count() >= 1, "EdgeModel needs >= 1 edge");
+  if (params.reorder) {
+    layout_ = GraphLayout::degree_sorted(graph);
+    if (layout_->is_identity()) {
+      layout_.reset();
+    } else {
+      mirror_.resize(static_cast<std::size_t>(graph.node_count()));
+    }
+  }
 }
 
 NodeSelection EdgeModel::step_recorded(Rng& rng) {
@@ -28,6 +290,43 @@ NodeSelection EdgeModel::step_recorded(Rng& rng) {
 
 void EdgeModel::step_burst(Rng& rng, std::int64_t n_steps) {
   OPINDYN_EXPECTS(n_steps >= 0, "n_steps must be >= 0");
+  const Graph& g = graph();
+  if (g.arc_count() >= burst::kMaxChunkedArcs) {
+    step_burst_generic(rng, n_steps);
+    return;
+  }
+  OpinionState& state = mutable_state();
+  const auto arcs = static_cast<std::uint64_t>(g.arc_count());
+  const auto size = static_cast<std::size_t>(g.node_count());
+  const NodeId d = g.min_degree();
+  if (layout_) {
+    layout_->scatter(state.values(), mirror_);
+    EdgeReorderTopo topo{layout_->adjacency_internal().data(),
+                         layout_->arc_source_internal().data(),
+                         g.arc_source_data(), state.stationary_data()};
+    auto sync = [this, &state, size] {
+      layout_->gather(mirror_, {state.mutable_values(), size});
+    };
+    dispatch_edge_burst(rng, n_steps, params_.lazy, alpha(), state,
+                        mirror_.data(), arcs, topo, sync);
+    layout_->gather(mirror_, {state.mutable_values(), size});
+  } else if (g.is_regular() && std::has_single_bit(static_cast<unsigned>(d))) {
+    EdgeRegularPow2Topo topo{
+        g.adjacency_data(),
+        std::countr_zero(static_cast<unsigned>(d)),
+        g.stationary(0)};
+    dispatch_edge_burst(rng, n_steps, params_.lazy, alpha(), state,
+                        state.mutable_values(), arcs, topo, [] {});
+  } else {
+    EdgeGeneralTopo topo{g.adjacency_data(), g.arc_source_data(),
+                         state.stationary_data()};
+    dispatch_edge_burst(rng, n_steps, params_.lazy, alpha(), state,
+                        state.mutable_values(), arcs, topo, [] {});
+  }
+  advance_time(n_steps);
+}
+
+void EdgeModel::step_burst_generic(Rng& rng, std::int64_t n_steps) {
   OpinionState& state = mutable_state();
   const Graph& g = graph();
   const double* values = state.values().data();
@@ -42,10 +341,9 @@ void EdgeModel::step_burst(Rng& rng, std::int64_t n_steps) {
     const auto arc = static_cast<ArcId>(rng.next_below(arcs));
     const NodeId u = g.arc_source(arc);
     const NodeId v = g.arc_target(arc);
-    // The k = 1 "mean" is value(v) / 1.0 == value(v) bit-exactly, so the
-    // kernel matches apply_update without the division.
-    state.set_value(u, a * values[static_cast<std::size_t>(u)] +
-                           one_minus_a * values[static_cast<std::size_t>(v)]);
+    state.set_value(
+        u, a * values[static_cast<std::size_t>(u)] +
+               one_minus_a * (0.0 + values[static_cast<std::size_t>(v)]));
   }
   advance_time(n_steps);
 }

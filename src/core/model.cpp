@@ -13,11 +13,13 @@ std::unique_ptr<AveragingProcess> make_process(const Graph& graph,
     params.k = config.k;
     params.lazy = config.lazy;
     params.sampling = config.sampling;
+    params.reorder = config.reorder;
     return std::make_unique<NodeModel>(graph, std::move(initial), params);
   }
   EdgeModelParams params;
   params.alpha = config.alpha;
   params.lazy = config.lazy;
+  params.reorder = config.reorder;
   return std::make_unique<EdgeModel>(graph, std::move(initial), params);
 }
 

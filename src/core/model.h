@@ -28,6 +28,9 @@ struct ModelConfig {
   std::int64_t k = 1;
   bool lazy = false;
   SamplingMode sampling = SamplingMode::without_replacement;
+  /// Degree-sorted value mirror inside bursts (bit-identical output;
+  /// pays off on skewed-degree graphs, no-op on regular ones).
+  bool reorder = false;
 };
 
 /// Builds the configured process over `graph` starting from `initial`.

@@ -1,99 +1,396 @@
 #include "src/core/node_model.h"
 
+#include <algorithm>
+
+#include "src/core/burst_kernels.h"
 #include "src/support/assert.h"
 #include "src/support/sampling.h"
 
 namespace opindyn {
 namespace {
 
-// Fused Floyd draw + neighbour gather + sum for compile-time k: the
-// subset lives in registers and the values are read in one pass.  Draws
-// and sum order match sample_without_replacement + the scratch gather
-// exactly (Floyd pushes the chosen index -- t if fresh, else j -- in j
-// order), so the rng stream and the floating-point result are
-// bit-identical to the recorded path.
-template <int K>
-double draw_sum_without_replacement(Rng& rng, const NodeId* row,
-                                    std::int64_t d, const double* values) {
-  std::int32_t picked[K];
-  double sum = 0.0;
-  for (int i = 0; i < K; ++i) {
-    const std::int64_t j = d - K + i;
-    const auto t = static_cast<std::int32_t>(
-        rng.next_below(static_cast<std::uint64_t>(j) + 1));
-    bool duplicate = false;
-    for (int p = 0; p < i; ++p) {
-      duplicate |= picked[p] == t;
-    }
-    const std::int32_t idx = duplicate ? static_cast<std::int32_t>(j) : t;
-    picked[i] = idx;
-    sum += values[static_cast<std::size_t>(
-        row[static_cast<std::size_t>(idx)])];
-  }
-  return sum;
-}
+// Topology policies: how a kernel instantiation finds a node's
+// adjacency row, its value-storage slot and its stationary weight.
+// All calls inline into the chunk loops.
 
-template <int K>
-double draw_sum_with_replacement(Rng& rng, const NodeId* row,
-                                 std::int64_t d, const double* values) {
-  double sum = 0.0;
-  for (int i = 0; i < K; ++i) {
-    sum += values[static_cast<std::size_t>(row[static_cast<std::size_t>(
-        rng.next_below(static_cast<std::uint64_t>(d)))])];
+/// Regular graph, natural order: row base is u * d (no offsets load)
+/// and pi = d / 2m is one constant (bit-identical to the per-node
+/// array, which was filled from the same expression).
+struct NodeRegularTopo {
+  static constexpr bool kUniformPi = true;
+  const NodeId* adj;
+  std::int32_t d;
+  double pi;
+  std::int64_t row_base(NodeId u) const noexcept {
+    return static_cast<std::int64_t>(u) * d;
   }
-  return sum;
-}
+  std::int32_t degree(NodeId) const noexcept { return d; }
+  std::int32_t slot(NodeId u) const noexcept { return u; }
+  double stationary(NodeId) const noexcept { return pi; }
+  const NodeId* adjacency() const noexcept { return adj; }
+};
 
-/// The devirtualized inner loop, instantiated per (k, sampling mode).
-template <int K, SamplingMode Mode>
-void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy,
-                    const Graph& g, OpinionState& state, double a) {
-  // values() never reallocates under set_value, so one raw pointer
-  // serves the whole burst; reads through it skip per-access checks.
-  const double* values = state.values().data();
+/// Irregular graph, natural order: CSR offsets + per-node pi.
+struct NodeIrregularTopo {
+  static constexpr bool kUniformPi = false;
+  const std::uint32_t* offsets;
+  const NodeId* adj;
+  const double* pi;
+  std::int64_t row_base(NodeId u) const noexcept {
+    return static_cast<std::int64_t>(offsets[static_cast<std::size_t>(u)]);
+  }
+  std::int32_t degree(NodeId u) const noexcept {
+    return static_cast<std::int32_t>(
+        offsets[static_cast<std::size_t>(u) + 1] -
+        offsets[static_cast<std::size_t>(u)]);
+  }
+  std::int32_t slot(NodeId u) const noexcept { return u; }
+  double stationary(NodeId u) const noexcept {
+    return pi[static_cast<std::size_t>(u)];
+  }
+  const NodeId* adjacency() const noexcept { return adj; }
+};
+
+/// Degree-sorted mirror (graph/layout.h): draws stay in original id
+/// space, only value storage is permuted, so rows and rng consumption
+/// are untouched and the translated adjacency array yields mirror
+/// slots directly.
+struct NodeReorderTopo {
+  static constexpr bool kUniformPi = false;
+  const std::uint32_t* offsets;
+  const NodeId* adj_internal;
+  const NodeId* to_internal;
+  const double* pi;  // original order: pi depends on the node, not the slot
+  std::int64_t row_base(NodeId u) const noexcept {
+    return static_cast<std::int64_t>(offsets[static_cast<std::size_t>(u)]);
+  }
+  std::int32_t degree(NodeId u) const noexcept {
+    return static_cast<std::int32_t>(
+        offsets[static_cast<std::size_t>(u) + 1] -
+        offsets[static_cast<std::size_t>(u)]);
+  }
+  std::int32_t slot(NodeId u) const noexcept {
+    return to_internal[static_cast<std::size_t>(u)];
+  }
+  double stationary(NodeId u) const noexcept {
+    return pi[static_cast<std::size_t>(u)];
+  }
+  const NodeId* adjacency() const noexcept { return adj_internal; }
+};
+
+/// The burst kernel, instantiated per (k, sampling mode, extrema
+/// tracking, topology).  Track is compile-time because the per-step
+/// extrema check otherwise survives in every non-tracking hot loop
+/// (GCC does not unswitch it out) at ~4 uops plus two live min/max
+/// registers per step.
+/// Consumes the rng in EXACT step() order and performs set_value's
+/// arithmetic through a register-resident cursor, so the result is
+/// bit-identical to n_steps repeated step() calls.  Two shapes behind
+/// one contract:
+///
+///  - Portable builds run a fused loop, software-pipelined in groups
+///    of 8 steps: the group's draws (two serial rng calls per step at
+///    K = 1) resolve to neighbour/target slots first, then the FP
+///    applies walk the group in step order reading values live.  The
+///    rng state chain is the long pole, so hoisting it ahead of the
+///    accumulator chains is worth ~1.4x over a straight per-step loop.
+///  - OPINDYN_SIMD_AVX2 builds split each chunk into phases (see
+///    burst_kernels.h): serial draws into SoA position buffers, a
+///    vpgatherdd adjacency translation, then the sequential apply.
+///
+/// Both consume the identical rng stream and apply in the identical
+/// order; only instruction scheduling differs.  The recompute cadence
+/// is counted per chunk through the cursor countdown: a chunk that
+/// cannot reach the recompute threshold settles its bookkeeping with
+/// one advance(), and only chunks straddling the threshold (or lazy
+/// runs, whose update count is coin-dependent) check per update.
+template <int K, SamplingMode Mode, bool Track, class Topo, class Sync>
+void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
+                    OpinionState& state, double* vals, NodeId n,
+                    const Topo& topo, Sync&& sync) {
   const double one_minus_a = 1.0 - a;
   const double k_count = static_cast<double>(K);
-  const auto n = static_cast<std::uint64_t>(g.node_count());
-  for (std::int64_t s = 0; s < n_steps; ++s) {
-    if (lazy && rng.next_bool(0.5)) {
-      continue;  // lazy no-op: consumes the coin, still counts a step
+  const auto nn = static_cast<std::uint64_t>(n);
+  auto cursor = state.begin_burst();
+  const double uniform_pi = topo.stationary(0);
+  const auto recompute_now = [&] {
+    sync();  // mirror kernels make values_ current first
+    state.recompute();
+    cursor = state.begin_burst();
+  };
+#if !defined(OPINDYN_SIMD_AVX2)
+  const NodeId* adj = topo.adjacency();
+  // One full process step: draws in exact step() order, neighbour
+  // values read live (nothing is written until after every draw of the
+  // step, exactly like draw_selection + apply_update).
+  const auto one_step = [&] {
+    const auto u = static_cast<NodeId>(rng.next_below_nonzero(nn));
+    const std::int64_t base = topo.row_base(u);
+    const std::int32_t d = topo.degree(u);
+    double sum = 0.0;
+    if constexpr (Mode == SamplingMode::without_replacement) {
+      // Floyd's subset draw, fused with the neighbour sum; draw and
+      // accumulation order match sample_without_replacement exactly.
+      std::int32_t picked[K];
+      for (int i = 0; i < K; ++i) {
+        const std::int32_t j = d - K + i;
+        const auto t = static_cast<std::int32_t>(
+            rng.next_below_nonzero(static_cast<std::uint64_t>(j) + 1));
+        bool duplicate = false;
+        for (int q = 0; q < i; ++q) {
+          duplicate |= picked[q] == t;
+        }
+        const std::int32_t idx = duplicate ? j : t;
+        picked[i] = idx;
+        sum += vals[static_cast<std::size_t>(
+            adj[static_cast<std::size_t>(base + idx)])];
+      }
+    } else {
+      for (int i = 0; i < K; ++i) {
+        const auto idx = static_cast<std::int64_t>(
+            rng.next_below_nonzero(static_cast<std::uint64_t>(d)));
+        sum += vals[static_cast<std::size_t>(
+            adj[static_cast<std::size_t>(base + idx)])];
+      }
     }
-    const auto u = static_cast<NodeId>(rng.next_below(n));
-    const auto row = g.neighbors(u);
-    const auto d = static_cast<std::int64_t>(row.size());
-    const double neighbour_sum =
-        Mode == SamplingMode::without_replacement
-            ? draw_sum_without_replacement<K>(rng, row.data(), d, values)
-            : draw_sum_with_replacement<K>(rng, row.data(), d, values);
-    const double neighbour_mean = neighbour_sum / k_count;
-    state.set_value(u, a * values[static_cast<std::size_t>(u)] +
-                           one_minus_a * neighbour_mean);
+    // sum / 1.0 is bit-exactly sum, so k = 1 skips the division.
+    const double mean = K == 1 ? sum : sum / k_count;
+    const std::int32_t slot = topo.slot(u);
+    const double old = vals[static_cast<std::size_t>(slot)];
+    const double x = a * old + one_minus_a * mean;
+    cursor.update<Track>(Topo::kUniformPi ? uniform_pi : topo.stationary(u),
+                         old, x);
+    vals[static_cast<std::size_t>(slot)] = x;
+  };
+  std::int64_t done = 0;
+  while (done < n_steps) {
+    const std::int64_t chunk =
+        std::min<std::int64_t>(burst::kChunkSteps, n_steps - done);
+    if (!lazy && cursor.countdown() > chunk) [[likely]] {
+      // Software-pipelined 8-wide: each group's K+1 draws per step are
+      // hoisted ahead of its applies.  A node step chains TWO serial
+      // rng draws, so the xoshiro state chain is the long pole here;
+      // hoisting lets the integer draw/Floyd work of the whole group
+      // run ahead while the FP accumulator chains of the previous
+      // group drain.  Draw order and apply order both stay exactly
+      // step()'s, the draw phase reads no values, and the apply phase
+      // reads them in step order -- bit-identical by the same argument
+      // as the phase-split chunks.
+      constexpr int kGroup = 8;
+      std::int64_t c = 0;
+      for (; c + kGroup <= chunk; c += kGroup) {
+        std::int32_t uslot[kGroup];
+        std::int32_t nbr[kGroup * K];
+        double pis[kGroup];
+        for (int s = 0; s < kGroup; ++s) {
+          const auto u = static_cast<NodeId>(rng.next_below_nonzero(nn));
+          const std::int64_t base = topo.row_base(u);
+          const std::int32_t d = topo.degree(u);
+          if constexpr (Mode == SamplingMode::without_replacement) {
+            std::int32_t picked[K];
+            for (int i = 0; i < K; ++i) {
+              const std::int32_t j = d - K + i;
+              const auto t = static_cast<std::int32_t>(rng.next_below_nonzero(
+                  static_cast<std::uint64_t>(j) + 1));
+              bool duplicate = false;
+              for (int q = 0; q < i; ++q) {
+                duplicate |= picked[q] == t;
+              }
+              const std::int32_t idx = duplicate ? j : t;
+              picked[i] = idx;
+              nbr[s * K + i] = static_cast<std::int32_t>(
+                  adj[static_cast<std::size_t>(base + idx)]);
+            }
+          } else {
+            for (int i = 0; i < K; ++i) {
+              const auto idx = static_cast<std::int64_t>(
+                  rng.next_below_nonzero(static_cast<std::uint64_t>(d)));
+              nbr[s * K + i] = static_cast<std::int32_t>(
+                  adj[static_cast<std::size_t>(base + idx)]);
+            }
+          }
+          uslot[s] = topo.slot(u);
+          if constexpr (!Topo::kUniformPi) {
+            pis[s] = topo.stationary(u);
+          }
+        }
+        for (int s = 0; s < kGroup; ++s) {
+          double sum = 0.0;
+          for (int i = 0; i < K; ++i) {
+            sum += vals[static_cast<std::size_t>(nbr[s * K + i])];
+          }
+          const double mean = K == 1 ? sum : sum / k_count;
+          const double old = vals[static_cast<std::size_t>(uslot[s])];
+          const double x = a * old + one_minus_a * mean;
+          cursor.update<Track>(Topo::kUniformPi ? uniform_pi : pis[s], old,
+                               x);
+          vals[static_cast<std::size_t>(uslot[s])] = x;
+        }
+      }
+      for (; c < chunk; ++c) {
+        one_step();
+      }
+      cursor.advance(chunk);
+    } else {
+      // Lazy runs (coin-dependent update count) and chunks straddling
+      // the recompute threshold account per update, firing at exactly
+      // the count where set_value's tail recompute would.
+      for (std::int64_t c = 0; c < chunk; ++c) {
+        if (lazy && rng.next_bool(0.5)) {
+          continue;  // lazy no-op: consumes the coin, still counts a step
+        }
+        one_step();
+        if (cursor.advance_one()) {
+          recompute_now();
+        }
+      }
+    }
+    done += chunk;
   }
+#else
+  std::int32_t slots[burst::kChunkSteps];
+  double pis[burst::kChunkSteps];
+  std::int32_t pos[burst::kChunkSteps * K];
+  std::int32_t nbr[burst::kChunkSteps * K];
+  std::int64_t done = 0;
+  while (done < n_steps) {
+    const int chunk = static_cast<int>(
+        std::min<std::int64_t>(burst::kChunkSteps, n_steps - done));
+    // Phase A: serial draws, exact step() order.
+    int emitted = 0;
+    for (int c = 0; c < chunk; ++c) {
+      if (lazy && rng.next_bool(0.5)) {
+        continue;  // lazy no-op: consumes the coin, still counts a step
+      }
+      const auto u = static_cast<NodeId>(rng.next_below(nn));
+      const std::int64_t base = topo.row_base(u);
+      const std::int32_t d = topo.degree(u);
+      std::int32_t* p = pos + emitted * K;
+      if constexpr (Mode == SamplingMode::without_replacement) {
+        // Floyd's subset draw, fused with position emission; draw and
+        // push order match sample_without_replacement exactly.
+        std::int32_t picked[K];
+        for (int i = 0; i < K; ++i) {
+          const std::int32_t j = d - K + i;
+          const auto t = static_cast<std::int32_t>(
+              rng.next_below(static_cast<std::uint64_t>(j) + 1));
+          bool duplicate = false;
+          for (int q = 0; q < i; ++q) {
+            duplicate |= picked[q] == t;
+          }
+          const std::int32_t idx = duplicate ? j : t;
+          picked[i] = idx;
+          p[i] = static_cast<std::int32_t>(base + idx);
+        }
+      } else {
+        for (int i = 0; i < K; ++i) {
+          p[i] = static_cast<std::int32_t>(
+              base + static_cast<std::int64_t>(rng.next_below(
+                         static_cast<std::uint64_t>(d))));
+        }
+      }
+      slots[emitted] = topo.slot(u);
+      if constexpr (!Topo::kUniformPi) {
+        pis[emitted] = topo.stationary(u);
+      }
+      ++emitted;
+    }
+    // Phase B: translate the chunk's adjacency positions with
+    // vpgatherdd.  Neighbour VALUES are read live in phase C (exact
+    // sequential semantics, nothing stale to manage): a value-prefetch
+    // pass plus conflict screen measured slower than the live loads on
+    // every tested core.
+    burst::translate_indices(topo.adjacency(), pos, nbr, emitted * K);
+    // Phase C: sequential apply with set_value's exact arithmetic.
+    const auto apply_entry = [&](int e) {
+      double sum = 0.0;
+      if constexpr (K == 1) {
+        sum += vals[static_cast<std::size_t>(nbr[e])];
+      } else {
+        for (int i = 0; i < K; ++i) {
+          sum += vals[static_cast<std::size_t>(nbr[e * K + i])];
+        }
+      }
+      // sum / 1.0 is bit-exactly sum, so k = 1 skips the division.
+      const double mean = K == 1 ? sum : sum / k_count;
+      const std::int32_t slot = slots[e];
+      const double old = vals[static_cast<std::size_t>(slot)];
+      const double x = a * old + one_minus_a * mean;
+      cursor.update<Track>(Topo::kUniformPi ? uniform_pi : pis[e], old, x);
+      vals[static_cast<std::size_t>(slot)] = x;
+    };
+    if (cursor.countdown() > emitted) [[likely]] {
+      for (int e = 0; e < emitted; ++e) {
+        apply_entry(e);
+      }
+      cursor.advance(emitted);
+    } else {
+      // Recompute falls inside this chunk: per-update cadence check at
+      // exactly the count where set_value's tail recompute would fire.
+      for (int e = 0; e < emitted; ++e) {
+        apply_entry(e);
+        if (cursor.advance_one()) {
+          recompute_now();
+        }
+      }
+    }
+    done += chunk;
+  }
+#endif
+  state.end_burst(cursor);
 }
 
-template <SamplingMode Mode>
-bool dispatch_node_burst(std::int64_t k, Rng& rng, std::int64_t n_steps,
-                         bool lazy, const Graph& g, OpinionState& state,
-                         double a) {
+template <SamplingMode Mode, bool Track, class Topo, class Sync>
+bool dispatch_k(std::int64_t k, Rng& rng, std::int64_t n_steps, bool lazy,
+                double a, OpinionState& state, double* vals, NodeId n,
+                const Topo& topo, Sync&& sync) {
   switch (k) {
     case 1:
-      run_node_burst<1, Mode>(rng, n_steps, lazy, g, state, a);
+      run_node_burst<1, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
+                                     topo, sync);
       return true;
     case 2:
-      run_node_burst<2, Mode>(rng, n_steps, lazy, g, state, a);
+      run_node_burst<2, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
+                                     topo, sync);
       return true;
     case 3:
-      run_node_burst<3, Mode>(rng, n_steps, lazy, g, state, a);
+      run_node_burst<3, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
+                                     topo, sync);
       return true;
     case 4:
-      run_node_burst<4, Mode>(rng, n_steps, lazy, g, state, a);
+      run_node_burst<4, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
+                                     topo, sync);
       return true;
     case 8:
-      run_node_burst<8, Mode>(rng, n_steps, lazy, g, state, a);
+      run_node_burst<8, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
+                                     topo, sync);
       return true;
     default:
       return false;  // uncommon k: the generic loop handles it
   }
+}
+
+template <class Topo, class Sync>
+bool dispatch_mode_k(SamplingMode mode, std::int64_t k, Rng& rng,
+                     std::int64_t n_steps, bool lazy, double a,
+                     OpinionState& state, double* vals, NodeId n,
+                     const Topo& topo, Sync&& sync) {
+  if (mode == SamplingMode::without_replacement) {
+    return state.tracks_extrema()
+               ? dispatch_k<SamplingMode::without_replacement, true>(
+                     k, rng, n_steps, lazy, a, state, vals, n, topo, sync)
+               : dispatch_k<SamplingMode::without_replacement, false>(
+                     k, rng, n_steps, lazy, a, state, vals, n, topo, sync);
+  }
+  return state.tracks_extrema()
+             ? dispatch_k<SamplingMode::with_replacement, true>(
+                   k, rng, n_steps, lazy, a, state, vals, n, topo, sync)
+             : dispatch_k<SamplingMode::with_replacement, false>(
+                   k, rng, n_steps, lazy, a, state, vals, n, topo, sync);
+}
+
+bool has_specialised_k(std::int64_t k) noexcept {
+  return k == 1 || k == 2 || k == 3 || k == 4 || k == 8;
 }
 
 }  // namespace
@@ -111,6 +408,14 @@ NodeModel::NodeModel(const Graph& graph, std::vector<double> initial,
   }
   scratch_.reserve(static_cast<std::size_t>(params.k));
   sample_scratch_.resize(static_cast<std::size_t>(params.k));
+  if (params.reorder) {
+    layout_ = GraphLayout::degree_sorted(graph);
+    if (layout_->is_identity()) {
+      layout_.reset();  // nothing to gain; keep the plain kernels
+    } else {
+      mirror_.resize(static_cast<std::size_t>(graph.node_count()));
+    }
+  }
 }
 
 NodeId NodeModel::draw_selection(Rng& rng) {
@@ -150,17 +455,37 @@ NodeSelection NodeModel::step_recorded(Rng& rng) {
 
 void NodeModel::step_burst(Rng& rng, std::int64_t n_steps) {
   OPINDYN_EXPECTS(n_steps >= 0, "n_steps must be >= 0");
-  const bool specialised =
-      params_.sampling == SamplingMode::without_replacement
-          ? dispatch_node_burst<SamplingMode::without_replacement>(
-                params_.k, rng, n_steps, params_.lazy, graph(),
-                mutable_state(), alpha())
-          : dispatch_node_burst<SamplingMode::with_replacement>(
-                params_.k, rng, n_steps, params_.lazy, graph(),
-                mutable_state(), alpha());
-  if (!specialised) {
+  const Graph& g = graph();
+  if (!has_specialised_k(params_.k) ||
+      g.arc_count() >= burst::kMaxChunkedArcs) {
     step_burst_generic(rng, n_steps);
     return;
+  }
+  OpinionState& state = mutable_state();
+  const NodeId n = g.node_count();
+  const auto size = static_cast<std::size_t>(n);
+  if (layout_) {
+    layout_->scatter(state.values(), mirror_);
+    NodeReorderTopo topo{g.offsets_data(),
+                         layout_->adjacency_internal().data(),
+                         layout_->to_internal().data(),
+                         state.stationary_data()};
+    auto sync = [this, &state, size] {
+      layout_->gather(mirror_, {state.mutable_values(), size});
+    };
+    dispatch_mode_k(params_.sampling, params_.k, rng, n_steps, params_.lazy,
+                    alpha(), state, mirror_.data(), n, topo, sync);
+    layout_->gather(mirror_, {state.mutable_values(), size});
+  } else if (g.is_regular()) {
+    NodeRegularTopo topo{g.adjacency_data(), g.min_degree(),
+                         g.stationary(0)};
+    dispatch_mode_k(params_.sampling, params_.k, rng, n_steps, params_.lazy,
+                    alpha(), state, state.mutable_values(), n, topo, [] {});
+  } else {
+    NodeIrregularTopo topo{g.offsets_data(), g.adjacency_data(),
+                           state.stationary_data()};
+    dispatch_mode_k(params_.sampling, params_.k, rng, n_steps, params_.lazy,
+                    alpha(), state, state.mutable_values(), n, topo, [] {});
   }
   advance_time(n_steps);
 }

@@ -120,6 +120,116 @@ class OpinionState {
   /// Rebuilds all accumulators from the value vector.
   void recompute();
 
+  // --- Burst cursor -------------------------------------------------
+  // The SIMD burst kernels update values by the thousand; going through
+  // set_value would reload and re-store every accumulator through the
+  // member pointer each step.  A BurstCursor holds the accumulators in
+  // locals (registers) for the duration of a burst and performs the
+  // EXACT arithmetic of set_value in the exact order, so flushing it
+  // back is bit-identical to having called set_value throughout.  The
+  // kernel owns the state between begin_burst and end_burst: it writes
+  // values through mutable_values() itself and must not call any other
+  // accessor in between.
+  class BurstCursor {
+   public:
+    /// Bookkeeping for one value replacement (old -> x at a node with
+    /// stationary probability pi), mirroring set_value line for line.
+    /// Call BEFORE storing x.  Does NOT count the update: the kernels
+    /// track the recompute cadence in bulk via the countdown below, so
+    /// the hot loop carries no per-step counter check.  Track must
+    /// equal the state's tracks_extrema() -- it is a template argument
+    /// so the (majority) non-tracking kernels carry no per-step branch
+    /// for it; the kernels dispatch one instantiation per value.
+    template <bool Track>
+    void update(double pi, double old, double x) noexcept {
+      sum_ += x - old;
+      sum_sq_ += x * x - old * old;
+      wsum_ += pi * (x - old);
+      wsum_sq_ += pi * (x * x - old * old);
+      if (Track && valid_) {
+        bool displaced = false;
+        if (old == min_) {
+          if (x <= min_) {
+            min_ = x;
+          } else {
+            displaced = true;
+          }
+        } else if (x < min_) {
+          min_ = x;
+        }
+        if (old == max_) {
+          if (x >= max_) {
+            max_ = x;
+          } else {
+            displaced = true;
+          }
+        } else if (x > max_) {
+          max_ = x;
+        }
+        if (displaced) {
+          valid_ = false;
+        }
+      }
+    }
+
+    /// Updates remaining until the periodic accumulator rebuild is due
+    /// -- the same cadence as set_value's tail recompute.  A kernel
+    /// chunk of c updates that fits (countdown() > c) settles with one
+    /// advance(c); otherwise it checks advance_one() per update, and on
+    /// true must make the value vector current, call recompute() on
+    /// the state, and restart the cursor (begin_burst again).
+    std::int64_t countdown() const noexcept { return countdown_; }
+    void advance(std::int64_t n) noexcept { countdown_ -= n; }
+    bool advance_one() noexcept { return --countdown_ <= 0; }
+
+   private:
+    friend class OpinionState;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double wsum_ = 0.0;
+    double wsum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::int64_t countdown_ = 0;
+    bool track_ = false;
+    bool valid_ = false;
+  };
+
+  /// Snapshots the accumulators into a register-resident cursor.
+  BurstCursor begin_burst() noexcept {
+    BurstCursor c;
+    c.sum_ = sum_;
+    c.sum_sq_ = sum_sq_;
+    c.wsum_ = wsum_;
+    c.wsum_sq_ = wsum_sq_;
+    c.min_ = min_;
+    c.max_ = max_;
+    c.countdown_ = recompute_interval_ - updates_since_recompute_;
+    c.track_ = track_extrema_;
+    c.valid_ = extrema_valid_;
+    return c;
+  }
+
+  /// Writes a cursor's accumulators back.  The value vector must
+  /// already hold every value the cursor accounted for.
+  void end_burst(const BurstCursor& c) noexcept {
+    sum_ = c.sum_;
+    sum_sq_ = c.sum_sq_;
+    wsum_ = c.wsum_;
+    wsum_sq_ = c.wsum_sq_;
+    min_ = c.min_;
+    max_ = c.max_;
+    updates_since_recompute_ = recompute_interval_ - c.countdown_;
+    extrema_valid_ = c.valid_;
+  }
+
+  /// Raw storage for the burst kernels (paired with begin_burst /
+  /// end_burst; all bookkeeping goes through the cursor).
+  double* mutable_values() noexcept { return values_.data(); }
+  const double* stationary_data() const noexcept {
+    return stationary_.data();
+  }
+
  private:
   /// Rescans the value vector into the cached extrema (tracking only).
   void refresh_extrema() const;

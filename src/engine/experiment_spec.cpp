@@ -93,6 +93,8 @@ bool apply_key(ExperimentSpec& spec, const std::string& key,
     spec.model.lazy = parse_bool(key, value);
   } else if (key == "sampling") {
     spec.model.sampling = parse_sampling(value);
+  } else if (key == "reorder") {
+    spec.model.reorder = parse_bool(key, value);
   } else if (key == "replicas") {
     spec.replicas = parse_int(key, value);
   } else if (key == "seed") {
@@ -276,7 +278,7 @@ std::vector<std::string> spec_keys() {
           "graph-seed", "init",     "init-a",
           "init-b",    "init-seed", "center",
           "alpha",     "k",         "lazy",
-          "sampling",  "replicas",  "seed",
+          "sampling",  "reorder",   "replicas",  "seed",
           "threads",   "eps",       "max-steps",
           "check-interval", "plain-potential", "horizon",
           "sweep",     "csv",       "rows-csv",
@@ -396,6 +398,7 @@ std::string to_key_values(const ExperimentSpec& spec) {
               ? "without"
               : "with")
       << "\n";
+  out << "reorder=" << (spec.model.reorder ? "true" : "false") << "\n";
   out << "replicas=" << spec.replicas << "\n";
   out << "seed=" << spec.seed << "\n";
   out << "threads=" << spec.threads << "\n";

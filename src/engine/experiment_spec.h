@@ -134,7 +134,8 @@ struct ExperimentSpec {
 
 /// The flat key set of the spec schema (also the accepted CLI flags):
 /// scenario, graph, n, degree, attach, p, graph-seed, init, init-a,
-/// init-b, init-seed, center, alpha, k, lazy, sampling, replicas, seed,
+/// init-b, init-seed, center, alpha, k, lazy, sampling, reorder,
+/// replicas, seed,
 /// threads, eps, max-steps, check-interval, plain-potential, horizon,
 /// sweep, csv, rows-csv, hist-csv, hist-column, hist-bins, quantiles,
 /// metrics-json, trace-json, table.

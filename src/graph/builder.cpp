@@ -10,20 +10,38 @@ GraphBuilder::GraphBuilder(NodeId node_count) : node_count_(node_count) {
   OPINDYN_EXPECTS(node_count > 0, "graph needs at least one node");
 }
 
+void GraphBuilder::reserve(std::int64_t edge_count) {
+  OPINDYN_EXPECTS(edge_count >= 0, "edge reserve must be non-negative");
+  edges_.reserve(static_cast<std::size_t>(edge_count));
+  seen_.reserve(static_cast<std::size_t>(edge_count));
+}
+
 bool GraphBuilder::add_edge(NodeId u, NodeId v) {
   OPINDYN_EXPECTS(u >= 0 && u < node_count_, "edge endpoint out of range");
   OPINDYN_EXPECTS(v >= 0 && v < node_count_, "edge endpoint out of range");
   OPINDYN_EXPECTS(u != v, "self-loops are not allowed");
-  return edges_.emplace(std::min(u, v), std::max(u, v)).second;
+  const NodeId lo = std::min(u, v);
+  const NodeId hi = std::max(u, v);
+  if (!seen_.insert(key(lo, hi)).second) {
+    return false;
+  }
+  edges_.emplace_back(lo, hi);
+  return true;
+}
+
+void GraphBuilder::add_edge_unchecked(NodeId u, NodeId v) {
+  OPINDYN_EXPECTS(u >= 0 && u < node_count_, "edge endpoint out of range");
+  OPINDYN_EXPECTS(v >= 0 && v < node_count_, "edge endpoint out of range");
+  OPINDYN_EXPECTS(u != v, "self-loops are not allowed");
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
 }
 
 bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
-  return edges_.count({std::min(u, v), std::max(u, v)}) > 0;
+  return seen_.count(key(std::min(u, v), std::max(u, v))) > 0;
 }
 
 Graph GraphBuilder::build(std::string name) const {
-  std::vector<std::pair<NodeId, NodeId>> edges(edges_.begin(), edges_.end());
-  Graph graph(node_count_, edges);
+  Graph graph(node_count_, edges_);
   graph.set_name(std::move(name));
   return graph;
 }

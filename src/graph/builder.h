@@ -1,10 +1,19 @@
 // Incremental edge-set builder used by generators and file readers.
 // Deduplicates edges, rejects self-loops, and produces an immutable Graph.
+//
+// Storage is a flat edge vector plus a hash-set membership index, so
+// building a 10^7-node graph streams: `reserve` pre-sizes both, and
+// generators whose construction cannot emit duplicates (grids, tori,
+// streamed attachment) use `add_edge_unchecked` to skip the membership
+// index entirely -- Graph's constructor still validates the final edge
+// set (range, self-loop and duplicate checks), so the unchecked path
+// trades only redundant hashing, never safety.
 #ifndef OPINDYN_GRAPH_BUILDER_H
 #define OPINDYN_GRAPH_BUILDER_H
 
-#include <set>
+#include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -16,8 +25,18 @@ class GraphBuilder {
  public:
   explicit GraphBuilder(NodeId node_count);
 
+  /// Pre-sizes the edge storage for `edge_count` edges.
+  void reserve(std::int64_t edge_count);
+
   /// Adds undirected edge {u, v}; returns false if it already exists.
   bool add_edge(NodeId u, NodeId v);
+
+  /// Adds undirected edge {u, v} without consulting or updating the
+  /// membership index.  Only for callers that guarantee {u, v} is new;
+  /// a violated guarantee is caught by Graph's duplicate check at
+  /// build().  After any unchecked add, `has_edge`/`add_edge` see a
+  /// stale index, so a builder uses one style or the other.
+  void add_edge_unchecked(NodeId u, NodeId v);
 
   bool has_edge(NodeId u, NodeId v) const;
   std::int64_t edge_count() const noexcept {
@@ -29,8 +48,14 @@ class GraphBuilder {
   Graph build(std::string name = {}) const;
 
  private:
+  static std::uint64_t key(NodeId u, NodeId v) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+
   NodeId node_count_;
-  std::set<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::unordered_set<std::uint64_t> seen_;
 };
 
 }  // namespace opindyn

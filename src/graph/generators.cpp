@@ -16,8 +16,9 @@ namespace gen {
 Graph path(NodeId n) {
   OPINDYN_EXPECTS(n >= 2, "path needs n >= 2");
   GraphBuilder builder(n);
+  builder.reserve(n - 1);
   for (NodeId i = 0; i + 1 < n; ++i) {
-    builder.add_edge(i, i + 1);
+    builder.add_edge_unchecked(i, i + 1);
   }
   return builder.build("path(" + std::to_string(n) + ")");
 }
@@ -25,8 +26,9 @@ Graph path(NodeId n) {
 Graph cycle(NodeId n) {
   OPINDYN_EXPECTS(n >= 3, "cycle needs n >= 3");
   GraphBuilder builder(n);
+  builder.reserve(n);
   for (NodeId i = 0; i < n; ++i) {
-    builder.add_edge(i, static_cast<NodeId>((i + 1) % n));
+    builder.add_edge_unchecked(i, static_cast<NodeId>((i + 1) % n));
   }
   return builder.build("cycle(" + std::to_string(n) + ")");
 }
@@ -34,9 +36,10 @@ Graph cycle(NodeId n) {
 Graph complete(NodeId n) {
   OPINDYN_EXPECTS(n >= 2, "complete graph needs n >= 2");
   GraphBuilder builder(n);
+  builder.reserve(static_cast<std::int64_t>(n) * (n - 1) / 2);
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
-      builder.add_edge(u, v);
+      builder.add_edge_unchecked(u, v);
     }
   }
   return builder.build("complete(" + std::to_string(n) + ")");
@@ -45,8 +48,9 @@ Graph complete(NodeId n) {
 Graph star(NodeId n) {
   OPINDYN_EXPECTS(n >= 2, "star needs n >= 2");
   GraphBuilder builder(n);
+  builder.reserve(n - 1);
   for (NodeId v = 1; v < n; ++v) {
-    builder.add_edge(0, v);
+    builder.add_edge_unchecked(0, v);
   }
   return builder.build("star(" + std::to_string(n) + ")");
 }
@@ -74,13 +78,17 @@ Graph grid(NodeId rows, NodeId cols) {
                       static_cast<std::int64_t>(rows) * cols >= 2,
                   "grid needs at least two nodes");
   GraphBuilder builder(static_cast<NodeId>(rows * cols));
+  builder.reserve(static_cast<std::int64_t>(rows) * (cols - 1) +
+                  static_cast<std::int64_t>(cols) * (rows - 1));
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
       if (c + 1 < cols) {
-        builder.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
+        builder.add_edge_unchecked(grid_id(r, c, cols),
+                                   grid_id(r, c + 1, cols));
       }
       if (r + 1 < rows) {
-        builder.add_edge(grid_id(r, c, cols), grid_id(r + 1, c, cols));
+        builder.add_edge_unchecked(grid_id(r, c, cols),
+                                   grid_id(r + 1, c, cols));
       }
     }
   }
@@ -92,12 +100,15 @@ Graph torus(NodeId rows, NodeId cols) {
   OPINDYN_EXPECTS(rows >= 3 && cols >= 3,
                   "torus needs rows, cols >= 3 for 4-regularity");
   GraphBuilder builder(static_cast<NodeId>(rows * cols));
+  builder.reserve(2 * static_cast<std::int64_t>(rows) * cols);
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
-      builder.add_edge(grid_id(r, c, cols),
-                       grid_id(r, static_cast<NodeId>((c + 1) % cols), cols));
-      builder.add_edge(grid_id(r, c, cols),
-                       grid_id(static_cast<NodeId>((r + 1) % rows), c, cols));
+      builder.add_edge_unchecked(
+          grid_id(r, c, cols),
+          grid_id(r, static_cast<NodeId>((c + 1) % cols), cols));
+      builder.add_edge_unchecked(
+          grid_id(r, c, cols),
+          grid_id(static_cast<NodeId>((r + 1) % rows), c, cols));
     }
   }
   return builder.build("torus(" + std::to_string(rows) + "x" +
@@ -109,11 +120,12 @@ Graph hypercube(int dimensions) {
                   "hypercube dimension must be in [1, 20]");
   const NodeId n = static_cast<NodeId>(1) << dimensions;
   GraphBuilder builder(n);
+  builder.reserve(static_cast<std::int64_t>(n) * dimensions / 2);
   for (NodeId u = 0; u < n; ++u) {
     for (int b = 0; b < dimensions; ++b) {
       const NodeId v = static_cast<NodeId>(u ^ (1 << b));
       if (u < v) {
-        builder.add_edge(u, v);
+        builder.add_edge_unchecked(u, v);
       }
     }
   }
@@ -124,6 +136,7 @@ Graph circulant(NodeId n, const std::vector<NodeId>& strides) {
   OPINDYN_EXPECTS(n >= 3, "circulant needs n >= 3");
   OPINDYN_EXPECTS(!strides.empty(), "circulant needs at least one stride");
   GraphBuilder builder(n);
+  builder.reserve(static_cast<std::int64_t>(n) * strides.size());
   for (const NodeId s : strides) {
     OPINDYN_EXPECTS(s >= 1 && s < n, "stride out of range");
     for (NodeId i = 0; i < n; ++i) {
@@ -141,9 +154,10 @@ Graph circulant(NodeId n, const std::vector<NodeId>& strides) {
 Graph complete_bipartite(NodeId a, NodeId b) {
   OPINDYN_EXPECTS(a >= 1 && b >= 1, "complete bipartite needs a, b >= 1");
   GraphBuilder builder(static_cast<NodeId>(a + b));
+  builder.reserve(static_cast<std::int64_t>(a) * b);
   for (NodeId u = 0; u < a; ++u) {
     for (NodeId v = 0; v < b; ++v) {
-      builder.add_edge(u, static_cast<NodeId>(a + v));
+      builder.add_edge_unchecked(u, static_cast<NodeId>(a + v));
     }
   }
   return builder.build("complete_bipartite(" + std::to_string(a) + "," +
@@ -153,8 +167,9 @@ Graph complete_bipartite(NodeId a, NodeId b) {
 Graph binary_tree(NodeId n) {
   OPINDYN_EXPECTS(n >= 2, "binary tree needs n >= 2");
   GraphBuilder builder(n);
+  builder.reserve(n - 1);
   for (NodeId v = 1; v < n; ++v) {
-    builder.add_edge(v, static_cast<NodeId>((v - 1) / 2));
+    builder.add_edge_unchecked(v, static_cast<NodeId>((v - 1) / 2));
   }
   return builder.build("binary_tree(" + std::to_string(n) + ")");
 }
@@ -229,6 +244,7 @@ Graph random_regular(Rng& rng, NodeId n, NodeId d) {
   for (int attempt = 0; attempt < 10000; ++attempt) {
     const std::vector<std::int32_t> perm = random_permutation(rng, stubs);
     GraphBuilder builder(n);
+    builder.reserve(stubs / 2);
     bool simple = true;
     for (std::int64_t i = 0; i < stubs && simple; i += 2) {
       const NodeId u = static_cast<NodeId>(
@@ -260,10 +276,12 @@ Graph erdos_renyi_connected(Rng& rng, NodeId n, double p, int max_attempts) {
   OPINDYN_EXPECTS(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     GraphBuilder builder(n);
+    builder.reserve(static_cast<std::int64_t>(
+        p * static_cast<double>(n) * (n - 1) / 2.0));
     for (NodeId u = 0; u < n; ++u) {
       for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
         if (rng.next_bool(p)) {
-          builder.add_edge(u, v);
+          builder.add_edge_unchecked(u, v);
         }
       }
     }
@@ -283,12 +301,21 @@ Graph preferential_attachment(Rng& rng, NodeId n, NodeId attach) {
   OPINDYN_EXPECTS(attach >= 1, "attachment count must be >= 1");
   OPINDYN_EXPECTS(n > attach + 1, "need n > attach + 1");
   GraphBuilder builder(n);
+  // Unchecked adds throughout: the seed clique enumerates distinct pairs,
+  // and each attachment round joins a brand-new node w to `attach`
+  // distinct targets, so no duplicate edge can arise.
+  const std::int64_t seed_edges =
+      static_cast<std::int64_t>(attach + 1) * attach / 2;
+  const std::int64_t total_edges =
+      seed_edges + static_cast<std::int64_t>(n - attach - 1) * attach;
+  builder.reserve(total_edges);
   // Repeated-endpoint list: sampling an element uniformly samples a node
   // proportionally to its current degree.
   std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2 * total_edges));
   for (NodeId u = 0; u <= attach; ++u) {
     for (NodeId v = static_cast<NodeId>(u + 1); v <= attach; ++v) {
-      builder.add_edge(u, v);
+      builder.add_edge_unchecked(u, v);
       endpoints.push_back(u);
       endpoints.push_back(v);
     }
@@ -305,7 +332,7 @@ Graph preferential_attachment(Rng& rng, NodeId n, NodeId attach) {
       }
     }
     for (const NodeId t : targets) {
-      builder.add_edge(w, t);
+      builder.add_edge_unchecked(w, t);
       endpoints.push_back(w);
       endpoints.push_back(t);
     }

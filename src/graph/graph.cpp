@@ -11,6 +11,12 @@ Graph::Graph(NodeId node_count,
     : node_count_(node_count),
       edge_count_(static_cast<std::int64_t>(edges.size())) {
   OPINDYN_EXPECTS(node_count > 0, "graph needs at least one node");
+  // Compact-index bound: arc positions are stored as uint32, so the 2m
+  // directed arcs must fit.  (2m >= 2^32 means a >16 GiB adjacency
+  // array -- reject it loudly rather than truncate.)
+  OPINDYN_EXPECTS(2 * static_cast<std::uint64_t>(edges.size()) <
+                      (std::uint64_t{1} << 32),
+                  "graph exceeds the compact 32-bit arc index (2m >= 2^32)");
   offsets_.assign(static_cast<std::size_t>(node_count) + 1, 0);
 
   for (const auto& [u, v] : edges) {
@@ -26,7 +32,7 @@ Graph::Graph(NodeId node_count,
   adjacency_.assign(static_cast<std::size_t>(offsets_.back()), 0);
   arc_source_.assign(adjacency_.size(), 0);
 
-  std::vector<ArcId> cursor(offsets_.begin(), offsets_.end() - 1);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (const auto& [u, v] : edges) {
     adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)])] =
         v;

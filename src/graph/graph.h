@@ -7,6 +7,12 @@
 // is the pair (arc_source_[j], adjacency_[j]).  Graphs are built once via
 // GraphBuilder and never mutated afterwards, so the simulation layer can
 // share one Graph across replicas and threads without synchronisation.
+//
+// The representation is compact: arc offsets are stored as uint32 (node
+// ids are already int32), which halves the offsets footprint and keeps a
+// 10^7-node graph's CSR cache-friendly.  Construction rejects graphs
+// with 2m >= 2^32 directed arcs (a ~17 GiB adjacency array) with a
+// one-line error instead of silently truncating indices.
 #ifndef OPINDYN_GRAPH_GRAPH_H
 #define OPINDYN_GRAPH_GRAPH_H
 
@@ -82,6 +88,20 @@ class Graph {
   /// All undirected edges, each once with u < v.
   std::vector<std::pair<NodeId, NodeId>> undirected_edges() const;
 
+  // Raw CSR arrays for the burst kernels (see core/node_model.cpp,
+  // core/edge_model.cpp): the kernels stream these through SIMD gathers
+  // and must not pay a per-access accessor.  Layout contract:
+  //   offsets_data()[u] .. offsets_data()[u+1]  -- u's row (sorted asc),
+  //   adjacency_data()[j]                       -- target of arc j,
+  //   arc_source_data()[j]                      -- source of arc j.
+  const std::uint32_t* offsets_data() const noexcept {
+    return offsets_.data();
+  }
+  const NodeId* adjacency_data() const noexcept { return adjacency_.data(); }
+  const NodeId* arc_source_data() const noexcept {
+    return arc_source_.data();
+  }
+
   /// Optional human-readable name set by generators ("cycle(16)", ...).
   const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -91,7 +111,7 @@ class Graph {
   std::int64_t edge_count_ = 0;
   NodeId min_degree_ = 0;
   NodeId max_degree_ = 0;
-  std::vector<ArcId> offsets_;       // size n+1
+  std::vector<std::uint32_t> offsets_;  // size n+1, compact arc indices
   std::vector<NodeId> adjacency_;    // size 2m, sorted within each row
   std::vector<NodeId> arc_source_;   // size 2m: arc j -> its source node
   std::string name_;

@@ -1,0 +1,87 @@
+#include "src/graph/layout.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+
+GraphLayout GraphLayout::identity(const Graph& graph) {
+  GraphLayout layout;
+  layout.is_identity_ = true;
+  layout.to_internal_.resize(static_cast<std::size_t>(graph.node_count()));
+  std::iota(layout.to_internal_.begin(), layout.to_internal_.end(), NodeId{0});
+  layout.to_original_ = layout.to_internal_;
+  return layout;
+}
+
+GraphLayout GraphLayout::degree_sorted(const Graph& graph) {
+  if (graph.is_regular()) {
+    return identity(graph);
+  }
+  const auto n = static_cast<std::size_t>(graph.node_count());
+  GraphLayout layout;
+  layout.to_original_.resize(n);
+  std::iota(layout.to_original_.begin(), layout.to_original_.end(), NodeId{0});
+  std::stable_sort(layout.to_original_.begin(), layout.to_original_.end(),
+                   [&graph](NodeId a, NodeId b) {
+                     return graph.degree(a) > graph.degree(b);
+                   });
+  layout.to_internal_.resize(n);
+  bool moved = false;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const NodeId orig = layout.to_original_[slot];
+    layout.to_internal_[static_cast<std::size_t>(orig)] =
+        static_cast<NodeId>(slot);
+    moved = moved || orig != static_cast<NodeId>(slot);
+  }
+  if (!moved) {
+    layout.is_identity_ = true;
+    return layout;
+  }
+  layout.is_identity_ = false;
+
+  const auto arcs = static_cast<std::size_t>(graph.arc_count());
+  const NodeId* adjacency = graph.adjacency_data();
+  const NodeId* arc_source = graph.arc_source_data();
+  layout.adjacency_internal_.resize(arcs);
+  layout.arc_source_internal_.resize(arcs);
+  for (std::size_t j = 0; j < arcs; ++j) {
+    layout.adjacency_internal_[j] =
+        layout.to_internal_[static_cast<std::size_t>(adjacency[j])];
+    layout.arc_source_internal_[j] =
+        layout.to_internal_[static_cast<std::size_t>(arc_source[j])];
+  }
+  return layout;
+}
+
+void GraphLayout::scatter(std::span<const double> original,
+                          std::span<double> internal) const {
+  OPINDYN_EXPECTS(original.size() == to_internal_.size() &&
+                      internal.size() == to_internal_.size(),
+                  "layout scatter size mismatch");
+  if (is_identity_) {
+    std::copy(original.begin(), original.end(), internal.begin());
+    return;
+  }
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    internal[static_cast<std::size_t>(to_internal_[i])] = original[i];
+  }
+}
+
+void GraphLayout::gather(std::span<const double> internal,
+                         std::span<double> original) const {
+  OPINDYN_EXPECTS(internal.size() == to_internal_.size() &&
+                      original.size() == to_internal_.size(),
+                  "layout gather size mismatch");
+  if (is_identity_) {
+    std::copy(internal.begin(), internal.end(), original.begin());
+    return;
+  }
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = internal[static_cast<std::size_t>(to_internal_[i])];
+  }
+}
+
+}  // namespace opindyn

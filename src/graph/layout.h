@@ -1,0 +1,82 @@
+// Optional node reordering for cache locality in the burst kernels.
+//
+// A GraphLayout is a bijection between "original" node ids (what the
+// generator emitted, what CSV rows / initial distributions / spectra
+// use) and an "internal" storage order chosen for locality.  The
+// degree-sorted layout places high-degree nodes first, so on skewed
+// graphs (preferential attachment) the hub values that neighbour
+// gathers touch constantly share a handful of cache lines.
+//
+// Bit-identity contract (see core/node_model.cpp): reordering must not
+// change a single emitted byte.  The layout therefore never permutes
+// the Graph itself -- rng draws, adjacency rows, and arc indices all
+// stay in original order.  Only value *storage* moves: kernels keep a
+// mirror of the opinion vector in internal order and translate each
+// access through the precomputed arrays below.  Because every
+// translated array preserves its original element order, the sequence
+// of floating-point operations is unchanged and the results are
+// bit-identical by construction.
+#ifndef OPINDYN_GRAPH_LAYOUT_H
+#define OPINDYN_GRAPH_LAYOUT_H
+
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace opindyn {
+
+class GraphLayout {
+ public:
+  /// Identity layout: internal order == original order.  Kernels treat
+  /// this as "no reordering" and skip the mirror entirely.
+  static GraphLayout identity(const Graph& graph);
+
+  /// Degree-sorted layout: nodes ordered by descending degree, ties by
+  /// ascending original id (deterministic).  Collapses to the identity
+  /// on regular graphs, where sorting by degree permutes nothing useful.
+  static GraphLayout degree_sorted(const Graph& graph);
+
+  bool is_identity() const noexcept { return is_identity_; }
+  NodeId node_count() const noexcept {
+    return static_cast<NodeId>(to_internal_.size());
+  }
+
+  /// original id -> internal storage slot.
+  std::span<const NodeId> to_internal() const noexcept { return to_internal_; }
+  /// internal storage slot -> original id.
+  std::span<const NodeId> to_original() const noexcept { return to_original_; }
+
+  // Elementwise-translated copies of the Graph's CSR arrays: entry j is
+  // the internal slot of the original array's entry j.  Row boundaries
+  // and within-row order are untouched, so `offsets_data()[u]` from the
+  // *original* graph still delimits u's row here.  Empty spans for the
+  // identity layout (kernels use the Graph's own arrays then).
+  std::span<const NodeId> adjacency_internal() const noexcept {
+    return adjacency_internal_;
+  }
+  std::span<const NodeId> arc_source_internal() const noexcept {
+    return arc_source_internal_;
+  }
+
+  /// Scatters `original[i]` into `internal[to_internal(i)]`.  Copies
+  /// verbatim for the identity layout.
+  void scatter(std::span<const double> original,
+               std::span<double> internal) const;
+  /// Inverse of scatter.
+  void gather(std::span<const double> internal,
+              std::span<double> original) const;
+
+ private:
+  GraphLayout() = default;
+
+  bool is_identity_ = true;
+  std::vector<NodeId> to_internal_;
+  std::vector<NodeId> to_original_;
+  std::vector<NodeId> adjacency_internal_;
+  std::vector<NodeId> arc_source_internal_;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_GRAPH_LAYOUT_H

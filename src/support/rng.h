@@ -50,11 +50,21 @@ class Rng {
   /// Uniform integer in [0, bound).  Uses Lemire's multiply-shift rejection
   /// method, which is unbiased and avoids the modulo.
   std::uint64_t next_below(std::uint64_t bound) noexcept {
-    // Lemire 2019: unbiased bounded integers without division in the
-    // common path.
     if (bound == 0) {
       return 0;
     }
+    return next_below_nonzero(bound);
+  }
+
+  /// next_below for callers that guarantee bound > 0 -- the burst
+  /// kernels, whose bound is a node/arc count checked once per burst.
+  /// Identical stream and results; the zero test above is the only
+  /// thing skipped (it otherwise re-executes per step inside the hot
+  /// loops, as the compiler cannot hoist a branch out of an opaque
+  /// reference).
+  std::uint64_t next_below_nonzero(std::uint64_t bound) noexcept {
+    // Lemire 2019: unbiased bounded integers without division in the
+    // common path.
     std::uint64_t x = (*this)();
     __uint128_t m = static_cast<__uint128_t>(x) * bound;
     auto low = static_cast<std::uint64_t>(m);
@@ -67,6 +77,38 @@ class Rng {
       }
     }
     return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Fills out[0..count) with draws uniform in [0, bound), consuming
+  /// EXACTLY the stream of `count` sequential next_below(bound) calls
+  /// (same words drawn, same rejections).  The burst kernels use this
+  /// to split random-index generation from the gather/apply phases: the
+  /// rejection threshold is hoisted out of the loop and the compiler
+  /// can pipeline the multiply-shift across iterations, which a
+  /// one-at-a-time call chain hides.
+  void fill_below(std::uint64_t bound, std::uint64_t* out,
+                  std::size_t count) noexcept {
+    if (bound == 0) {
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = 0;
+      }
+      return;
+    }
+    // Same rejection rule as next_below: redraw iff low < threshold.
+    // (next_below computes the threshold lazily behind `low < bound`,
+    // but threshold < bound, so the consumed stream is identical.)
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t x = (*this)();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      auto low = static_cast<std::uint64_t>(m);
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+      out[i] = static_cast<std::uint64_t>(m >> 64);
+    }
   }
 
   /// Uniform integer in [lo, hi] (inclusive).

@@ -119,5 +119,34 @@ TEST(GraphBuilder, RejectsInvalidEdges) {
   EXPECT_THROW(builder.add_edge(0, 5), ContractError);
 }
 
+TEST(GraphBuilder, UncheckedStreamingPathBuildsTheSameGraph) {
+  // The reserve + add_edge_unchecked path the large-n generators use
+  // must produce the identical CSR as the deduplicating path.
+  GraphBuilder checked(5);
+  GraphBuilder streamed(5);
+  streamed.reserve(6);
+  const std::pair<NodeId, NodeId> edges[] = {{0, 1}, {1, 2}, {2, 3},
+                                             {3, 4}, {4, 0}, {1, 3}};
+  for (const auto& [u, v] : edges) {
+    EXPECT_TRUE(checked.add_edge(u, v));
+    streamed.add_edge_unchecked(u, v);
+  }
+  const Graph a = checked.build();
+  const Graph b = streamed.build();
+  ASSERT_EQ(a.arc_count(), b.arc_count());
+  for (std::int64_t j = 0; j < a.arc_count(); ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    EXPECT_EQ(a.adjacency_data()[idx], b.adjacency_data()[idx]);
+    EXPECT_EQ(a.arc_source_data()[idx], b.arc_source_data()[idx]);
+  }
+}
+
+TEST(GraphBuilder, UncheckedDuplicatesAreCaughtAtBuild) {
+  GraphBuilder builder(3);
+  builder.add_edge_unchecked(0, 1);
+  builder.add_edge_unchecked(1, 0);  // violated guarantee
+  EXPECT_THROW(builder.build(), ContractError);
+}
+
 }  // namespace
 }  // namespace opindyn

@@ -1,0 +1,104 @@
+// GraphLayout: the degree-sorted storage permutation behind the
+// kernels' reorder mirror.  The layout never touches the Graph itself;
+// these tests pin the bijection, the translated CSR arrays, and the
+// scatter/gather round-trip the kernels rely on for bit-identity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/graph/layout.h"
+#include "src/support/rng.h"
+
+namespace opindyn {
+namespace {
+
+TEST(GraphLayout, DegreeSortedCollapsesToIdentityOnRegularGraphs) {
+  const Graph g = gen::torus(6, 6);
+  const GraphLayout layout = GraphLayout::degree_sorted(g);
+  EXPECT_TRUE(layout.is_identity());
+  // Identity scatter/gather must still copy verbatim.
+  std::vector<double> original(static_cast<std::size_t>(g.node_count()));
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = static_cast<double>(i) * 0.5;
+  }
+  std::vector<double> internal(original.size(), -1.0);
+  layout.scatter(original, internal);
+  EXPECT_EQ(internal, original);
+}
+
+TEST(GraphLayout, DegreeSortedIsAHubFirstBijection) {
+  Rng graph_rng(41);
+  const Graph g = gen::preferential_attachment(graph_rng, 64, 2);
+  const GraphLayout layout = GraphLayout::degree_sorted(g);
+  ASSERT_FALSE(layout.is_identity());
+  ASSERT_EQ(layout.node_count(), g.node_count());
+
+  const auto to_internal = layout.to_internal();
+  const auto to_original = layout.to_original();
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    EXPECT_EQ(to_original[static_cast<std::size_t>(
+                  to_internal[static_cast<std::size_t>(u)])],
+              u);
+  }
+  // Internal order is descending degree (ties by ascending original
+  // id), so the heaviest hub owns slot 0 and the sequence never rises.
+  EXPECT_EQ(g.degree(to_original[0]), g.max_degree());
+  for (NodeId s = 1; s < g.node_count(); ++s) {
+    const NodeId prev = to_original[static_cast<std::size_t>(s) - 1];
+    const NodeId cur = to_original[static_cast<std::size_t>(s)];
+    EXPECT_GE(g.degree(prev), g.degree(cur));
+    if (g.degree(prev) == g.degree(cur)) {
+      EXPECT_LT(prev, cur);
+    }
+  }
+}
+
+TEST(GraphLayout, TranslatedArraysPreserveArcOrder) {
+  Rng graph_rng(43);
+  const Graph g = gen::preferential_attachment(graph_rng, 48, 2);
+  const GraphLayout layout = GraphLayout::degree_sorted(g);
+  ASSERT_FALSE(layout.is_identity());
+  const auto to_internal = layout.to_internal();
+  const auto adj = layout.adjacency_internal();
+  const auto src = layout.arc_source_internal();
+  ASSERT_EQ(static_cast<std::int64_t>(adj.size()), g.arc_count());
+  ASSERT_EQ(static_cast<std::int64_t>(src.size()), g.arc_count());
+  // Elementwise translation: arc j keeps its position, only the node
+  // id it names moves to its internal slot.
+  for (std::int64_t j = 0; j < g.arc_count(); ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    EXPECT_EQ(adj[idx],
+              to_internal[static_cast<std::size_t>(
+                  g.adjacency_data()[idx])]);
+    EXPECT_EQ(src[idx],
+              to_internal[static_cast<std::size_t>(
+                  g.arc_source_data()[idx])]);
+  }
+}
+
+TEST(GraphLayout, ScatterGatherRoundTripsEveryValue) {
+  Rng graph_rng(47);
+  const Graph g = gen::preferential_attachment(graph_rng, 40, 2);
+  const GraphLayout layout = GraphLayout::degree_sorted(g);
+  ASSERT_FALSE(layout.is_identity());
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<double> original(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    original[i] = static_cast<double>(i) + 0.25;
+  }
+  std::vector<double> internal(n, 0.0);
+  std::vector<double> back(n, 0.0);
+  layout.scatter(original, internal);
+  // scatter really permutes: slot to_internal(i) holds original[i].
+  const auto to_internal = layout.to_internal();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(internal[static_cast<std::size_t>(to_internal[i])],
+              original[i]);
+  }
+  layout.gather(internal, back);
+  EXPECT_EQ(back, original);
+}
+
+}  // namespace
+}  // namespace opindyn

@@ -56,6 +56,24 @@ TEST(Rng, NextBelowIsApproximatelyUniform) {
   EXPECT_LT(chi2, 27.9);
 }
 
+TEST(Rng, FillBelowMatchesSequentialNextBelowExactly) {
+  // The burst kernels batch their draws through fill_below; the stream
+  // contract is EXACT equality with sequential next_below, including
+  // the state left behind (checked via the next raw draw).
+  for (const std::uint64_t bound :
+       {1ULL, 3ULL, 7ULL, 1000ULL, (1ULL << 32) - 5, 1ULL << 40}) {
+    Rng batched(99);
+    Rng sequential(99);
+    std::uint64_t buffer[133];  // odd size: exercises any tail handling
+    batched.fill_below(bound, buffer, 133);
+    for (int i = 0; i < 133; ++i) {
+      EXPECT_EQ(buffer[i], sequential.next_below(bound))
+          << "bound=" << bound << " i=" << i;
+    }
+    EXPECT_EQ(batched(), sequential()) << "bound=" << bound;
+  }
+}
+
 TEST(Rng, NextDoubleIsInUnitInterval) {
   Rng rng(13);
   for (int i = 0; i < 10000; ++i) {
