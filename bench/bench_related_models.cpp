@@ -16,9 +16,9 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "src/baselines/degroot.h"
-#include "src/baselines/friedkin_johnsen.h"
 #include "src/core/convergence.h"
+#include "src/core/degroot.h"
+#include "src/core/friedkin_johnsen.h"
 #include "src/core/initial_values.h"
 #include "src/core/node_model.h"
 #include "src/graph/algorithms.h"
@@ -55,7 +55,7 @@ int main() {
   {
     DeGrootModel degroot(g, xi, /*lazy=*/true);
     while (degroot.discrepancy() > 1e-9 && degroot.rounds() < 100000) {
-      degroot.step();
+      degroot.round();
     }
     table.new_row()
         .add("DeGroot")
@@ -69,7 +69,7 @@ int main() {
     FriedkinJohnsen fj(g, xi, 0.7);
     const auto star = fj.equilibrium();
     while (fj.distance_to(star) > 1e-10 && fj.rounds() < 100000) {
-      fj.step();
+      fj.round();
     }
     double lo = star[0];
     double hi = star[0];

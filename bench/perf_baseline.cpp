@@ -6,15 +6,18 @@
 // virtual step_burst per 4096 steps, allocation-free) -- and emits one
 // JSON document:
 //
-//   perf_baseline --out BENCH_7.json [--min-time 0.3]
+//   perf_baseline --out BENCH_8.json [--min-time 0.3]
 //
 // The workload matrix covers every devirtualized kernel variant (node
 // k in {1, 4, 8}, edge, tracked extrema for both models), the
 // irregular-topology path and the degree-sorted reorder mirror on a
-// preferential-attachment graph, and an n-scaling curve per model on
-// tori from 1k to 10M nodes (the compact-graph milestone; deterministic
+// preferential-attachment graph, an n-scaling curve per model on tori
+// from 1k to 10M nodes (the compact-graph milestone; deterministic
 // 4-regular, so the curve isolates memory behaviour from graph
-// randomness).
+// randomness), and one row per generalized model kind (voter, gossip,
+// weighted_median, hegselmann_krause) so every burst kernel in the
+// family is gated.  The model name is part of the perf_check workload
+// identity.
 //
 // Reference columns:
 //   pre_pr_sps  -- seed-build single-step throughput on this container
@@ -38,9 +41,13 @@
 #include <vector>
 
 #include "src/core/edge_model.h"
+#include "src/core/gossip_model.h"
+#include "src/core/hegselmann_krause_model.h"
 #include "src/core/initial_values.h"
 #include "src/core/model.h"
 #include "src/core/node_model.h"
+#include "src/core/voter_model.h"
+#include "src/core/weighted_median_model.h"
 #include "src/graph/generators.h"
 #include "src/support/build_info.h"
 #include "src/support/json.h"
@@ -121,6 +128,14 @@ const Workload kWorkloads[] = {
     {ModelKind::edge, "torus", 131044},
     {ModelKind::edge, "torus", 1048576},
     {ModelKind::edge, "torus", 9998244},
+    // The generalized model family (one gated row per burst kernel).
+    {ModelKind::voter, "random_regular", 16384},
+    {ModelKind::gossip, "random_regular", 16384},
+    {ModelKind::weighted_median, "random_regular", 1024},
+    {ModelKind::weighted_median, "random_regular", 16384},
+    {ModelKind::weighted_median, "random_regular", 16384, 4},
+    {ModelKind::weighted_median, "pref_attach", 16384},
+    {ModelKind::hegselmann_krause, "random_regular", 16384},
 };
 
 Graph build_bench_graph(const Workload& w) {
@@ -146,20 +161,49 @@ std::unique_ptr<AveragingProcess> build_process(const Workload& w,
                                                 const Graph& g) {
   Rng init_rng(2);
   auto xi = initial::gaussian(init_rng, g.node_count(), 0.0, 1.0);
-  if (w.kind == ModelKind::node) {
-    NodeModelParams params;
-    params.alpha = 0.5;
-    params.k = w.k;
-    params.sampling = w.sampling;
-    params.track_extrema = w.track_extrema;
-    params.reorder = w.reorder;
-    return std::make_unique<NodeModel>(g, std::move(xi), params);
+  switch (w.kind) {
+    case ModelKind::node: {
+      NodeModelParams params;
+      params.alpha = 0.5;
+      params.k = w.k;
+      params.sampling = w.sampling;
+      params.track_extrema = w.track_extrema;
+      params.reorder = w.reorder;
+      return std::make_unique<NodeModel>(g, std::move(xi), params);
+    }
+    case ModelKind::edge: {
+      EdgeModelParams params;
+      params.alpha = 0.5;
+      params.track_extrema = w.track_extrema;
+      params.reorder = w.reorder;
+      return std::make_unique<EdgeModel>(g, std::move(xi), params);
+    }
+    case ModelKind::voter:
+      // Gaussian values are pairwise distinct, so the id bookkeeping
+      // stays busy for the whole measurement window (consensus on
+      // n = 16k takes ~n^2 steps, far beyond a rep).
+      return std::make_unique<VoterModel>(g, std::move(xi));
+    case ModelKind::gossip:
+      return std::make_unique<GossipModel>(g, std::move(xi));
+    case ModelKind::weighted_median: {
+      WeightedMedianParams params;
+      params.k = w.k;
+      params.sampling = w.sampling;
+      params.track_extrema = w.track_extrema;
+      return std::make_unique<WeightedMedianModel>(g, std::move(xi),
+                                                   params);
+    }
+    case ModelKind::hegselmann_krause: {
+      HegselmannKrauseParams params;
+      params.confidence = 0.25;
+      params.track_extrema = w.track_extrema;
+      return std::make_unique<HegselmannKrauseModel>(g, std::move(xi),
+                                                     params);
+    }
+    default:
+      std::cerr << "perf_baseline: unsupported model kind\n";
+      std::exit(1);
   }
-  EdgeModelParams params;
-  params.alpha = 0.5;
-  params.track_extrema = w.track_extrema;
-  params.reorder = w.reorder;
-  return std::make_unique<EdgeModel>(g, std::move(xi), params);
 }
 
 // Each workload is timed as best-of-kReps repetitions of >= min_time
@@ -254,18 +298,20 @@ int main(int argc, char** argv) {
   }
 
   json::Object doc;
-  doc.emplace_back("bench", "BENCH_7");
+  doc.emplace_back("bench", "BENCH_8");
   doc.emplace_back(
       "description",
       "steps/sec of the averaging-process stepping paths (single = "
       "recorded per-step path, burst = chunked batched-rng kernel) over "
-      "every devirtualized kernel variant, the reorder mirror, and an "
-      "n-scaling curve to 10M nodes; pre_pr_sps / bench5_sps are the "
-      "seed-build and BENCH_5 kernel references for this container");
+      "every devirtualized kernel variant, the reorder mirror, an "
+      "n-scaling curve to 10M nodes, and the generalized model family "
+      "(voter, gossip, weighted_median, hegselmann_krause); pre_pr_sps / "
+      "bench5_sps are the seed-build and BENCH_5 kernel references for "
+      "this container");
   doc.emplace_back(
       "regenerate",
       "cmake -B build -S . && cmake --build build --target perf_baseline "
-      "&& build/bench/perf_baseline --min-time 0.5 --out BENCH_7.json");
+      "&& build/bench/perf_baseline --min-time 0.5 --out BENCH_8.json");
   doc.emplace_back("build", build_info_json());
   doc.emplace_back("burst_steps", kBurst);
   doc.emplace_back("measure",
@@ -287,8 +333,7 @@ int main(int argc, char** argv) {
     const double single = measure_single(w, g, min_time);
     const double burst = measure_burst(w, g, min_time);
     json::Object row;
-    row.emplace_back("model",
-                     w.kind == ModelKind::node ? "node" : "edge");
+    row.emplace_back("model", model_kind_name(w.kind));
     row.emplace_back("graph", w.graph);
     row.emplace_back("n", static_cast<std::int64_t>(w.n));
     row.emplace_back("k", w.k);
@@ -310,7 +355,7 @@ int main(int argc, char** argv) {
       row.emplace_back("burst_over_bench5", burst / w.bench5_sps);
     }
     workloads.push_back(json::Value(std::move(row)));
-    std::cerr << (w.kind == ModelKind::node ? "node" : "edge") << " "
+    std::cerr << model_kind_name(w.kind) << " "
               << w.graph << " n=" << w.n << " k=" << w.k
               << (w.sampling == SamplingMode::with_replacement ? " withrep"
                                                                : "")

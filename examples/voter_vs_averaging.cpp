@@ -11,9 +11,9 @@
 #include <cmath>
 #include <iostream>
 
-#include "src/baselines/gossip.h"
-#include "src/baselines/voter.h"
 #include "src/core/convergence.h"
+#include "src/core/gossip_model.h"
+#include "src/core/voter_model.h"
 #include "src/core/initial_values.h"
 #include "src/core/node_model.h"
 #include "src/graph/generators.h"

@@ -42,8 +42,14 @@ run flags (every spec key; flags override --spec file entries):
   --degree, --attach, --p, --graph-seed   family-specific knobs
   --init=<dist>          rademacher|uniform|gaussian|constant|spike|...
   --init-a, --init-b, --init-seed, --center=plain|degree|none
+  --model=<kind>         node|edge|voter|gossip|degroot|friedkin_johnsen|
+                         weighted_median|hegselmann_krause; honoured
+                         verbatim by cross_model (sweepable there),
+                         forced by the single-model scenarios
   --alpha=<f>            self-weight of the update      (default 0.5)
-  --k=<int>              sampled neighbours (NodeModel) (default 1)
+  --confidence=<f>       HK confidence bound (hegselmann_krause only)
+  --k=<int>              sampled neighbours (node, weighted_median)
+                                                        (default 1)
   --lazy=<bool>          fair-coin no-op steps
   --sampling=without|with  neighbour sampling mode
   --replicas=<int>       Monte-Carlo replicas per item  (default 100)
@@ -75,6 +81,8 @@ run flags (every spec key; flags override --spec file entries):
 
 examples:
   opindyn run --scenario=node_vs_edge --graph=cycle --n=1024 --sweep=k:1,2,4,8
+  opindyn run --scenario=cross_model --graph=cycle --n=64 \
+      --sweep=model:node,edge,voter,weighted_median
   opindyn run --scenario=gossip_vs_unilateral --graph=complete --n=16 \
       --replicas=4000 --eps=1e-13
   opindyn run --scenario=whp_tail --graph=cycle --n=24 --replicas=400 \

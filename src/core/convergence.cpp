@@ -16,34 +16,27 @@ ConvergenceResult run_until_converged(AveragingProcess& process, Rng& rng,
     interval = std::max<std::int64_t>(1, process.graph().node_count() / 4);
   }
 
-  // Always evaluate the centered two-pass potential: the incremental
-  // accumulators drift by ~1e-16 * magnitude^2 per update, which would
-  // mask epsilons near machine precision.  The exact form is O(n), and
-  // with a check interval of ~n/4 steps that amortises to O(1) per step.
-  const auto exact_phi = [&]() {
-    return options.use_plain_potential ? process.state().phi_plain_exact()
-                                       : process.state().phi_exact();
-  };
-
   ConvergenceResult result;
   const std::int64_t start_time = process.time();
-  // Each check evaluates the O(n) centered form exactly once and reuses
-  // the value for both the stop decision and the reported final_phi.
-  double phi = exact_phi();
-  if (phi > options.epsilon) {
-    while (process.time() - start_time < options.max_steps) {
-      const std::int64_t burst = std::min(
-          interval, options.max_steps - (process.time() - start_time));
-      process.step_burst(rng, burst);
-      phi = exact_phi();
-      if (phi <= options.epsilon) {
-        break;
-      }
-    }
+  // The stop decision is the process's own predicate.  The default
+  // (AveragingProcess::converged) always evaluates the centered two-pass
+  // potential: the incremental accumulators drift by ~1e-16 * magnitude^2
+  // per update, which would mask epsilons near machine precision.  The
+  // exact form is O(n), and with a check interval of ~n/4 steps that
+  // amortises to O(1) per step.  Discrete rules (voter) substitute their
+  // own O(1) predicate via the converged() override.
+  bool done = process.converged(options.epsilon, options.use_plain_potential);
+  while (!done && process.time() - start_time < options.max_steps) {
+    const std::int64_t burst = std::min(
+        interval, options.max_steps - (process.time() - start_time));
+    process.step_burst(rng, burst);
+    done = process.converged(options.epsilon, options.use_plain_potential);
   }
   result.steps = process.time() - start_time;
-  result.converged = phi <= options.epsilon;
-  result.final_phi = phi;
+  result.converged = done;
+  result.final_phi = options.use_plain_potential
+                         ? process.state().phi_plain_exact()
+                         : process.state().phi_exact();
   result.final_value = process.state().weighted_average();
   // Observability: one counter bump per converged run (never per step);
   // a thread_local check + return when no metrics scope is active.

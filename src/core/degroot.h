@@ -6,43 +6,56 @@
 // reaches only in expectation.  Included as the deterministic
 // full-neighbourhood-communication comparator: zero variance, but every
 // node must hear all neighbours every round.
-#ifndef OPINDYN_BASELINES_DEGROOT_H
-#define OPINDYN_BASELINES_DEGROOT_H
+//
+// As an AveragingProcess, one "step" is one synchronous round and the
+// rng is never consumed (zero draws per step -- the degenerate end of
+// the draw-order-equivalence grid).
+#ifndef OPINDYN_CORE_DEGROOT_H
+#define OPINDYN_CORE_DEGROOT_H
 
 #include <cstdint>
 #include <vector>
 
+#include "src/core/process.h"
 #include "src/graph/graph.h"
 
 namespace opindyn {
 
-class DeGrootModel {
+class DeGrootModel final : public AveragingProcess {
  public:
   /// `lazy` blends each round with weight 1/2 on the current value
   /// (needed for convergence on bipartite graphs).
   DeGrootModel(const Graph& graph, std::vector<double> initial, bool lazy);
 
   /// One synchronous round: every node simultaneously averages its
-  /// neighbourhood.
-  void step();
+  /// neighbourhood.  Deterministic; counts one time step.
+  void round();
 
-  const std::vector<double>& values() const noexcept { return values_; }
-  std::int64_t rounds() const noexcept { return rounds_; }
+  NodeSelection step_recorded(Rng& rng) override;
+  void step_burst(Rng& rng, std::int64_t n_steps) override;
+
+  const std::vector<double>& values() const noexcept {
+    return state().values();
+  }
+  std::int64_t rounds() const noexcept { return time(); }
 
   /// <pi, xi(t)>: invariant under the dynamics, equals the limit.
-  double weighted_average() const;
+  double weighted_average() const noexcept {
+    return state().weighted_average();
+  }
 
   /// max - min of the current values.
-  double discrepancy() const;
+  double discrepancy() const { return state().discrepancy(); }
 
  private:
-  const Graph* graph_;
+  /// The round body without the time bump (shared by round(),
+  /// step_recorded and step_burst).
+  void round_impl();
+
   bool lazy_;
-  std::vector<double> values_;
   std::vector<double> scratch_;
-  std::int64_t rounds_ = 0;
 };
 
 }  // namespace opindyn
 
-#endif  // OPINDYN_BASELINES_DEGROOT_H
+#endif  // OPINDYN_CORE_DEGROOT_H

@@ -1,6 +1,7 @@
-#include "src/baselines/friedkin_johnsen.h"
+#include "src/core/friedkin_johnsen.h"
 
 #include <cmath>
+#include <utility>
 
 #include "src/spectral/solve.h"
 #include "src/spectral/spectra.h"
@@ -9,60 +10,81 @@
 
 namespace opindyn {
 
-FriedkinJohnsen::FriedkinJohnsen(const Graph& graph,
-                                 std::vector<double> private_opinions,
-                                 double susceptibility)
-    : graph_(&graph),
-      lambda_(susceptibility),
-      private_(std::move(private_opinions)),
-      expressed_(private_) {
-  OPINDYN_EXPECTS(private_.size() ==
-                      static_cast<std::size_t>(graph.node_count()),
-                  "private opinion vector size must equal node count");
-  OPINDYN_EXPECTS(susceptibility >= 0.0 && susceptibility < 1.0,
-                  "susceptibility must be in [0, 1)");
+FriedkinJohnsenModel::FriedkinJohnsenModel(
+    const Graph& graph, std::vector<double> private_opinions,
+    double susceptibility)
+    : AveragingProcess(graph, private_opinions, susceptibility,
+                       /*track_extrema=*/false),
+      private_(std::move(private_opinions)) {
   OPINDYN_EXPECTS(graph.min_degree() >= 1,
                   "FJ needs every node to have a neighbour");
-  scratch_.resize(expressed_.size());
+  scratch_.resize(private_.size());
 }
 
-void FriedkinJohnsen::step() {
-  ++rounds_;
-  for (NodeId u = 0; u < graph_->node_count(); ++u) {
+void FriedkinJohnsenModel::round_impl() {
+  const Graph& g = graph();
+  const double lambda = alpha();
+  const std::vector<double>& expressed = state().values();
+  for (NodeId u = 0; u < g.node_count(); ++u) {
     double sum = 0.0;
-    for (const NodeId v : graph_->neighbors(u)) {
-      sum += expressed_[static_cast<std::size_t>(v)];
+    for (const NodeId v : g.neighbors(u)) {
+      sum += expressed[static_cast<std::size_t>(v)];
     }
-    const double social = sum / static_cast<double>(graph_->degree(u));
+    const double social = sum / static_cast<double>(g.degree(u));
     scratch_[static_cast<std::size_t>(u)] =
-        lambda_ * social +
-        (1.0 - lambda_) * private_[static_cast<std::size_t>(u)];
+        lambda * social +
+        (1.0 - lambda) * private_[static_cast<std::size_t>(u)];
   }
-  expressed_.swap(scratch_);
+  OpinionState& s = mutable_state();
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    s.set_value(u, scratch_[static_cast<std::size_t>(u)]);
+  }
 }
 
-std::vector<double> FriedkinJohnsen::equilibrium() const {
-  const auto n = static_cast<std::size_t>(graph_->node_count());
+void FriedkinJohnsenModel::round() {
+  round_impl();
+  advance_time(1);
+}
+
+NodeSelection FriedkinJohnsenModel::step_recorded(Rng& /*rng*/) {
+  round_impl();
+  NodeSelection selection;  // a synchronous round has no chi(t)
+  apply(selection);
+  return selection;
+}
+
+void FriedkinJohnsenModel::step_burst(Rng& /*rng*/, std::int64_t n_steps) {
+  OPINDYN_EXPECTS(n_steps >= 0, "n_steps must be >= 0");
+  for (std::int64_t i = 0; i < n_steps; ++i) {
+    round_impl();
+  }
+  advance_time(n_steps);
+}
+
+std::vector<double> FriedkinJohnsenModel::equilibrium() const {
+  const auto n = static_cast<std::size_t>(graph().node_count());
+  const double lambda = alpha();
   // A = I - lambda W; b = (1 - lambda) s.
-  Matrix a = walk_matrix(*graph_);
+  Matrix a = walk_matrix(graph());
   for (std::size_t r = 0; r < n; ++r) {
     for (std::size_t c = 0; c < n; ++c) {
-      a.at(r, c) = (r == c ? 1.0 : 0.0) - lambda_ * a.at(r, c);
+      a.at(r, c) = (r == c ? 1.0 : 0.0) - lambda * a.at(r, c);
     }
   }
   std::vector<double> b(n);
   for (std::size_t i = 0; i < n; ++i) {
-    b[i] = (1.0 - lambda_) * private_[i];
+    b[i] = (1.0 - lambda) * private_[i];
   }
   return solve_dense(std::move(a), std::move(b));
 }
 
-double FriedkinJohnsen::distance_to(
+double FriedkinJohnsenModel::distance_to(
     const std::vector<double>& point) const {
-  OPINDYN_EXPECTS(point.size() == expressed_.size(), "size mismatch");
+  const std::vector<double>& expressed = state().values();
+  OPINDYN_EXPECTS(point.size() == expressed.size(), "size mismatch");
   double dist = 0.0;
   for (std::size_t i = 0; i < point.size(); ++i) {
-    dist = std::max(dist, std::abs(expressed_[i] - point[i]));
+    dist = std::max(dist, std::abs(expressed[i] - point[i]));
   }
   return dist;
 }

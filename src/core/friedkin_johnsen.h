@@ -8,35 +8,44 @@
 // paper cites ([27] studies a limited-information randomised variant
 // similar to the NodeModel); `RandomizedFJ` implements exactly that
 // variant: one random node updates per step using k sampled neighbours.
-#ifndef OPINDYN_BASELINES_FRIEDKIN_JOHNSEN_H
-#define OPINDYN_BASELINES_FRIEDKIN_JOHNSEN_H
+//
+// As an AveragingProcess, the OpinionState holds the *expressed*
+// opinions, `alpha()` is the susceptibility lambda, one "step" is one
+// synchronous round, and the rng is never consumed.
+#ifndef OPINDYN_CORE_FRIEDKIN_JOHNSEN_H
+#define OPINDYN_CORE_FRIEDKIN_JOHNSEN_H
 
 #include <cstdint>
 #include <vector>
 
+#include "src/core/process.h"
 #include "src/graph/graph.h"
 #include "src/support/rng.h"
 
 namespace opindyn {
 
-class FriedkinJohnsen {
+class FriedkinJohnsenModel final : public AveragingProcess {
  public:
   /// `susceptibility` = lambda: weight on social influence (0 = fully
   /// stubborn, -> 1 approaches DeGroot consensus).
-  FriedkinJohnsen(const Graph& graph, std::vector<double> private_opinions,
-                  double susceptibility);
+  FriedkinJohnsenModel(const Graph& graph,
+                       std::vector<double> private_opinions,
+                       double susceptibility);
 
-  /// One synchronous round over all agents.
-  void step();
+  /// One synchronous round over all agents; counts one time step.
+  void round();
+
+  NodeSelection step_recorded(Rng& rng) override;
+  void step_burst(Rng& rng, std::int64_t n_steps) override;
 
   const std::vector<double>& expressed() const noexcept {
-    return expressed_;
+    return state().values();
   }
   const std::vector<double>& private_opinions() const noexcept {
     return private_;
   }
-  std::int64_t rounds() const noexcept { return rounds_; }
-  double susceptibility() const noexcept { return lambda_; }
+  std::int64_t rounds() const noexcept { return time(); }
+  double susceptibility() const noexcept { return alpha(); }
 
   /// Exact equilibrium z* = (1-lambda)(I - lambda W)^{-1} s via a dense
   /// solve.  The iteration contracts toward this point at rate lambda.
@@ -46,13 +55,14 @@ class FriedkinJohnsen {
   double distance_to(const std::vector<double>& point) const;
 
  private:
-  const Graph* graph_;
-  double lambda_;
+  void round_impl();
+
   std::vector<double> private_;
-  std::vector<double> expressed_;
   std::vector<double> scratch_;
-  std::int64_t rounds_ = 0;
 };
+
+/// Source-compatible alias for the pre-refactor class name.
+using FriedkinJohnsen = FriedkinJohnsenModel;
 
 /// The limited-information randomised FJ of [27]: per step, one uniform
 /// node updates toward the average of k sampled neighbours' expressed
@@ -82,4 +92,4 @@ class RandomizedFJ {
 
 }  // namespace opindyn
 
-#endif  // OPINDYN_BASELINES_FRIEDKIN_JOHNSEN_H
+#endif  // OPINDYN_CORE_FRIEDKIN_JOHNSEN_H

@@ -27,6 +27,13 @@ void AveragingProcess::apply(const NodeSelection& selection) {
   ++time_;
 }
 
+bool AveragingProcess::converged(double epsilon,
+                                 bool use_plain_potential) const {
+  const double phi =
+      use_plain_potential ? state_.phi_plain_exact() : state_.phi_exact();
+  return phi <= epsilon;
+}
+
 void AveragingProcess::apply_update(const NodeSelection& selection) {
   if (selection.is_noop()) {
     return;

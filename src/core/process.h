@@ -41,6 +41,14 @@ class AveragingProcess {
   /// Applies a fixed selection deterministically (replay; Lemma 5.2).
   void apply(const NodeSelection& selection);
 
+  /// Whether the process has reached its stopping condition at the
+  /// current state.  The default is the paper's potential criterion
+  /// phi(xi(t)) <= eps, evaluated with the exact centered recomputation
+  /// (pi-weighted, or plain phi_V when `use_plain_potential` is set).
+  /// Discrete-opinion rules override this with their own predicate
+  /// (the voter model stops at distinct-opinion count 1).
+  virtual bool converged(double epsilon, bool use_plain_potential) const;
+
   /// Number of steps taken so far (t).
   std::int64_t time() const noexcept { return time_; }
 
@@ -56,8 +64,11 @@ class AveragingProcess {
   AveragingProcess(const Graph& graph, std::vector<double> initial,
                    double alpha, bool track_extrema);
 
-  /// The common update rule: xi_u <- alpha*xi_u + (1-alpha)*mean(sample).
-  void apply_update(const NodeSelection& selection);
+  /// The update rule applied by apply(); the base implements the paper's
+  /// mean rule xi_u <- alpha*xi_u + (1-alpha)*mean(sample).  Other rule
+  /// families (voter copy, gossip two-sided average, median) override
+  /// this so replay through apply() stays faithful to their dynamics.
+  virtual void apply_update(const NodeSelection& selection);
 
   /// Bulk time advance for step_burst overrides (lazy no-ops count too).
   void advance_time(std::int64_t n) noexcept { time_ += n; }

@@ -1,4 +1,4 @@
-#include "src/core/node_model.h"
+#include "src/core/weighted_median_model.h"
 
 #include <algorithm>
 
@@ -10,59 +10,48 @@
 namespace opindyn {
 namespace {
 
-/// The burst kernel, instantiated per (k, sampling mode, extrema
-/// tracking, topology).  Track is compile-time because the per-step
-/// extrema check otherwise survives in every non-tracking hot loop
-/// (GCC does not unswitch it out) at ~4 uops plus two live min/max
-/// registers per step.
-/// Consumes the rng in EXACT step() order and performs set_value's
-/// arithmetic through a register-resident cursor, so the result is
-/// bit-identical to n_steps repeated step() calls.  Two shapes behind
-/// one contract:
+/// The median burst kernel, instantiated per (k, sampling mode, extrema
+/// tracking, topology) on the kernel-v2 pipelined loop skeleton
+/// (burst_kernels.h).  Consumes the rng in EXACT step() order and picks
+/// the identical order statistic through the shared lower_median_inplace
+/// helper, so the result is bit-identical to n_steps repeated step()
+/// calls.  Two shapes behind one contract, mirroring run_node_burst:
 ///
-///  - Portable builds run a fused loop, software-pipelined in groups
-///    of 8 steps: the group's draws (two serial rng calls per step at
-///    K = 1) resolve to neighbour/target slots first, then the FP
-///    applies walk the group in step order reading values live.  The
-///    rng state chain is the long pole, so hoisting it ahead of the
-///    accumulator chains is worth ~1.4x over a straight per-step loop.
-///  - OPINDYN_SIMD_AVX2 builds split each chunk into phases (see
-///    burst_kernels.h): serial draws into SoA position buffers, a
-///    vpgatherdd adjacency translation, then the sequential apply.
+///  - Portable builds run a fused loop, software-pipelined in groups of
+///    8 steps: the group's draws resolve to neighbour slots first, then
+///    the applies walk the group in step order reading values live.
+///  - OPINDYN_SIMD_AVX2 builds split each chunk into phases: serial
+///    draws into SoA position buffers, a vpgatherdd adjacency
+///    translation, then the sequential apply.
 ///
-/// Both consume the identical rng stream and apply in the identical
-/// order; only instruction scheduling differs.  The recompute cadence
-/// is counted per chunk through the cursor countdown: a chunk that
-/// cannot reach the recompute threshold settles its bookkeeping with
-/// one advance(), and only chunks straddling the threshold (or lazy
-/// runs, whose update count is coin-dependent) check per update.
+/// Unlike the mean rule there is no FP arithmetic at all -- the update
+/// moves an existing value bit pattern -- so bit-identity reduces to
+/// picking the same element, which the stable shared sort guarantees.
 template <int K, SamplingMode Mode, bool Track, class Topo, class Sync>
-void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
-                    OpinionState& state, double* vals, NodeId n,
-                    const Topo& topo, Sync&& sync) {
-  const double one_minus_a = 1.0 - a;
-  const double k_count = static_cast<double>(K);
+void run_median_burst(Rng& rng, std::int64_t n_steps, bool lazy,
+                      OpinionState& state, double* vals, NodeId n,
+                      const Topo& topo, Sync&& sync) {
   const auto nn = static_cast<std::uint64_t>(n);
   auto cursor = state.begin_burst();
   const double uniform_pi = topo.stationary(0);
   const auto recompute_now = [&] {
-    sync();  // mirror kernels make values_ current first
+    sync();
     state.recompute();
     cursor = state.begin_burst();
   };
 #if !defined(OPINDYN_SIMD_AVX2)
   const NodeId* adj = topo.adjacency();
-  // One full process step: draws in exact step() order, neighbour
-  // values read live (nothing is written until after every draw of the
-  // step, exactly like draw_selection + apply_update).
+  // One full process step: draws in exact step() order, sampled values
+  // read live in draw order (nothing is written until the step's draws
+  // are all made, exactly like draw_selection + apply_update).
   const auto one_step = [&] {
     const auto u = static_cast<NodeId>(rng.next_below_nonzero(nn));
     const std::int64_t base = topo.row_base(u);
     const std::int32_t d = topo.degree(u);
-    double sum = 0.0;
+    double m[K];
     if constexpr (Mode == SamplingMode::without_replacement) {
-      // Floyd's subset draw, fused with the neighbour sum; draw and
-      // accumulation order match sample_without_replacement exactly.
+      // Floyd's subset draw, fused with the value gather; draw and
+      // push order match sample_without_replacement exactly.
       std::int32_t picked[K];
       for (int i = 0; i < K; ++i) {
         const std::int32_t j = d - K + i;
@@ -74,22 +63,20 @@ void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
         }
         const std::int32_t idx = duplicate ? j : t;
         picked[i] = idx;
-        sum += vals[static_cast<std::size_t>(
+        m[i] = vals[static_cast<std::size_t>(
             adj[static_cast<std::size_t>(base + idx)])];
       }
     } else {
       for (int i = 0; i < K; ++i) {
         const auto idx = static_cast<std::int64_t>(
             rng.next_below_nonzero(static_cast<std::uint64_t>(d)));
-        sum += vals[static_cast<std::size_t>(
+        m[i] = vals[static_cast<std::size_t>(
             adj[static_cast<std::size_t>(base + idx)])];
       }
     }
-    // sum / 1.0 is bit-exactly sum, so k = 1 skips the division.
-    const double mean = K == 1 ? sum : sum / k_count;
+    const double x = K == 1 ? m[0] : lower_median_inplace(m, K);
     const std::int32_t slot = topo.slot(u);
     const double old = vals[static_cast<std::size_t>(slot)];
-    const double x = a * old + one_minus_a * mean;
     cursor.update<Track>(Topo::kUniformPi ? uniform_pi : topo.stationary(u),
                          old, x);
     vals[static_cast<std::size_t>(slot)] = x;
@@ -100,14 +87,9 @@ void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
         std::min<std::int64_t>(burst::kChunkSteps, n_steps - done);
     if (!lazy && cursor.countdown() > chunk) [[likely]] {
       // Software-pipelined 8-wide: each group's K+1 draws per step are
-      // hoisted ahead of its applies.  A node step chains TWO serial
-      // rng draws, so the xoshiro state chain is the long pole here;
-      // hoisting lets the integer draw/Floyd work of the whole group
-      // run ahead while the FP accumulator chains of the previous
-      // group drain.  Draw order and apply order both stay exactly
-      // step()'s, the draw phase reads no values, and the apply phase
-      // reads them in step order -- bit-identical by the same argument
-      // as the phase-split chunks.
+      // hoisted ahead of its applies (the xoshiro state chain is the
+      // long pole); the apply phase then reads values in step order,
+      // so draw order and apply order both stay exactly step()'s.
       constexpr int kGroup = 8;
       std::int64_t c = 0;
       for (; c + kGroup <= chunk; c += kGroup) {
@@ -147,13 +129,12 @@ void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
           }
         }
         for (int s = 0; s < kGroup; ++s) {
-          double sum = 0.0;
+          double m[K];
           for (int i = 0; i < K; ++i) {
-            sum += vals[static_cast<std::size_t>(nbr[s * K + i])];
+            m[i] = vals[static_cast<std::size_t>(nbr[s * K + i])];
           }
-          const double mean = K == 1 ? sum : sum / k_count;
+          const double x = K == 1 ? m[0] : lower_median_inplace(m, K);
           const double old = vals[static_cast<std::size_t>(uslot[s])];
-          const double x = a * old + one_minus_a * mean;
           cursor.update<Track>(Topo::kUniformPi ? uniform_pi : pis[s], old,
                                x);
           vals[static_cast<std::size_t>(uslot[s])] = x;
@@ -199,8 +180,6 @@ void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
       const std::int32_t d = topo.degree(u);
       std::int32_t* p = pos + emitted * K;
       if constexpr (Mode == SamplingMode::without_replacement) {
-        // Floyd's subset draw, fused with position emission; draw and
-        // push order match sample_without_replacement exactly.
         std::int32_t picked[K];
         for (int i = 0; i < K; ++i) {
           const std::int32_t j = d - K + i;
@@ -228,26 +207,17 @@ void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
       ++emitted;
     }
     // Phase B: translate the chunk's adjacency positions with
-    // vpgatherdd.  Neighbour VALUES are read live in phase C (exact
-    // sequential semantics, nothing stale to manage): a value-prefetch
-    // pass plus conflict screen measured slower than the live loads on
-    // every tested core.
+    // vpgatherdd; values are read live in phase C.
     burst::translate_indices(topo.adjacency(), pos, nbr, emitted * K);
-    // Phase C: sequential apply with set_value's exact arithmetic.
+    // Phase C: sequential apply picking the shared order statistic.
     const auto apply_entry = [&](int e) {
-      double sum = 0.0;
-      if constexpr (K == 1) {
-        sum += vals[static_cast<std::size_t>(nbr[e])];
-      } else {
-        for (int i = 0; i < K; ++i) {
-          sum += vals[static_cast<std::size_t>(nbr[e * K + i])];
-        }
+      double m[K];
+      for (int i = 0; i < K; ++i) {
+        m[i] = vals[static_cast<std::size_t>(nbr[e * K + i])];
       }
-      // sum / 1.0 is bit-exactly sum, so k = 1 skips the division.
-      const double mean = K == 1 ? sum : sum / k_count;
+      const double x = K == 1 ? m[0] : lower_median_inplace(m, K);
       const std::int32_t slot = slots[e];
       const double old = vals[static_cast<std::size_t>(slot)];
-      const double x = a * old + one_minus_a * mean;
       cursor.update<Track>(Topo::kUniformPi ? uniform_pi : pis[e], old, x);
       vals[static_cast<std::size_t>(slot)] = x;
     };
@@ -257,8 +227,6 @@ void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
       }
       cursor.advance(emitted);
     } else {
-      // Recompute falls inside this chunk: per-update cadence check at
-      // exactly the count where set_value's tail recompute would fire.
       for (int e = 0; e < emitted; ++e) {
         apply_entry(e);
         if (cursor.advance_one()) {
@@ -274,28 +242,28 @@ void run_node_burst(Rng& rng, std::int64_t n_steps, bool lazy, double a,
 
 template <SamplingMode Mode, bool Track, class Topo, class Sync>
 bool dispatch_k(std::int64_t k, Rng& rng, std::int64_t n_steps, bool lazy,
-                double a, OpinionState& state, double* vals, NodeId n,
+                OpinionState& state, double* vals, NodeId n,
                 const Topo& topo, Sync&& sync) {
   switch (k) {
     case 1:
-      run_node_burst<1, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
-                                     topo, sync);
+      run_median_burst<1, Mode, Track>(rng, n_steps, lazy, state, vals, n,
+                                       topo, sync);
       return true;
     case 2:
-      run_node_burst<2, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
-                                     topo, sync);
+      run_median_burst<2, Mode, Track>(rng, n_steps, lazy, state, vals, n,
+                                       topo, sync);
       return true;
     case 3:
-      run_node_burst<3, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
-                                     topo, sync);
+      run_median_burst<3, Mode, Track>(rng, n_steps, lazy, state, vals, n,
+                                       topo, sync);
       return true;
     case 4:
-      run_node_burst<4, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
-                                     topo, sync);
+      run_median_burst<4, Mode, Track>(rng, n_steps, lazy, state, vals, n,
+                                       topo, sync);
       return true;
     case 8:
-      run_node_burst<8, Mode, Track>(rng, n_steps, lazy, a, state, vals, n,
-                                     topo, sync);
+      run_median_burst<8, Mode, Track>(rng, n_steps, lazy, state, vals, n,
+                                       topo, sync);
       return true;
     default:
       return false;  // uncommon k: the generic loop handles it
@@ -304,21 +272,20 @@ bool dispatch_k(std::int64_t k, Rng& rng, std::int64_t n_steps, bool lazy,
 
 template <class Topo, class Sync>
 bool dispatch_mode_k(SamplingMode mode, std::int64_t k, Rng& rng,
-                     std::int64_t n_steps, bool lazy, double a,
-                     OpinionState& state, double* vals, NodeId n,
-                     const Topo& topo, Sync&& sync) {
+                     std::int64_t n_steps, bool lazy, OpinionState& state,
+                     double* vals, NodeId n, const Topo& topo, Sync&& sync) {
   if (mode == SamplingMode::without_replacement) {
     return state.tracks_extrema()
                ? dispatch_k<SamplingMode::without_replacement, true>(
-                     k, rng, n_steps, lazy, a, state, vals, n, topo, sync)
+                     k, rng, n_steps, lazy, state, vals, n, topo, sync)
                : dispatch_k<SamplingMode::without_replacement, false>(
-                     k, rng, n_steps, lazy, a, state, vals, n, topo, sync);
+                     k, rng, n_steps, lazy, state, vals, n, topo, sync);
   }
   return state.tracks_extrema()
              ? dispatch_k<SamplingMode::with_replacement, true>(
-                   k, rng, n_steps, lazy, a, state, vals, n, topo, sync)
+                   k, rng, n_steps, lazy, state, vals, n, topo, sync)
              : dispatch_k<SamplingMode::with_replacement, false>(
-                   k, rng, n_steps, lazy, a, state, vals, n, topo, sync);
+                   k, rng, n_steps, lazy, state, vals, n, topo, sync);
 }
 
 bool has_specialised_k(std::int64_t k) noexcept {
@@ -327,9 +294,10 @@ bool has_specialised_k(std::int64_t k) noexcept {
 
 }  // namespace
 
-NodeModel::NodeModel(const Graph& graph, std::vector<double> initial,
-                     const NodeModelParams& params)
-    : AveragingProcess(graph, std::move(initial), params.alpha,
+WeightedMedianModel::WeightedMedianModel(const Graph& graph,
+                                         std::vector<double> initial,
+                                         const WeightedMedianParams& params)
+    : AveragingProcess(graph, std::move(initial), /*alpha=*/0.0,
                        params.track_extrema),
       params_(params) {
   OPINDYN_EXPECTS(params.k >= 1, "k must be >= 1");
@@ -340,17 +308,10 @@ NodeModel::NodeModel(const Graph& graph, std::vector<double> initial,
   }
   scratch_.reserve(static_cast<std::size_t>(params.k));
   sample_scratch_.resize(static_cast<std::size_t>(params.k));
-  if (params.reorder) {
-    layout_ = GraphLayout::degree_sorted(graph);
-    if (layout_->is_identity()) {
-      layout_.reset();  // nothing to gain; keep the plain kernels
-    } else {
-      mirror_.resize(static_cast<std::size_t>(graph.node_count()));
-    }
-  }
+  median_scratch_.resize(static_cast<std::size_t>(params.k));
 }
 
-NodeId NodeModel::draw_selection(Rng& rng) {
+NodeId WeightedMedianModel::draw_selection(Rng& rng) {
   const auto u = static_cast<NodeId>(
       rng.next_below(static_cast<std::uint64_t>(graph().node_count())));
   const auto row = graph().neighbors(u);
@@ -359,8 +320,7 @@ NodeId NodeModel::draw_selection(Rng& rng) {
   if (params_.sampling == SamplingMode::without_replacement) {
     sample_without_replacement(rng, d, params_.k, scratch_);
     for (std::size_t i = 0; i < k; ++i) {
-      sample_scratch_[i] =
-          row[static_cast<std::size_t>(scratch_[i])];
+      sample_scratch_[i] = row[static_cast<std::size_t>(scratch_[i])];
     }
   } else {
     for (std::size_t i = 0; i < k; ++i) {
@@ -371,21 +331,36 @@ NodeId NodeModel::draw_selection(Rng& rng) {
   return u;
 }
 
-NodeSelection NodeModel::step_recorded(Rng& rng) {
+void WeightedMedianModel::apply_update(const NodeSelection& selection) {
+  if (selection.is_noop()) {
+    return;
+  }
+  const NodeId u = selection.node;
+  const int k = static_cast<int>(selection.sample.size());
+  median_scratch_.resize(selection.sample.size());
+  for (int i = 0; i < k; ++i) {
+    const NodeId v = selection.sample[static_cast<std::size_t>(i)];
+    OPINDYN_EXPECTS(state().graph().has_edge(u, v),
+                    "selection sample contains a non-neighbour");
+    median_scratch_[static_cast<std::size_t>(i)] = state().value(v);
+  }
+  const double x = lower_median_inplace(median_scratch_.data(), k);
+  mutable_state().set_value(u, x);
+}
+
+NodeSelection WeightedMedianModel::step_recorded(Rng& rng) {
   NodeSelection selection;
   if (params_.lazy && rng.next_bool(0.5)) {
     apply(selection);  // records a no-op time step
     return selection;
   }
   selection.node = draw_selection(rng);
-  // The returned selection owns its copy (the duality replay API keeps
-  // whole sequences alive); the draw itself stayed on the scratch.
   selection.sample.assign(sample_scratch_.begin(), sample_scratch_.end());
   apply(selection);
   return selection;
 }
 
-void NodeModel::step_burst(Rng& rng, std::int64_t n_steps) {
+void WeightedMedianModel::step_burst(Rng& rng, std::int64_t n_steps) {
   OPINDYN_EXPECTS(n_steps >= 0, "n_steps must be >= 0");
   const Graph& g = graph();
   if (!has_specialised_k(params_.k) ||
@@ -395,54 +370,38 @@ void NodeModel::step_burst(Rng& rng, std::int64_t n_steps) {
   }
   OpinionState& state = mutable_state();
   const NodeId n = g.node_count();
-  const auto size = static_cast<std::size_t>(n);
-  if (layout_) {
-    layout_->scatter(state.values(), mirror_);
-    NodeReorderTopo topo{g.offsets_data(),
-                         layout_->adjacency_internal().data(),
-                         layout_->to_internal().data(),
-                         state.stationary_data()};
-    auto sync = [this, &state, size] {
-      layout_->gather(mirror_, {state.mutable_values(), size});
-    };
-    dispatch_mode_k(params_.sampling, params_.k, rng, n_steps, params_.lazy,
-                    alpha(), state, mirror_.data(), n, topo, sync);
-    layout_->gather(mirror_, {state.mutable_values(), size});
-  } else if (g.is_regular()) {
+  if (g.is_regular()) {
     NodeRegularTopo topo{g.adjacency_data(), g.min_degree(),
                          g.stationary(0)};
     dispatch_mode_k(params_.sampling, params_.k, rng, n_steps, params_.lazy,
-                    alpha(), state, state.mutable_values(), n, topo, [] {});
+                    state, state.mutable_values(), n, topo, [] {});
   } else {
     NodeIrregularTopo topo{g.offsets_data(), g.adjacency_data(),
                            state.stationary_data()};
     dispatch_mode_k(params_.sampling, params_.k, rng, n_steps, params_.lazy,
-                    alpha(), state, state.mutable_values(), n, topo, [] {});
+                    state, state.mutable_values(), n, topo, [] {});
   }
   advance_time(n_steps);
 }
 
-void NodeModel::step_burst_generic(Rng& rng, std::int64_t n_steps) {
+void WeightedMedianModel::step_burst_generic(Rng& rng,
+                                             std::int64_t n_steps) {
   OpinionState& state = mutable_state();
-  // values() never reallocates under set_value, so one raw pointer
-  // serves the whole burst; reads through it skip per-access checks.
   const double* values = state.values().data();
-  const double a = alpha();
-  const double one_minus_a = 1.0 - a;
-  const double k_count = static_cast<double>(params_.k);
   const bool lazy = params_.lazy;
+  const int k = static_cast<int>(params_.k);
   for (std::int64_t s = 0; s < n_steps; ++s) {
     if (lazy && rng.next_bool(0.5)) {
       continue;  // lazy no-op: consumes the coin, still counts a step
     }
     const NodeId u = draw_selection(rng);
-    double neighbour_sum = 0.0;
-    for (const NodeId v : sample_scratch_) {
-      neighbour_sum += values[static_cast<std::size_t>(v)];
+    for (int i = 0; i < k; ++i) {
+      median_scratch_[static_cast<std::size_t>(i)] =
+          values[static_cast<std::size_t>(
+              sample_scratch_[static_cast<std::size_t>(i)])];
     }
-    const double neighbour_mean = neighbour_sum / k_count;
-    state.set_value(u, a * values[static_cast<std::size_t>(u)] +
-                           one_minus_a * neighbour_mean);
+    const double x = lower_median_inplace(median_scratch_.data(), k);
+    state.set_value(u, x);
   }
   advance_time(n_steps);
 }

@@ -43,7 +43,14 @@ SamplingMode parse_sampling(const std::string& value) {
   if (value == "with" || value == "with_replacement") {
     return SamplingMode::with_replacement;
   }
-  fail("spec key 'sampling': expected without|with, got '" + value + "'");
+  std::string message =
+      "spec key 'sampling': expected without|with, got '" + value + "'";
+  const std::vector<std::string> near = closest_matches(
+      value, {"without", "without_replacement", "with", "with_replacement"});
+  if (!near.empty()) {
+    message += "; did you mean '" + near.front() + "'?";
+  }
+  fail(message);
 }
 
 std::string format_double(double value) {
@@ -85,8 +92,12 @@ bool apply_key(ExperimentSpec& spec, const std::string& key,
            "'");
     }
     spec.initial.center = value;
+  } else if (key == "model") {
+    spec.model.kind = parse_model_kind(value);
   } else if (key == "alpha") {
     spec.model.alpha = parse_double(key, value);
+  } else if (key == "confidence") {
+    spec.model.confidence = parse_double(key, value);
   } else if (key == "k") {
     spec.model.k = parse_int(key, value);
   } else if (key == "lazy") {
@@ -277,7 +288,8 @@ std::vector<std::string> spec_keys() {
           "degree",    "attach",    "p",
           "graph-seed", "init",     "init-a",
           "init-b",    "init-seed", "center",
-          "alpha",     "k",         "lazy",
+          "model",     "alpha",     "confidence",
+          "k",         "lazy",
           "sampling",  "reorder",   "replicas",  "seed",
           "threads",   "eps",       "max-steps",
           "check-interval", "plain-potential", "horizon",
@@ -390,7 +402,9 @@ std::string to_key_values(const ExperimentSpec& spec) {
   out << "init-b=" << format_double(spec.initial.param_b) << "\n";
   out << "init-seed=" << spec.initial.seed << "\n";
   out << "center=" << spec.initial.center << "\n";
+  out << "model=" << model_kind_name(spec.model.kind) << "\n";
   out << "alpha=" << format_double(spec.model.alpha) << "\n";
+  out << "confidence=" << format_double(spec.model.confidence) << "\n";
   out << "k=" << spec.model.k << "\n";
   out << "lazy=" << (spec.model.lazy ? "true" : "false") << "\n";
   out << "sampling="

@@ -88,7 +88,10 @@ struct ExperimentSpec {
   std::string scenario = "node";
   GraphSpec graph;
   InitialSpec initial;
-  /// alpha / k / lazy / sampling; `kind` is chosen by the scenario.
+  /// model (the dynamics rule) plus its knobs: alpha / k / lazy /
+  /// sampling / reorder / confidence.  Single-model scenarios force
+  /// `kind` to their own rule via config_for_kind; the cross-model
+  /// scenarios honour `model=` verbatim, which makes it a sweep axis.
   ModelConfig model;
   std::int64_t replicas = 100;
   std::uint64_t seed = 1;
@@ -134,8 +137,8 @@ struct ExperimentSpec {
 
 /// The flat key set of the spec schema (also the accepted CLI flags):
 /// scenario, graph, n, degree, attach, p, graph-seed, init, init-a,
-/// init-b, init-seed, center, alpha, k, lazy, sampling, reorder,
-/// replicas, seed,
+/// init-b, init-seed, center, model, alpha, confidence, k, lazy,
+/// sampling, reorder, replicas, seed,
 /// threads, eps, max-steps, check-interval, plain-potential, horizon,
 /// sweep, csv, rows-csv, hist-csv, hist-column, hist-bins, quantiles,
 /// metrics-json, trace-json, table.

@@ -1,8 +1,15 @@
 // Built-in scenarios: the paper's two averaging processes and their lazy
-// and k-sample variants, the Section-3 related-work baselines, the
-// comparison races the benches used to hand-roll, and the streaming
-// tail / trajectory workloads.  Each scenario self-registers, so
-// `opindyn list` and the batch runner discover them by name.
+// and k-sample variants, the related-work dynamics (all first-class
+// AveragingProcess kinds in src/core/ now -- voter, gossip, DeGroot,
+// Friedkin-Johnsen, weighted-median, Hegselmann-Krause), the comparison
+// races the benches used to hand-roll, and the streaming tail /
+// trajectory workloads.  Each scenario self-registers, so `opindyn
+// list` and the batch runner discover them by name.
+//
+// Single-model scenarios force their own ModelKind through
+// config_for_kind (which also drops knobs the kind does not read); the
+// cross_model scenario honours `model=` verbatim, so `model` is a legal
+// sweep axis there.
 //
 // Scenarios run in two phases (see scenario.h): start() submits replica
 // batches to the shared CellScheduler without blocking -- heavy per-cell
@@ -17,11 +24,12 @@
 #include <sstream>
 #include <utility>
 
-#include "src/baselines/degroot.h"
-#include "src/baselines/friedkin_johnsen.h"
-#include "src/baselines/gossip.h"
-#include "src/baselines/voter.h"
 #include "src/core/coalescing.h"
+#include "src/core/degroot.h"
+#include "src/core/friedkin_johnsen.h"
+#include "src/core/gossip_model.h"
+#include "src/core/hegselmann_krause_model.h"
+#include "src/core/voter_model.h"
 #include "src/core/convergence.h"
 #include "src/core/model.h"
 #include "src/core/theory.h"
@@ -104,9 +112,8 @@ class NodeScenario final : public Scenario {
     return averaging_columns();
   }
   CellFold start(const RunInput& in) const override {
-    ModelConfig config = in.spec.model;
-    config.kind = ModelKind::node;
-    return averaging_fold(in, config);
+    return averaging_fold(in, config_for_kind(in.spec.model,
+                                              ModelKind::node));
   }
 };
 OPINDYN_REGISTER_SCENARIO(NodeScenario)
@@ -123,9 +130,8 @@ class EdgeScenario final : public Scenario {
     return averaging_columns();
   }
   CellFold start(const RunInput& in) const override {
-    ModelConfig config = in.spec.model;
-    config.kind = ModelKind::edge;
-    return averaging_fold(in, config);
+    return averaging_fold(in, config_for_kind(in.spec.model,
+                                              ModelKind::edge));
   }
 };
 OPINDYN_REGISTER_SCENARIO(EdgeScenario)
@@ -143,8 +149,7 @@ class LazyScenario final : public Scenario {
     return averaging_columns();
   }
   CellFold start(const RunInput& in) const override {
-    ModelConfig config = in.spec.model;
-    config.kind = ModelKind::node;
+    ModelConfig config = config_for_kind(in.spec.model, ModelKind::node);
     config.lazy = true;
     return averaging_fold(in, config);
   }
@@ -164,10 +169,8 @@ class NodeVsEdgeScenario final : public Scenario {
             "Var(F) edge"};
   }
   CellFold start(const RunInput& in) const override {
-    ModelConfig node = in.spec.model;
-    node.kind = ModelKind::node;
-    ModelConfig edge = in.spec.model;
-    edge.kind = ModelKind::edge;
+    const ModelConfig node = config_for_kind(in.spec.model, ModelKind::node);
+    const ModelConfig edge = config_for_kind(in.spec.model, ModelKind::edge);
     auto node_batch = submit_averaging(in, node, 0);
     auto edge_batch = submit_averaging(in, edge, 1);
     return [node_batch, edge_batch] {
@@ -223,8 +226,8 @@ class KAblationScenario final : public Scenario {
     return {"T_eps", "+-CI(T)", "T predicted (B.1)", "measured/predicted"};
   }
   CellFold start(const RunInput& in) const override {
-    ModelConfig config = in.spec.model;
-    config.kind = ModelKind::node;
+    const ModelConfig config =
+        config_for_kind(in.spec.model, ModelKind::node);
     auto measured = submit_averaging(in, config);
     auto prediction = submit_node_prediction(in, config);
     return [measured, prediction] {
@@ -256,8 +259,8 @@ class Thm22ConvergenceScenario final : public Scenario {
             "theorem scale", "meas/pred"};
   }
   CellFold start(const RunInput& in) const override {
-    ModelConfig config = in.spec.model;
-    config.kind = ModelKind::node;
+    const ModelConfig config =
+        config_for_kind(in.spec.model, ModelKind::node);
     auto measured = submit_averaging(in, config);
     auto prediction = submit_node_prediction(in, config);
     return [measured, prediction] {
@@ -295,8 +298,7 @@ class WhpTailScenario final : public Scenario {
     std::array<std::shared_ptr<ReplicaBatch>, 2> batches;
     for (int i = 0; i < 2; ++i) {
       const ModelKind kind = i == 0 ? ModelKind::node : ModelKind::edge;
-      ModelConfig config = in.spec.model;
-      config.kind = kind;
+      const ModelConfig config = config_for_kind(in.spec.model, kind);
       // The EdgeModel tail analysis (Prop. D.1) is stated for the plain
       // potential, as in the original bench.
       ConvergenceOptions convergence = in.spec.convergence;
@@ -369,8 +371,8 @@ class TrajectoryScenario final : public Scenario {
     const std::int64_t stride = in.spec.convergence.check_interval > 0
                                     ? in.spec.convergence.check_interval
                                     : std::max<std::int64_t>(1, n / 4);
-    ModelConfig config = in.spec.model;
-    config.kind = ModelKind::node;
+    const ModelConfig config =
+        config_for_kind(in.spec.model, ModelKind::node);
     auto batch = in.scheduler.submit(
         in.spec.replicas, in.spec.seed, 2,
         [in, config, horizon, stride](std::int64_t, Rng& rng,
@@ -409,33 +411,57 @@ class TrajectoryScenario final : public Scenario {
 };
 OPINDYN_REGISTER_SCENARIO(TrajectoryScenario)
 
-/// Discrete voter model baseline run to consensus.
+/// The value-coded initial state of the discrete scenarios: n distinct
+/// opinions 0..n-1 (VoterModel assigns dense ids by value, so these are
+/// the classic all-distinct voter start).
+std::vector<double> distinct_opinions(const Graph& graph) {
+  std::vector<double> opinions(
+      static_cast<std::size_t>(graph.node_count()));
+  for (std::size_t u = 0; u < opinions.size(); ++u) {
+    opinions[u] = static_cast<double>(u);
+  }
+  return opinions;
+}
+
+/// Exact-stopping convergence options for the discrete models: checking
+/// VoterModel::converged (distinct-count == 1, an O(1) read) every step
+/// reports the true consensus time instead of an interval-rounded one,
+/// and consumes the identical rng stream as the per-step loop.
+ConvergenceOptions per_step_convergence(const ExperimentSpec& spec) {
+  ConvergenceOptions convergence = spec.convergence;
+  convergence.check_interval = 1;
+  return convergence;
+}
+
+/// Discrete voter model run to consensus, through the same
+/// AveragingProcess machinery as every other kind.
 class VoterScenario final : public Scenario {
  public:
   std::string name() const override { return "voter"; }
   std::string description() const override {
-    return "Voter model baseline: n distinct opinions to consensus "
+    return "Voter model: n distinct opinions to consensus "
            "(the k=1, alpha=0 special case of Def 2.1).";
   }
   std::vector<std::string> columns() const override {
     return {"consensus T", "+-CI(T)", "consensus rate"};
   }
   CellFold start(const RunInput& in) const override {
-    std::vector<int> opinions(
-        static_cast<std::size_t>(in.graph.node_count()));
-    for (std::size_t u = 0; u < opinions.size(); ++u) {
-      opinions[u] = static_cast<int>(u);
-    }
+    const ModelConfig config =
+        config_for_kind(in.spec.model, ModelKind::voter);
+    const ConvergenceOptions convergence = per_step_convergence(in.spec);
+    const std::vector<double> opinions = distinct_opinions(in.graph);
     auto batch = in.scheduler.submit(
         in.spec.replicas, in.spec.seed, 2,
-        [in, opinions](std::int64_t, Rng& rng, std::span<double> out,
-                       RowEmitter&) {
-          const VoterRunResult res = run_voter_to_consensus(
-              in.graph, opinions, rng, in.spec.convergence.max_steps);
-          if (res.reached_consensus) {
+        [in, config, convergence, opinions](std::int64_t, Rng& rng,
+                                            std::span<double> out,
+                                            RowEmitter&) {
+          auto process = make_process(in.graph, config, opinions);
+          const ConvergenceResult res =
+              run_until_converged(*process, rng, convergence);
+          if (res.converged) {
             out[0] = static_cast<double>(res.steps);
           }
-          out[1] = res.reached_consensus ? 1.0 : 0.0;
+          out[1] = res.converged ? 1.0 : 0.0;
         });
     return [batch] {
       const std::vector<RunningStats>& stats = batch->stats();
@@ -503,7 +529,7 @@ class DeGrootScenario final : public Scenario {
           const double eps = in.spec.convergence.epsilon;
           const std::int64_t max_rounds = in.spec.convergence.max_steps;
           while (model.discrepancy() > eps && model.rounds() < max_rounds) {
-            model.step();
+            model.round();
           }
           const double m0 = degree_weighted_average(in.graph, in.initial);
           out[0] = static_cast<double>(model.rounds());
@@ -545,7 +571,7 @@ class FriedkinJohnsenScenario final : public Scenario {
           const std::int64_t max_rounds = in.spec.convergence.max_steps;
           while (model.distance_to(star) > eps &&
                  model.rounds() < max_rounds) {
-            model.step();
+            model.round();
           }
           double lo = star[0];
           double hi = star[0];
@@ -589,18 +615,18 @@ class AveragingVsVoterScenario final : public Scenario {
     const ExperimentSpec& spec = in.spec;
     const double n = static_cast<double>(in.graph.node_count());
 
-    std::vector<int> opinions(
-        static_cast<std::size_t>(in.graph.node_count()));
-    for (std::size_t u = 0; u < opinions.size(); ++u) {
-      opinions[u] = static_cast<int>(u);
-    }
+    const ModelConfig voter_config =
+        config_for_kind(spec.model, ModelKind::voter);
+    const ConvergenceOptions voter_convergence = per_step_convergence(spec);
+    const std::vector<double> opinions = distinct_opinions(in.graph);
     auto voter = in.scheduler.submit(
         spec.replicas, subseed(spec.seed, 1), 1,
-        [in, opinions](std::int64_t, Rng& rng, std::span<double> out,
-                       RowEmitter&) {
-          const VoterRunResult res = run_voter_to_consensus(
-              in.graph, opinions, rng, in.spec.convergence.max_steps);
-          if (res.reached_consensus) {
+        [in, voter_config, voter_convergence, opinions](
+            std::int64_t, Rng& rng, std::span<double> out, RowEmitter&) {
+          auto process = make_process(in.graph, voter_config, opinions);
+          const ConvergenceResult res =
+              run_until_converged(*process, rng, voter_convergence);
+          if (res.converged) {
             out[0] = static_cast<double>(res.steps);
           }
         });
@@ -615,8 +641,7 @@ class AveragingVsVoterScenario final : public Scenario {
           }
         });
 
-    ModelConfig config = spec.model;
-    config.kind = ModelKind::node;
+    const ModelConfig config = config_for_kind(spec.model, ModelKind::node);
     ConvergenceOptions convergence = spec.convergence;
     convergence.epsilon = 1.0 / (n * n);
     auto averaging = in.scheduler.submit(
@@ -658,20 +683,25 @@ class GossipVsUnilateralScenario final : public Scenario {
   }
   CellFold start(const RunInput& in) const override {
     const ExperimentSpec& spec = in.spec;
+    const ModelConfig gossip_config =
+        config_for_kind(spec.model, ModelKind::gossip);
+    // Gossip preserves Avg exactly, so its stopping rule is stated for
+    // the plain potential (as the original hand-rolled bench did).
+    ConvergenceOptions gossip_convergence = spec.convergence;
+    gossip_convergence.use_plain_potential = true;
     auto gossip = in.scheduler.submit(
         spec.replicas, subseed(spec.seed, 1), 2,
-        [in](std::int64_t, Rng& rng, std::span<double> out, RowEmitter&) {
-          const GossipRunResult res = run_gossip_to_convergence(
-              in.graph, in.initial, rng, in.spec.convergence.epsilon,
-              in.spec.convergence.max_steps);
+        [in, gossip_config, gossip_convergence](
+            std::int64_t, Rng& rng, std::span<double> out, RowEmitter&) {
+          auto process = make_process(in.graph, gossip_config, in.initial);
+          const ConvergenceResult res =
+              run_until_converged(*process, rng, gossip_convergence);
           out[0] = res.final_value;
           out[1] = static_cast<double>(res.steps);
         });
 
-    ModelConfig node = spec.model;
-    node.kind = ModelKind::node;
-    ModelConfig edge = spec.model;
-    edge.kind = ModelKind::edge;
+    const ModelConfig node = config_for_kind(spec.model, ModelKind::node);
+    const ModelConfig edge = config_for_kind(spec.model, ModelKind::edge);
     auto node_batch = submit_averaging(in, node, 0);
     auto edge_batch = submit_averaging(in, edge, 2);
 
@@ -705,6 +735,135 @@ class GossipVsUnilateralScenario final : public Scenario {
   }
 };
 OPINDYN_REGISTER_SCENARIO(GossipVsUnilateralScenario)
+
+/// Runs whatever `model=` selects, verbatim -- the one scenario where
+/// the model kind itself is a sweep axis (`--sweep=model:node,edge,
+/// voter,weighted_median`).  Aggregates the standard eps-convergence
+/// columns and streams one (F, T_eps) row per replica for the
+/// histogram / quantile sinks.
+class CrossModelScenario final : public Scenario {
+ public:
+  std::string name() const override { return "cross_model"; }
+  std::string description() const override {
+    return "Runs the model= kind verbatim (model is a sweep axis here); "
+           "aggregate F/T_eps plus per-replica streamed rows.";
+  }
+  std::vector<std::string> columns() const override {
+    return averaging_columns();
+  }
+  std::vector<std::string> row_columns() const override {
+    return {"replica", "F", "T_eps"};
+  }
+  CellFold start(const RunInput& in) const override {
+    // Validate up front so a bad model/knob combination fails before
+    // any replica is scheduled (one line, to the CLI).
+    validate_model_config(in.spec.model);
+    const ModelConfig config = in.spec.model;
+    // The discrete kinds stop on their own converged() predicate; check
+    // it every step so T is exact (an O(1) read for voter).
+    const ConvergenceOptions convergence =
+        config.kind == ModelKind::voter ? per_step_convergence(in.spec)
+                                        : in.spec.convergence;
+    const std::vector<double> initial =
+        config.kind == ModelKind::voter ? distinct_opinions(in.graph)
+                                        : in.initial;
+    auto batch = in.scheduler.submit(
+        in.spec.replicas, in.spec.seed, 3,
+        [in, config, convergence, initial](std::int64_t, Rng& rng,
+                                           std::span<double> out,
+                                           RowEmitter& rows) {
+          auto process = make_process(in.graph, config, initial);
+          const ConvergenceResult res =
+              run_until_converged(*process, rng, convergence);
+          out[0] = res.final_value;
+          out[1] = static_cast<double>(res.steps);
+          out[2] = res.converged ? 0.0 : 1.0;
+          if (in.stream_rows) {
+            rows.emit({fmt(res.final_value),
+                       std::to_string(res.steps)});
+          }
+        });
+    return [batch] {
+      CellRows rows{{averaging_row(fold_averaging(*batch))}, {}};
+      for (StreamedRow& streamed : batch->take_streamed_rows()) {
+        std::vector<std::string> cells{std::to_string(streamed.replica)};
+        cells.insert(cells.end(),
+                     std::make_move_iterator(streamed.cells.begin()),
+                     std::make_move_iterator(streamed.cells.end()));
+        rows.replica.push_back(std::move(cells));
+      }
+      return rows;
+    };
+  }
+};
+OPINDYN_REGISTER_SCENARIO(CrossModelScenario)
+
+/// Weighted-median dynamics (arXiv:1909.06474) run to eps-convergence:
+/// the median is not an average, so F concentrates differently and the
+/// centered potential can stall on bimodal inputs -- watch `diverged`.
+class WeightedMedianScenario final : public Scenario {
+ public:
+  std::string name() const override { return "weighted_median"; }
+  std::string description() const override {
+    return "Weighted-median dynamics: random node moves to the lower "
+           "median of k sampled neighbours; reports F and T_eps.";
+  }
+  std::vector<std::string> columns() const override {
+    return averaging_columns();
+  }
+  CellFold start(const RunInput& in) const override {
+    return averaging_fold(
+        in, config_for_kind(in.spec.model, ModelKind::weighted_median));
+  }
+};
+OPINDYN_REGISTER_SCENARIO(WeightedMedianScenario)
+
+/// Hegselmann-Krause bounded confidence (arXiv:1910.14465) over a fixed
+/// horizon: HK fragments into clusters instead of converging, so the
+/// interesting read is the cluster count, not T_eps.
+class HegselmannKrauseScenario final : public Scenario {
+ public:
+  std::string name() const override { return "hegselmann_krause"; }
+  std::string description() const override {
+    return "Hegselmann-Krause bounded confidence: cluster count and "
+           "spread after a fixed horizon; confidence= sets the bound.";
+  }
+  std::vector<std::string> columns() const override {
+    return {"E[clusters]", "+-CI(clusters)", "E[spread]", "E[F]"};
+  }
+  CellFold start(const RunInput& in) const override {
+    const std::int64_t n = in.graph.node_count();
+    const std::int64_t horizon =
+        in.spec.horizon > 0 ? in.spec.horizon : 16 * n;
+    HegselmannKrauseParams params;
+    // A spec that never mentions confidence= still runs: fall back to
+    // the params default instead of rejecting confidence == 0.
+    if (in.spec.model.confidence > 0.0) {
+      params.confidence = in.spec.model.confidence;
+    }
+    params.lazy = in.spec.model.lazy;
+    auto batch = in.scheduler.submit(
+        in.spec.replicas, in.spec.seed, 3,
+        [in, params, horizon](std::int64_t, Rng& rng,
+                              std::span<double> out, RowEmitter&) {
+          HegselmannKrauseModel model(in.graph, in.initial, params);
+          model.step_burst(rng, horizon);
+          out[0] = static_cast<double>(model.cluster_count());
+          out[1] = model.state().discrepancy();
+          out[2] = model.state().weighted_average();
+          metrics::count("engine.steps", horizon);
+        });
+    return [batch] {
+      const std::vector<RunningStats>& stats = batch->stats();
+      return CellRows{{{fmt_fixed(stats[0].mean(), 2),
+                        fmt_fixed(stats[0].mean_ci_halfwidth(), 2),
+                        fmt_sci(stats[1].mean(), 3),
+                        fmt(stats[2].mean())}},
+                      {}};
+    };
+  }
+};
+OPINDYN_REGISTER_SCENARIO(HegselmannKrauseScenario)
 
 }  // namespace
 

@@ -6,7 +6,7 @@
 
 #include <cmath>
 
-#include "src/baselines/voter.h"
+#include "src/core/voter_model.h"
 #include "src/graph/generators.h"
 #include "src/support/assert.h"
 #include "src/support/stats.h"

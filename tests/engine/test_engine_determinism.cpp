@@ -274,6 +274,51 @@ TEST(EngineDeterminism, FailedValidationLeavesExistingOutputIntact) {
   std::remove(path.c_str());
 }
 
+// The PR-8 acceptance criterion for the generalized model family: a
+// cross-model sweep (model= as the sweep axis) produces byte-identical
+// aggregate and streamed CSVs at 1, 4 and 8 threads -- every kind's
+// step_burst kernel runs under the shared scheduler here.
+TEST(EngineDeterminism, CrossModelSweepCsvBytesIdenticalAcrossThreads) {
+  ExperimentSpec spec;
+  spec.scenario = "cross_model";
+  spec.graph.family = "random_regular";
+  spec.graph.degree = 4;
+  spec.graph.n = 12;
+  spec.replicas = 8;
+  spec.seed = 37;
+  spec.convergence.epsilon = 1e-5;
+  spec.convergence.max_steps = 200000;
+  spec.sweeps = parse_sweeps("model:node,edge,voter,gossip,weighted_median");
+  spec.print_table = false;
+
+  std::string aggregate[3];
+  std::string streamed[3];
+  const std::size_t thread_counts[3] = {1, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    spec.threads = thread_counts[i];
+    const std::string base = ::testing::TempDir() + "cross_model_" +
+                             std::to_string(i);
+    CsvSink csv(base + ".csv");
+    CsvSink rows_csv(base + "_rows.csv");
+    std::vector<RowSink*> sinks{&csv};
+    std::vector<RowSink*> row_sinks{&rows_csv};
+    const BatchResult result = run_experiment(spec, sinks, row_sinks);
+    EXPECT_EQ(result.work_items, 5);
+    EXPECT_EQ(result.rows.size(), 5u);
+    EXPECT_EQ(result.replica_rows.size(), 40u);  // 5 models x 8 replicas
+    aggregate[i] = read_file(base + ".csv");
+    streamed[i] = read_file(base + "_rows.csv");
+    std::remove((base + ".csv").c_str());
+    std::remove((base + "_rows.csv").c_str());
+    EXPECT_FALSE(aggregate[i].empty());
+    EXPECT_FALSE(streamed[i].empty());
+  }
+  EXPECT_EQ(aggregate[0], aggregate[1]);
+  EXPECT_EQ(aggregate[0], aggregate[2]);
+  EXPECT_EQ(streamed[0], streamed[1]);
+  EXPECT_EQ(streamed[0], streamed[2]);
+}
+
 TEST(EngineDeterminism, BaselineScenarioIsDeterministicToo) {
   ExperimentSpec spec;
   spec.scenario = "voter";

@@ -53,6 +53,59 @@ TEST(ExperimentSpec, DefaultsRoundTripThroughSpecFile) {
             (std::vector<std::string>{"0.3", "0.5"}));
 }
 
+TEST(ExperimentSpec, ModelKeyParsesSweepsAndRoundTrips) {
+  // model= selects the dynamics rule...
+  ExperimentSpec spec = parse_spec({{"model", "weighted_median"}});
+  EXPECT_EQ(spec.model.kind, ModelKind::weighted_median);
+  // ...confidence= sets the HK bound...
+  spec = parse_spec(
+      {{"model", "hegselmann_krause"}, {"confidence", "0.35"}});
+  EXPECT_EQ(spec.model.kind, ModelKind::hegselmann_krause);
+  EXPECT_DOUBLE_EQ(spec.model.confidence, 0.35);
+
+  // ...both round-trip through the spec-file serialisation...
+  const std::string text = to_key_values(spec);
+  const std::string path = ::testing::TempDir() + "opindyn_model.spec";
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  const ExperimentSpec reparsed = parse_spec_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(to_key_values(reparsed), text);
+  EXPECT_EQ(reparsed.model.kind, ModelKind::hegselmann_krause);
+  EXPECT_DOUBLE_EQ(reparsed.model.confidence, 0.35);
+
+  // ...and model is a legal sweep axis (not on the deny-list).
+  ExperimentSpec sweepable;
+  apply_override(sweepable, "model", "voter");
+  EXPECT_EQ(sweepable.model.kind, ModelKind::voter);
+  apply_override(sweepable, "confidence", "0.5");
+  EXPECT_DOUBLE_EQ(sweepable.model.confidence, 0.5);
+  sweepable.sweeps = parse_sweeps("model:node,edge,voter");
+  EXPECT_EQ(expand_grid(sweepable).size(), 3u);
+}
+
+// Unknown model= and sampling= values fail with an edit-distance
+// suggestion, like the scenario registry's unknown-name diagnostic.
+TEST(ExperimentSpec, UnknownModelAndSamplingSuggestNearestName) {
+  const auto expect_suggestion = [](const std::string& key,
+                                    const std::string& value,
+                                    const std::string& mention) {
+    try {
+      parse_spec({{key, value}});
+      FAIL() << "expected rejection of " << key << "=" << value;
+    } catch (const std::runtime_error& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(mention), std::string::npos) << what;
+    }
+  };
+  expect_suggestion("model", "vooter", "did you mean 'voter'");
+  expect_suggestion("model", "hegselman_krause",
+                    "did you mean 'hegselmann_krause'");
+  expect_suggestion("sampling", "wihtout", "did you mean 'without'");
+}
+
 TEST(ExperimentSpec, ParsesCliFlags) {
   const char* argv[] = {"opindyn",      "run",
                         "--scenario=edge", "--graph=complete",

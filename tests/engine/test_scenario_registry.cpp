@@ -31,6 +31,8 @@ TEST(ScenarioRegistry, BuiltinsAreRegistered) {
         "gossip", "degroot", "friedkin_johnsen", "averaging_vs_voter",
         "gossip_vs_unilateral", "whp_tail", "thm22_convergence",
         "trajectory",
+        // The generalized model family (cross_model honours model=).
+        "cross_model", "weighted_median", "hegselmann_krause",
         // The paper-theorem scenarios (the ISSUE-3 bench ports).
         "duality", "martingale", "qchain", "thm22_variance",
         "thm24_edge_convergence", "thm24_edge_variance",
@@ -42,7 +44,7 @@ TEST(ScenarioRegistry, BuiltinsAreRegistered) {
   }
   // names() is sorted and covers every registered scenario.
   const std::vector<std::string> names = registry.names();
-  EXPECT_GE(names.size(), 24u);
+  EXPECT_GE(names.size(), 27u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 
   // The streaming scenarios declare per-replica row columns; the plain
@@ -51,6 +53,7 @@ TEST(ScenarioRegistry, BuiltinsAreRegistered) {
   EXPECT_FALSE(registry.get("trajectory").row_columns().empty());
   EXPECT_FALSE(registry.get("thm22_variance").row_columns().empty());
   EXPECT_FALSE(registry.get("duality").row_columns().empty());
+  EXPECT_FALSE(registry.get("cross_model").row_columns().empty());
   EXPECT_TRUE(registry.get("node").row_columns().empty());
   EXPECT_TRUE(registry.get("qchain").row_columns().empty());
 }

@@ -2,8 +2,8 @@
 
 #include <cmath>
 
-#include "src/baselines/degroot.h"
-#include "src/baselines/friedkin_johnsen.h"
+#include "src/core/degroot.h"
+#include "src/core/friedkin_johnsen.h"
 #include "src/core/initial_values.h"
 #include "src/graph/algorithms.h"
 #include "src/graph/generators.h"
@@ -65,7 +65,7 @@ TEST(DeGroot, PreservesDegreeWeightedAverageEachRound) {
                      /*lazy=*/false);
   const double invariant = model.weighted_average();
   for (int round = 0; round < 50; ++round) {
-    model.step();
+    model.round();
     EXPECT_NEAR(model.weighted_average(), invariant, 1e-10);
   }
 }
@@ -77,7 +77,7 @@ TEST(DeGroot, ConvergesToDegreeWeightedAverage) {
   const double target = degree_weighted_average(g, xi);
   DeGrootModel model(g, xi, /*lazy=*/false);  // non-bipartite: converges
   for (int round = 0; round < 300; ++round) {
-    model.step();
+    model.round();
   }
   EXPECT_LT(model.discrepancy(), 1e-9);
   for (const double v : model.values()) {
@@ -92,13 +92,13 @@ TEST(DeGroot, BipartiteNeedsLaziness) {
   const auto xi = initial::alternating(8);
   DeGrootModel oscillating(g, xi, /*lazy=*/false);
   for (int round = 0; round < 100; ++round) {
-    oscillating.step();
+    oscillating.round();
   }
   EXPECT_NEAR(oscillating.discrepancy(), 2.0, 1e-9);  // still +-1
 
   DeGrootModel lazy(g, xi, /*lazy=*/true);
   for (int round = 0; round < 400; ++round) {
-    lazy.step();
+    lazy.round();
   }
   EXPECT_LT(lazy.discrepancy(), 1e-6);
 }
@@ -110,7 +110,7 @@ TEST(FriedkinJohnsen, IterationConvergesToDenseSolveEquilibrium) {
   FriedkinJohnsen model(g, s, 0.7);
   const auto star = model.equilibrium();
   for (int round = 0; round < 400; ++round) {
-    model.step();
+    model.round();
   }
   EXPECT_LT(model.distance_to(star), 1e-10);
 }

@@ -2,9 +2,9 @@
 
 #include <cmath>
 
-#include "src/baselines/gossip.h"
-#include "src/baselines/voter.h"
+#include "src/core/gossip_model.h"
 #include "src/core/initial_values.h"
+#include "src/core/voter_model.h"
 #include "src/graph/generators.h"
 #include "src/support/assert.h"
 #include "src/support/stats.h"
