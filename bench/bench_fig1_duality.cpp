@@ -7,7 +7,7 @@
 // horizon) up to long ones.
 //
 // Driver: the scenario engine -- equivalent to
-//   opindyn run --scenario=duality --graph=complete --n=3 --k=1 \
+//   opindyn run --scenario=duality --graph=complete --n=3 --k=1
 //       --replicas=200 --sweep=horizon:2,8,64
 #include <iostream>
 #include <string>

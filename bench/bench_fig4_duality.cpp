@@ -5,7 +5,7 @@
 // it holds for every sample size the graph supports.
 //
 // Driver: the scenario engine -- equivalent to
-//   opindyn run --scenario=duality --graph=complete --n=3 --k=2 \
+//   opindyn run --scenario=duality --graph=complete --n=3 --k=2
 //       --replicas=200 --sweep=horizon:2,8,64
 #include <iostream>
 #include <string>

@@ -7,7 +7,7 @@
 // Driver: the engine's `gossip_vs_unilateral` scenario (three rows per
 // graph: gossip / NodeModel / EdgeModel, with the Prop. 5.8 predicted
 // variance alongside) -- equivalent to
-//   opindyn run --scenario=gossip_vs_unilateral --n=16 --replicas=4000 \
+//   opindyn run --scenario=gossip_vs_unilateral --n=16 --replicas=4000
 //       --eps=1e-13 --init-seed=5 --sweep=graph:cycle,complete,torus
 #include <iostream>
 

@@ -7,7 +7,7 @@
 //
 // Driver: the scenario engine's `k_ablation` scenario with a
 // k x sampling sweep grid -- equivalent to
-//   opindyn run --scenario=k_ablation --graph=complete --n=32 --lazy=true \
+//   opindyn run --scenario=k_ablation --graph=complete --n=32 --lazy=true
 //       --replicas=60 --eps=1e-8 --sweep='k:1,2,...;sampling:without,with'
 #include <iostream>
 #include <string>

@@ -8,7 +8,7 @@
 //  (b) long-horizon Monte Carlo: E[M(t)] pinned at M(0) at t = 10^5.
 //
 // Driver: the scenario engine -- equivalent to
-//   opindyn run --scenario=martingale --n=12 --init=gaussian \
+//   opindyn run --scenario=martingale --n=12 --init=gaussian
 //       --init-a=1 --init-b=2 --center=none --sweep='graph:...;k:1,2'
 #include <iostream>
 #include <string>

@@ -7,7 +7,7 @@
 // stationary vector, and the normalisation identity.
 //
 // Driver: the scenario engine -- per family, equivalent to
-//   opindyn run --scenario=qchain --graph=<family> --n=<n> \
+//   opindyn run --scenario=qchain --graph=<family> --n=<n>
 //       --sweep='k:...;alpha:...'
 #include <cstddef>
 #include <iostream>

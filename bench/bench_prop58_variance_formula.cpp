@@ -9,8 +9,8 @@
 // initials.
 //
 // Driver: the scenario engine -- equivalent to
-//   opindyn run --scenario=prop58_variance --graph=cycle --n=16 \
-//       --replicas=12000 --eps=1e-13 --center=none \
+//   opindyn run --scenario=prop58_variance --graph=cycle --n=16
+//       --replicas=12000 --eps=1e-13 --center=none
 //       --sweep='init:alternating,blocks;k:1,2'
 #include <iostream>
 #include <string>

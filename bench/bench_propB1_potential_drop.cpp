@@ -8,7 +8,7 @@
 // state (where it is conservative) -- two rows per cell.
 //
 // Driver: the scenario engine -- equivalent to
-//   opindyn run --scenario=propB1_drop --n=10 \
+//   opindyn run --scenario=propB1_drop --n=10
 //       --sweep='graph:cycle,complete,petersen,hypercube;alpha:0.3,0.5,0.8;k:1,2'
 #include <iostream>
 #include <string>

@@ -9,8 +9,8 @@
 // the matching upper bound -- the sandwich ratio must be Theta(1).
 //
 // Driver: the scenario engine -- equivalent to
-//   opindyn run --scenario=propB2_node --init=f2_walk --center=none \
-//       --lazy=true --eps=1e-8 --replicas=30 \
+//   opindyn run --scenario=propB2_node --init=f2_walk --center=none
+//       --lazy=true --eps=1e-8 --replicas=30
 //       --sweep='graph:cycle,complete,torus;n:16,32'
 #include <iostream>
 #include <string>

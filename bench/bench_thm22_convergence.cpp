@@ -13,7 +13,7 @@
 // Driver: the scenario engine's `thm22_convergence` scenario, so every
 // (cell x replica) unit of a sweep runs concurrently and the spectral
 // predictions are computed on the pool -- equivalent to
-//   opindyn run --scenario=thm22_convergence --lazy=true --eps=1e-8 \
+//   opindyn run --scenario=thm22_convergence --lazy=true --eps=1e-8
 //       --replicas=30 --sweep='graph:cycle,complete,...;alpha:0.3,0.5,0.8'
 #include <iostream>
 #include <string>

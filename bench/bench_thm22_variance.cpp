@@ -9,7 +9,7 @@
 // `--hist-csv` / `--quantiles` export.
 //
 // Driver: the scenario engine -- per family, equivalent to
-//   opindyn run --scenario=thm22_variance --graph=<family> --n=16 \
+//   opindyn run --scenario=thm22_variance --graph=<family> --n=16
 //       --replicas=8000 --eps=1e-13 --sweep=k:... --quantiles=0.5,0.9
 #include <algorithm>
 #include <iostream>

@@ -8,8 +8,8 @@
 // Driver: the engine's `thm24_edge_convergence` scenario -- the
 // Laplacian eigensolve of every cell runs on the pool next to the
 // replicas.  Equivalent to
-//   opindyn run --scenario=thm24_edge_convergence --n=24 --replicas=30 \
-//       --eps=1e-8 --init=uniform --init-a=-1 --init-b=1 \
+//   opindyn run --scenario=thm24_edge_convergence --n=24 --replicas=30
+//       --eps=1e-8 --init=uniform --init-a=-1 --init-b=1
 //       --sweep=graph:star,double_star,barbell,...
 #include <iostream>
 #include <string>

@@ -5,7 +5,7 @@
 //
 // Driver: the engine's `thm24_edge_variance` scenario, which runs both
 // models per cell.  Equivalent to
-//   opindyn run --scenario=thm24_edge_variance --n=16 --replicas=8000 \
+//   opindyn run --scenario=thm24_edge_variance --n=16 --replicas=8000
 //       --eps=1e-13 --init=hub_spike --center=none --sweep=graph:star,...
 #include <iostream>
 #include <string>

@@ -5,7 +5,7 @@
 // discrete voter model (and its coalescing-walk dual, footnote 2)
 // against the NodeModel run to eps = 1/n^2, over a graph x size grid --
 // equivalent to
-//   opindyn run --scenario=averaging_vs_voter --replicas=30 \
+//   opindyn run --scenario=averaging_vs_voter --replicas=30
 //       --sweep='graph:complete,cycle,hypercube;n:16,32,64'
 #include <iostream>
 

@@ -8,7 +8,7 @@
 // consumer of per-replica row streaming.  The quantile table comes from
 // the aggregate channel; the histogram is rebuilt from the streamed
 // per-replica rows, exactly what `--rows-csv` would export:
-//   opindyn run --scenario=whp_tail --graph=cycle --n=24 \
+//   opindyn run --scenario=whp_tail --graph=cycle --n=24
 //       --replicas=400 --eps=1e-8 --rows-csv=tail.csv
 #include <iostream>
 #include <string>

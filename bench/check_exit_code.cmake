@@ -1,0 +1,15 @@
+# Asserts that a command exits with an exact status code -- ctest's
+# WILL_FAIL only distinguishes zero from nonzero, but the perf_check
+# exit-code contract (0 pass / 1 regression / 2 usage / 3 broken input)
+# is exactly about WHICH nonzero.  Invoked as:
+#   cmake -DCOMMAND=<exe> -DARGS=<;-list> -DEXPECTED_CODE=<n>
+#         -P check_exit_code.cmake
+execute_process(COMMAND ${COMMAND} ${ARGS}
+                RESULT_VARIABLE actual
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT actual EQUAL EXPECTED_CODE)
+  message(FATAL_ERROR
+          "expected exit code ${EXPECTED_CODE}, got '${actual}'\n"
+          "stdout:\n${out}\nstderr:\n${err}")
+endif()

@@ -4,21 +4,28 @@
 // reference (BENCH_5.json) and fails when any workload's throughput
 // dropped by more than the tolerance:
 //
-//   perf_check --baseline BENCH_5.json --current fresh.json \
+//   perf_check --baseline BENCH_5.json --current fresh.json
 //       [--max-drop 0.15] [--metric burst_sps]
 //
 // Workloads are matched by identity (model, n, k, track_extrema) -- a
 // workload present in the baseline but missing from the current run is
 // itself a failure, so the gate cannot be silenced by deleting rows.
-// Every workload is printed with its ratio; the exit code is 1 iff any
-// regressed beyond --max-drop (default 15%, loose enough for shared CI
-// runners, tight enough to catch a real kernel regression).
+// Every workload is printed with its ratio.
+//
+// Exit codes distinguish the failure modes so a CI gate's red X is
+// diagnosable from the status alone:
+//   0  every workload within tolerance
+//   1  regression detected (too slow, or a workload went missing)
+//   2  usage error (bad flags)
+//   3  input error: a baseline/current file is missing, unreadable or
+//      unparseable -- a broken *gate*, not a slow *build*
 //
 //   perf_check --self-test
 //
 // runs the comparator against embedded synthetic documents (pass,
-// regression, missing-workload) so CTest exercises the gate logic
-// without timing anything.
+// regression, missing-workload, unreadable-input) so CTest exercises
+// the gate logic -- including the exit-code classification -- without
+// timing anything.
 #include <cmath>
 #include <iostream>
 #include <sstream>
@@ -129,6 +136,44 @@ int compare(const Value& baseline, const Value& current,
   return failures;
 }
 
+/// Loads + compares + reports; returns the process exit code (0 pass,
+/// 1 regression, 3 input error).  Out of line from main so the
+/// self-test can assert the exit-code classification directly.
+int run_gate(const std::string& baseline_path,
+             const std::string& current_path, const std::string& metric,
+             double max_drop, std::ostream& out, std::ostream& err) {
+  Value baseline;
+  Value current;
+  // Input problems (missing file, bad JSON, wrong schema) are exit 3:
+  // the gate itself is broken and no statement about performance was
+  // made.  Naming the offending file keeps the red X diagnosable.
+  try {
+    baseline = opindyn::json::parse_file(baseline_path);
+    workloads_of(baseline, "baseline");
+  } catch (const std::exception& error) {
+    err << "perf_check: baseline unusable (" << baseline_path
+        << "): " << error.what() << "\n";
+    return 3;
+  }
+  try {
+    current = opindyn::json::parse_file(current_path);
+    workloads_of(current, "current");
+  } catch (const std::exception& error) {
+    err << "perf_check: current run unusable (" << current_path
+        << "): " << error.what() << "\n";
+    return 3;
+  }
+  const int failures = compare(baseline, current, metric, max_drop, out);
+  if (failures > 0) {
+    err << "perf_check: " << failures << " workload(s) regressed "
+        << "more than " << max_drop * 100.0 << "% on " << metric << "\n";
+    return 1;
+  }
+  out << "perf_check: all workloads within " << max_drop * 100.0
+      << "% of baseline\n";
+  return 0;
+}
+
 int self_test() {
   const char* kBaseline = R"({"workloads": [
     {"model": "node", "n": 1024, "k": 1, "track_extrema": false,
@@ -168,6 +213,15 @@ int self_test() {
          "one regression + two missing workloads must count 3 failures");
   expect(compare(baseline, current, "burst_sps", 0.5, sink) == 2,
          "with 50% tolerance only the missing workloads must fail");
+  // The exit-code classification: input errors are 3 (broken gate),
+  // never 1 (regression) -- a CI job must be able to tell the two
+  // apart from the status alone.
+  std::ostringstream err;
+  expect(run_gate("/nonexistent/baseline.json", "/nonexistent/cur.json",
+                  "burst_sps", 0.15, sink, err) == 3,
+         "a missing baseline must exit 3, not 1");
+  expect(err.str().find("baseline unusable") != std::string::npos,
+         "the input error must name the unusable side");
   if (rc == 0) {
     std::cout << "perf_check self-test passed\n";
   }
@@ -190,7 +244,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--metric" && i + 1 < argc) {
       metric = argv[++i];
     } else if (arg == "--max-drop" && i + 1 < argc) {
-      max_drop = std::stod(argv[++i]);
+      try {
+        max_drop = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "perf_check: --max-drop needs a number, got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
     } else if (arg == "--self-test") {
       return self_test();
     } else {
@@ -204,22 +264,6 @@ int main(int argc, char** argv) {
                  "(or --self-test)\n";
     return 2;
   }
-  try {
-    const Value baseline = opindyn::json::parse_file(baseline_path);
-    const Value current = opindyn::json::parse_file(current_path);
-    const int failures =
-        compare(baseline, current, metric, max_drop, std::cout);
-    if (failures > 0) {
-      std::cerr << "perf_check: " << failures << " workload(s) regressed "
-                << "more than " << max_drop * 100.0 << "% on " << metric
-                << "\n";
-      return 1;
-    }
-    std::cout << "perf_check: all workloads within " << max_drop * 100.0
-              << "% of baseline\n";
-    return 0;
-  } catch (const std::exception& error) {
-    std::cerr << "perf_check: " << error.what() << "\n";
-    return 1;
-  }
+  return run_gate(baseline_path, current_path, metric, max_drop, std::cout,
+                  std::cerr);
 }

@@ -2,7 +2,7 @@
 //
 //   opindyn list
 //   opindyn describe --scenario=node_vs_edge
-//   opindyn run --scenario=node_vs_edge --graph=cycle --n=1024 \
+//   opindyn run --scenario=node_vs_edge --graph=cycle --n=1024
 //       --sweep=k:1,2,4,8 --replicas=100 --csv=out.csv
 //   opindyn run --spec=experiment.spec [flag overrides]
 //

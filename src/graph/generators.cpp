@@ -145,7 +145,10 @@ Graph circulant(NodeId n, const std::vector<NodeId>& strides) {
   }
   std::string name = "circulant(" + std::to_string(n) + ";";
   for (std::size_t i = 0; i < strides.size(); ++i) {
-    name += (i > 0 ? "," : "") + std::to_string(strides[i]);
+    if (i > 0) {
+      name += ',';
+    }
+    name += std::to_string(strides[i]);
   }
   name += ")";
   return builder.build(std::move(name));

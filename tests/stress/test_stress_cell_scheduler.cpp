@@ -1,0 +1,171 @@
+// Concurrency stress for the CellScheduler / ReplicaBatch seam (run
+// under ThreadSanitizer by the tsan CI job).  The contract under load:
+// many batches in flight at once on one shared pool, folds in batch
+// order on the caller's thread while later batches are still running,
+// results bit-identical to a single-threaded scheduler, batches safely
+// outliving their scheduler, and unit exceptions surfacing exactly once
+// per accessor instead of tearing the fold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/support/cell_scheduler.h"
+
+namespace opindyn {
+namespace {
+
+/// A unit body with enough arithmetic per replica that batches genuinely
+/// overlap on the pool.  Streams one row per replica so the row channel
+/// is exercised too.
+ReplicaBatch::Body worky_body(std::int64_t spin) {
+  return [spin](std::int64_t r, Rng& rng, std::span<double> out,
+                RowEmitter& rows) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < spin; ++i) {
+      acc += rng.next_double();
+    }
+    out[0] = acc;
+    // Always draw the second value so the rng stream is identical at
+    // every metric count, but only store it when the batch actually has
+    // a second metric slot (the span is exactly metric_count wide --
+    // TSan caught an out[1] heap overflow here under metrics=1).
+    const double tail = static_cast<double>(rng.next_below(1000));
+    if (out.size() > 1) {
+      out[1] = tail;
+    }
+    rows.emit({std::to_string(r), std::to_string(tail)});
+  };
+}
+
+TEST(StressCellScheduler, BurstyBatchesFoldIdenticallyToSingleThread) {
+  constexpr int kBatches = 32;
+  constexpr std::int64_t kReplicas = 16;
+  constexpr std::size_t kMetrics = 2;
+
+  // Reference: everything inline on one thread.
+  std::vector<std::vector<double>> expected_means(kBatches);
+  {
+    CellScheduler reference(1);
+    for (int b = 0; b < kBatches; ++b) {
+      auto batch = reference.submit(kReplicas, 1000 + b, kMetrics,
+                                    worky_body(200 + b));
+      std::vector<double> means;
+      for (const RunningStats& stats : batch->stats()) {
+        means.push_back(stats.mean());
+      }
+      expected_means[static_cast<std::size_t>(b)] = std::move(means);
+    }
+  }
+
+  // Stressed: all batches submitted up front, folds in batch order while
+  // later batches still run on 8 workers.
+  CellScheduler scheduler(8);
+  std::vector<std::shared_ptr<ReplicaBatch>> batches;
+  batches.reserve(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    batches.push_back(scheduler.submit(kReplicas, 1000 + b, kMetrics,
+                                       worky_body(200 + b)));
+  }
+  for (int b = 0; b < kBatches; ++b) {
+    auto& batch = batches[static_cast<std::size_t>(b)];
+    const std::vector<RunningStats>& stats = batch->stats();
+    ASSERT_EQ(stats.size(), kMetrics);
+    for (std::size_t m = 0; m < kMetrics; ++m) {
+      // Bitwise: the fold runs in replica order on the calling thread,
+      // so thread count must not move a single ULP.
+      EXPECT_EQ(stats[m].mean(),
+                expected_means[static_cast<std::size_t>(b)][m])
+          << "batch " << b << " metric " << m;
+    }
+    // The streamed rows arrive in (replica, emission) order.
+    const std::vector<StreamedRow> rows = batch->take_streamed_rows();
+    ASSERT_EQ(rows.size(), static_cast<std::size_t>(kReplicas));
+    for (std::int64_t r = 0; r < kReplicas; ++r) {
+      EXPECT_EQ(rows[static_cast<std::size_t>(r)].replica, r);
+      EXPECT_EQ(rows[static_cast<std::size_t>(r)].cells[0],
+                std::to_string(r));
+    }
+  }
+}
+
+TEST(StressCellScheduler, FoldsInterleaveWithRunningBatches) {
+  // Fold each batch immediately after submitting the next, so every
+  // stats() call races the pool still working on later batches.
+  constexpr int kBatches = 24;
+  CellScheduler scheduler(4);
+  std::shared_ptr<ReplicaBatch> previous;
+  double checksum = 0.0;
+  for (int b = 0; b < kBatches; ++b) {
+    auto batch = scheduler.submit(8, 77 + b, 1, worky_body(500));
+    if (previous) {
+      checksum += previous->stats()[0].mean();
+      // A second fold of the same batch is the cached result.
+      EXPECT_EQ(previous->stats()[0].mean(), previous->stats()[0].mean());
+    }
+    previous = std::move(batch);
+  }
+  checksum += previous->stats()[0].mean();
+  EXPECT_TRUE(std::isfinite(checksum));
+}
+
+TEST(StressCellScheduler, BatchOutlivesItsScheduler) {
+  std::shared_ptr<ReplicaBatch> batch;
+  {
+    CellScheduler scheduler(4);
+    batch = scheduler.submit(32, 9, 1, worky_body(1000));
+    // Scheduler destruction drains the pool with units mid-flight.
+  }
+  ASSERT_TRUE(batch->done());
+  EXPECT_EQ(batch->stats()[0].count(), 32);
+}
+
+TEST(StressCellScheduler, UnitExceptionSurfacesOnEveryAccessor) {
+  CellScheduler scheduler(4);
+  auto batch = scheduler.submit(
+      16, 5, 1,
+      [](std::int64_t r, Rng& rng, std::span<double> out, RowEmitter&) {
+        out[0] = rng.next_double();
+        if (r == 11) {
+          throw std::runtime_error("unit 11 failed");
+        }
+      });
+  EXPECT_THROW(batch->wait(), std::runtime_error);
+  // The error is sticky: every later accessor rethrows instead of
+  // returning a half-folded result.
+  EXPECT_THROW(batch->stats(), std::runtime_error);
+  EXPECT_THROW(batch->samples(), std::runtime_error);
+}
+
+TEST(StressCellScheduler, ManySmallBatchesKeepReplicaOrderUnderContention) {
+  // Tiny batches maximise scheduler overhead relative to work: queue
+  // churn, chunk boundaries, and completion notifications all race.
+  constexpr int kBatches = 200;
+  CellScheduler scheduler(8);
+  std::vector<std::shared_ptr<ReplicaBatch>> batches;
+  batches.reserve(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    batches.push_back(scheduler.submit(
+        3, b, 1,
+        [](std::int64_t r, Rng&, std::span<double> out, RowEmitter& rows) {
+          out[0] = static_cast<double>(r);
+          rows.emit({std::to_string(r)});
+        }));
+  }
+  for (auto& batch : batches) {
+    const std::vector<StreamedRow> rows = batch->take_streamed_rows();
+    ASSERT_EQ(rows.size(), 3u);
+    for (std::int64_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(rows[static_cast<std::size_t>(r)].cells[0],
+                std::to_string(r));
+    }
+    EXPECT_EQ(batch->sample(2, 0), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace opindyn

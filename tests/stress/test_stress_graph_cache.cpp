@@ -1,0 +1,186 @@
+// Concurrency stress for the GraphCache per-key once-latches (the tsan
+// CI job runs this suite under ThreadSanitizer).  The cache's contract:
+// concurrent callers of *distinct* keys build in parallel, concurrent
+// callers of the *same* key build exactly once, and a throwing build
+// leaves the latch retryable.  These tests hammer all three seams with
+// real threads synchronised only through the cache itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph_cache.h"
+
+namespace opindyn {
+namespace {
+
+/// Spin-barrier start so every thread hits the cache at once instead of
+/// running to completion before the next thread even spawns.
+class StartGate {
+ public:
+  void arrive_and_wait(int expected) {
+    arrived_.fetch_add(1, std::memory_order_acq_rel);
+    while (arrived_.load(std::memory_order_acquire) < expected) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::atomic<int> arrived_{0};
+};
+
+TEST(StressGraphCache, OverlappingDistinctKeysBuildOnceEach) {
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 6;
+  GraphCache cache;
+  std::atomic<int> builds{0};
+  StartGate gate;
+
+  std::vector<std::shared_ptr<const Graph>> seen(
+      static_cast<std::size_t>(kThreads) * kKeys);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.arrive_and_wait(kThreads);
+      // Rotate the key order per thread so every key sees concurrent
+      // first requests from several threads.
+      for (int i = 0; i < kKeys; ++i) {
+        const int k = (t + i) % kKeys;
+        const NodeId n = static_cast<NodeId>(16 + 4 * k);
+        auto graph = cache.get("cycle/" + std::to_string(k), [&, n] {
+          builds.fetch_add(1, std::memory_order_relaxed);
+          return gen::cycle(n);
+        });
+        seen[static_cast<std::size_t>(t) * kKeys +
+             static_cast<std::size_t>(k)] = std::move(graph);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  // Each key built exactly once, and every thread observed the same
+  // shared immutable graph per key.
+  EXPECT_EQ(builds.load(), kKeys);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::int64_t>(kThreads) * kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    const Graph* first = seen[static_cast<std::size_t>(k)].get();
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->node_count(), static_cast<NodeId>(16 + 4 * k));
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t) * kKeys +
+                     static_cast<std::size_t>(k)]
+                    .get(),
+                first)
+          << "thread " << t << " got a different instance for key " << k;
+    }
+  }
+}
+
+TEST(StressGraphCache, SameKeyHammeredBuildsExactlyOnce) {
+  constexpr int kThreads = 12;
+  constexpr int kRounds = 50;
+  GraphCache cache;
+  std::atomic<int> builds{0};
+  StartGate gate;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      gate.arrive_and_wait(kThreads);
+      for (int i = 0; i < kRounds; ++i) {
+        auto graph = cache.get("the-one-key", [&] {
+          builds.fetch_add(1, std::memory_order_relaxed);
+          return gen::complete(24);
+        });
+        // Read through the shared graph on every round: if the latch
+        // ever published an unbuilt graph, TSan (and the expectation)
+        // would catch the unsynchronised access.
+        ASSERT_EQ(graph->node_count(), 24);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(),
+            static_cast<std::int64_t>(kThreads) * kRounds - 1);
+}
+
+TEST(StressGraphCache, ThrowingBuildPropagatesAndStaysRetryable) {
+#if defined(__SANITIZE_THREAD__)
+  // TSan's pthread_once interceptor does not implement glibc's
+  // exception-unwind re-arm, so a throwing std::call_once callable
+  // deadlocks every waiter under -fsanitize=thread (reproducible with a
+  // 20-line standalone program on g++ 12 -- no cache involved).  The
+  // retry contract is still exercised on every non-TSan run of this
+  // suite; under TSan only the exceptional path is skipped.
+  GTEST_SKIP() << "throwing std::call_once deadlocks under TSan "
+                  "(sanitizer interceptor limitation, not a cache bug)";
+#endif
+  constexpr int kThreads = 8;
+  constexpr int kFailures = 3;  // first kFailures build attempts throw
+  GraphCache cache;
+  std::atomic<int> attempts{0};
+  std::atomic<int> caught{0};
+  StartGate gate;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      gate.arrive_and_wait(kThreads);
+      // Retry until the build finally succeeds; every failed attempt
+      // must surface as the build's exception, never as a torn graph.
+      for (;;) {
+        try {
+          auto graph = cache.get("flaky", [&] {
+            if (attempts.fetch_add(1, std::memory_order_relaxed) <
+                kFailures) {
+              throw std::runtime_error("transient build failure");
+            }
+            return gen::torus(6, 6);
+          });
+          EXPECT_EQ(graph->node_count(), 36);
+          return;
+        } catch (const std::runtime_error& error) {
+          EXPECT_STREQ(error.what(), "transient build failure");
+          caught.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  // The build ran at least kFailures + 1 times (the failures plus the
+  // one success) and at least the failing attempts' callers saw the
+  // exception; afterwards the cache serves the built graph.
+  EXPECT_GE(attempts.load(), kFailures + 1);
+  EXPECT_GE(caught.load(), kFailures);
+  std::atomic<int> rebuilds{0};
+  auto graph = cache.get("flaky", [&] {
+    rebuilds.fetch_add(1, std::memory_order_relaxed);
+    return gen::torus(6, 6);
+  });
+  EXPECT_EQ(rebuilds.load(), 0) << "a successful build must be cached";
+  EXPECT_EQ(graph->node_count(), 36);
+}
+
+}  // namespace
+}  // namespace opindyn

@@ -1,0 +1,132 @@
+// Concurrency stress for the SpectrumCache and the per-kind once-latches
+// inside GraphSpectra (run under ThreadSanitizer by the tsan CI job).
+// Contract: one record per key however many threads race get(), and one
+// eigensolve per (graph, spectrum kind) however many threads race the
+// accessors -- with both kinds solving concurrently on distinct latches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/spectral/spectrum_cache.h"
+
+namespace opindyn {
+namespace {
+
+TEST(StressSpectrumCache, OverlappingDistinctKeysSolveOncePerKind) {
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 4;
+  SpectrumCache cache;
+  std::vector<std::shared_ptr<const Graph>> graphs;
+  graphs.reserve(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    graphs.push_back(std::make_shared<const Graph>(
+        gen::cycle(static_cast<NodeId>(12 + 4 * k))));
+  }
+
+  std::atomic<int> started{0};
+  std::vector<std::vector<double>> walk_lambda2(
+      kThreads, std::vector<double>(kKeys, 0.0));
+  std::vector<std::vector<double>> lap_lambda2(
+      kThreads, std::vector<double>(kKeys, 0.0));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      started.fetch_add(1, std::memory_order_acq_rel);
+      while (started.load(std::memory_order_acquire) < kThreads) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < kKeys; ++i) {
+        const int k = (t + i) % kKeys;
+        const std::string key = "cycle/" + std::to_string(k);
+        auto record = cache.get(key, graphs[static_cast<std::size_t>(k)]);
+        // Half the threads ask walk-first, half laplacian-first, so the
+        // two per-kind latches of one record are raced from both sides.
+        if (t % 2 == 0) {
+          walk_lambda2[static_cast<std::size_t>(t)]
+                      [static_cast<std::size_t>(k)] =
+                          record->walk().lambda2;
+          lap_lambda2[static_cast<std::size_t>(t)]
+                     [static_cast<std::size_t>(k)] =
+                         record->laplacian().lambda2;
+        } else {
+          lap_lambda2[static_cast<std::size_t>(t)]
+                     [static_cast<std::size_t>(k)] =
+                         record->laplacian().lambda2;
+          walk_lambda2[static_cast<std::size_t>(t)]
+                      [static_cast<std::size_t>(k)] =
+                          record->walk().lambda2;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  // One record per key, one eigensolve per (key, kind) -- the expensive
+  // work never duplicates under contention.
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(cache.eigensolves(), static_cast<std::int64_t>(kKeys) * 2);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::int64_t>(kThreads) * kKeys);
+
+  // Every thread read the same memoised values as a fresh
+  // single-threaded solve of the same graph.
+  for (int k = 0; k < kKeys; ++k) {
+    GraphSpectra reference(graphs[static_cast<std::size_t>(k)]);
+    const double walk_ref = reference.walk().lambda2;
+    const double lap_ref = reference.laplacian().lambda2;
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(walk_lambda2[static_cast<std::size_t>(t)]
+                            [static_cast<std::size_t>(k)],
+                walk_ref);
+      EXPECT_EQ(lap_lambda2[static_cast<std::size_t>(t)]
+                           [static_cast<std::size_t>(k)],
+                lap_ref);
+    }
+  }
+}
+
+TEST(StressSpectrumCache, SameRecordAccessorsHammeredSolveOnce) {
+  constexpr int kThreads = 10;
+  constexpr int kRounds = 25;
+  SpectrumCache cache;
+  auto graph = std::make_shared<const Graph>(gen::complete(16));
+
+  std::atomic<int> started{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      started.fetch_add(1, std::memory_order_acq_rel);
+      while (started.load(std::memory_order_acquire) < kThreads) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < kRounds; ++i) {
+        auto record = cache.get("complete/16", graph);
+        const double walk = record->walk().lambda2;
+        const double lap = record->laplacian().lambda2;
+        ASSERT_TRUE(std::isfinite(walk));
+        ASSERT_TRUE(std::isfinite(lap));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.eigensolves(), 2);
+  EXPECT_EQ(cache.spectrum_hits(),
+            static_cast<std::int64_t>(kThreads) * kRounds * 2 - 2);
+}
+
+}  // namespace
+}  // namespace opindyn
