@@ -9,11 +9,15 @@
 // `run` accepts every spec key as a --key=value flag (see `opindyn help`)
 // or a spec file of key=value lines; flags override the file.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <exception>
 #include <iostream>
 #include <stdexcept>
 
 #include "src/engine/runner.h"
+#include "src/service/cancel_token.h"
+#include "src/service/server.h"
 #include "src/support/build_info.h"
 #include "src/support/cli.h"
 
@@ -21,6 +25,24 @@ namespace {
 
 using namespace opindyn;
 using namespace opindyn::engine;
+
+// Signal plumbing.  Handlers may only touch lock-free atomics:
+//  - one-shot `run` cancels its batch token (a single CAS; the runner
+//    notices at the next unit/burst boundary, flushes the row prefix
+//    and exits 128+signo), and
+//  - `serve` records the signo; the serve loops poll it and start the
+//    graceful drain.
+opindyn::CancelToken g_run_token;
+std::atomic<int> g_signal{0};
+
+void handle_run_signal(int signo) {
+  g_run_token.cancel(signo == SIGINT ? "SIGINT" : "SIGTERM");
+  g_signal.store(signo, std::memory_order_relaxed);
+}
+
+void handle_serve_signal(int signo) {
+  g_signal.store(signo, std::memory_order_relaxed);
+}
 
 int cmd_help() {
   std::cout <<
@@ -31,6 +53,11 @@ usage:
   opindyn describe --scenario=<name>   show one scenario and its columns
   opindyn run [--spec=<file>] [--key=value ...]
                                        run a scenario batch
+  opindyn serve [serve flags]          job-stream service: read one job
+                                       per line (spec grammar or JSON)
+                                       from stdin or --socket, emit one
+                                       JSON record per job (see README
+                                       "Service mode")
   opindyn version                      build info (git hash, compiler,
                                        flags); also --version
   opindyn help                         this text
@@ -78,6 +105,22 @@ run flags (every spec key; flags override --spec file entries):
   --trace-json=<path>    write a Chrome trace-event file of the batch
                          (open in Perfetto / chrome://tracing)
   --table=<bool>         print the markdown table       (default true)
+
+serve flags:
+  --queue=<int>          admission queue depth; beyond it jobs get an
+                         explicit "rejected" record    (default 16)
+  --job-workers=<int>    concurrent jobs                (default 2)
+  --threads=<int>        shared simulation pool         (default all)
+  --drain-timeout-ms=<int>  grace period for in-flight jobs after
+                         SIGTERM/SIGINT before cooperative cancellation
+                         (<0 = wait forever)            (default 5000)
+  --deadline-ms=<int>    default per-job deadline, counted from
+                         admission; jobs override with deadline_ms=
+                         (0 = none)
+  --graph-cache-entries / --graph-cache-mb
+  --spectrum-cache-entries / --spectrum-cache-mb
+                         LRU bounds of the process-lifetime caches
+  --socket=<path>        listen on a unix socket instead of stdin
 
 examples:
   opindyn run --scenario=node_vs_edge --graph=cycle --n=1024 --sweep=k:1,2,4,8
@@ -140,13 +183,92 @@ int cmd_run(const CliArgs& args) {
     }
   }
   const ExperimentSpec spec = parse_spec(args);
-  const BatchResult result = run_experiment_with_default_sinks(spec);
+  // Ctrl-C / SIGTERM cancel cooperatively: sinks flush the completed
+  // cell prefix, --metrics-json is still written (marked
+  // "interrupted": true), and we exit 128+signo like an interrupted
+  // shell pipeline would.
+  std::signal(SIGINT, handle_run_signal);
+  std::signal(SIGTERM, handle_run_signal);
+  RunContext context;
+  context.cancel = &g_run_token;
+  const BatchResult result =
+      run_experiment_with_default_sinks(spec, context);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (result.interrupted) {
+    std::cerr << "opindyn: interrupted (" << result.interrupt_reason
+              << "); flushed " << result.rows.size()
+              << " aggregate rows before stopping\n";
+    const int signo = g_signal.load(std::memory_order_relaxed);
+    return 128 + (signo != 0 ? signo : SIGINT);
+  }
   if (!spec.print_table && spec.csv_path.empty() &&
       spec.hist_csv_path.empty() && spec.hist_column.empty() &&
       spec.quantiles.empty()) {
     std::cout << result.rows.size() << " rows (no sink configured)\n";
   }
   return 0;
+}
+
+int cmd_serve(const CliArgs& args) {
+  static const std::vector<std::string> known = {
+      "queue",          "job-workers",
+      "threads",        "drain-timeout-ms",
+      "deadline-ms",    "graph-cache-entries",
+      "graph-cache-mb", "spectrum-cache-entries",
+      "spectrum-cache-mb", "socket"};
+  for (const std::string& name : args.option_names()) {
+    if (name != "help" &&
+        std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::runtime_error("unknown serve flag '--" + name +
+                               "' (see: opindyn help)");
+    }
+  }
+  service::ServeOptions options;
+  options.queue_depth = static_cast<std::size_t>(args.get(
+      "queue", static_cast<std::int64_t>(options.queue_depth)));
+  options.job_workers = static_cast<std::size_t>(args.get(
+      "job-workers", static_cast<std::int64_t>(options.job_workers)));
+  options.threads = static_cast<std::size_t>(
+      args.get("threads", static_cast<std::int64_t>(options.threads)));
+  options.drain_timeout_ms =
+      args.get("drain-timeout-ms", options.drain_timeout_ms);
+  options.default_deadline_ms =
+      args.get("deadline-ms", options.default_deadline_ms);
+  options.graph_cache_limits.max_entries =
+      static_cast<std::size_t>(args.get(
+          "graph-cache-entries",
+          static_cast<std::int64_t>(
+              options.graph_cache_limits.max_entries)));
+  options.graph_cache_limits.max_bytes =
+      static_cast<std::uint64_t>(args.get(
+          "graph-cache-mb",
+          static_cast<std::int64_t>(
+              options.graph_cache_limits.max_bytes >> 20)))
+      << 20;
+  options.spectrum_cache_limits.max_entries =
+      static_cast<std::size_t>(args.get(
+          "spectrum-cache-entries",
+          static_cast<std::int64_t>(
+              options.spectrum_cache_limits.max_entries)));
+  options.spectrum_cache_limits.max_bytes =
+      static_cast<std::uint64_t>(args.get(
+          "spectrum-cache-mb",
+          static_cast<std::int64_t>(
+              options.spectrum_cache_limits.max_bytes >> 20)))
+      << 20;
+  options.socket_path = args.get("socket", std::string{});
+  options.signal_flag = &g_signal;
+  register_builtin_scenarios();
+  std::signal(SIGINT, handle_serve_signal);
+  std::signal(SIGTERM, handle_serve_signal);
+  const bool socket_mode = !options.socket_path.empty();
+  service::JobStreamService server(std::move(options));
+  const int code =
+      socket_mode ? server.serve_socket() : server.serve_stdin();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  return code;
 }
 
 }  // namespace
@@ -172,6 +294,9 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       return cmd_run(args);
+    }
+    if (command == "serve") {
+      return cmd_serve(args);
     }
     std::cerr << "unknown command '" << command
               << "' (try: opindyn help)\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/service/cancel_token.h"
 #include "src/support/assert.h"
 #include "src/support/metrics.h"
 
@@ -27,6 +28,11 @@ ConvergenceResult run_until_converged(AveragingProcess& process, Rng& rng,
   // own O(1) predicate via the converged() override.
   bool done = process.converged(options.epsilon, options.use_plain_potential);
   while (!done && process.time() - start_time < options.max_steps) {
+    // Cooperative cancellation at the burst boundary: one thread_local
+    // check per check-interval (never per step), and a cancelled run
+    // stops only *between* bursts, so it can never emit bytes differing
+    // from a prefix of the uncancelled run.
+    cancel::poll();
     const std::int64_t burst = std::min(
         interval, options.max_steps - (process.time() - start_time));
     process.step_burst(rng, burst);

@@ -57,6 +57,13 @@ json::Value build_run_report(const ExperimentSpec& spec,
   report.emplace_back("scenario", spec.scenario);
   report.emplace_back("seed", spec.seed);
   report.emplace_back("threads", spec.threads);
+  // Early in the report so a partial run's manifest is unmistakable:
+  // true means the batch was cancelled (SIGINT, deadline) and the rows
+  // below cover only the flushed prefix of cells.
+  report.emplace_back("interrupted", result.interrupted);
+  if (result.interrupted) {
+    report.emplace_back("interrupt_reason", result.interrupt_reason);
+  }
   report.emplace_back("spec", spec_echo(spec));
   report.emplace_back("build", build_info_json());
   report.emplace_back("counters", counter_object(folded.counters));
@@ -102,6 +109,30 @@ json::Value build_run_report(const ExperimentSpec& spec,
   result_block.emplace_back("spectra_solved", result.spectra_solved);
   result_block.emplace_back("spectra_hits", result.spectra_hits);
   report.emplace_back("result", std::move(result_block));
+
+  // Cache statistics (per-batch deltas plus the end-of-batch resident
+  // footprint), one sub-object per cache so LRU behaviour -- invisible
+  // in the counters above -- is observable per job and per sweep.
+  json::Object graph_cache;
+  graph_cache.emplace_back("hits", result.graph_cache_hits);
+  graph_cache.emplace_back("misses", result.graphs_built);
+  graph_cache.emplace_back("evictions", result.graph_cache_evictions);
+  graph_cache.emplace_back("resident_bytes",
+                           result.graph_cache_resident_bytes);
+  json::Object spectrum_cache;
+  spectrum_cache.emplace_back("record_hits", result.spectrum_record_hits);
+  spectrum_cache.emplace_back("record_misses",
+                              result.spectrum_record_misses);
+  spectrum_cache.emplace_back("eigensolves", result.spectra_solved);
+  spectrum_cache.emplace_back("spectrum_hits", result.spectra_hits);
+  spectrum_cache.emplace_back("evictions",
+                              result.spectrum_cache_evictions);
+  spectrum_cache.emplace_back("resident_bytes",
+                              result.spectrum_cache_resident_bytes);
+  json::Object caches;
+  caches.emplace_back("graph", std::move(graph_cache));
+  caches.emplace_back("spectrum", std::move(spectrum_cache));
+  report.emplace_back("caches", std::move(caches));
 
   if (options.include_timings) {
     report.emplace_back("timings_ms", timing_object(folded.timings_ms));

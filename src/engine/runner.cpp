@@ -10,6 +10,7 @@
 
 #include "src/engine/run_report.h"
 #include "src/graph/graph_cache.h"
+#include "src/service/cancel_token.h"
 #include "src/spectral/spectrum_cache.h"
 #include "src/support/assert.h"
 
@@ -103,7 +104,22 @@ BatchResult run_experiment(const ExperimentSpec& spec,
                            const std::vector<RowSink*>& sinks,
                            const std::vector<RowSink*>& row_sinks,
                            MetricsRegistry* metrics) {
+  RunContext context;
+  context.metrics = metrics;
+  return run_experiment(spec, sinks, row_sinks, context);
+}
+
+BatchResult run_experiment(const ExperimentSpec& spec,
+                           const std::vector<RowSink*>& sinks,
+                           const std::vector<RowSink*>& row_sinks,
+                           const RunContext& context) {
   const Scenario& scenario = resolve_scenario(spec);
+  MetricsRegistry* const metrics = context.metrics;
+  // The batch's ambient cancel token: batch submissions on this thread
+  // capture it (see CellScheduler::submit) and the phase loops below
+  // poll it between cells, so cancellation lands wherever the batch
+  // currently is without any per-step cost.
+  const CancelScope cancel_scope(context.cancel);
 
   // Base columns first, then one label column per sweep axis, then the
   // scenario's own result columns.  Axes over "graph"/"n" get no label
@@ -148,174 +164,262 @@ BatchResult run_experiment(const ExperimentSpec& spec,
   }
 
   // Phase 1: resolve every cell and submit its replica batches.  Cells
-  // are declared before the scheduler so the scheduler is destroyed (and
-  // its pool drained) first -- unit bodies reference the cells.
+  // are declared before the local scheduler so the scheduler is
+  // destroyed (and its pool drained) first -- unit bodies reference the
+  // cells.  When the context supplies shared infrastructure instead,
+  // the explicit drain below (drain_cells + the prefetch wait-all)
+  // guarantees no unit outlives this frame's locals.
   std::vector<std::unique_ptr<Cell>> cells;
-  GraphCache graph_cache;
-  SpectrumCache spectrum_cache;
-  CellScheduler scheduler(spec.threads);
-  scheduler.set_metrics(metrics);
-  {
-    const PhaseTimer phase(metrics, "expand");
-    cells.reserve(grid.size());
-    for (const SweepPoint& point : grid) {
-      auto cell = std::make_unique<Cell>();
-      cell->item = spec;
-      cell->item.sweeps.clear();
-      for (const auto& [key, value] : point.overrides) {
-        apply_override(cell->item, key, value);
-        if (!is_base_key(key)) {
-          cell->labels.push_back(value);
+  std::optional<GraphCache> local_graph_cache;
+  std::optional<SpectrumCache> local_spectrum_cache;
+  std::optional<CellScheduler> local_scheduler;
+  GraphCache& graph_cache = context.graph_cache != nullptr
+                                ? *context.graph_cache
+                                : local_graph_cache.emplace();
+  SpectrumCache& spectrum_cache = context.spectrum_cache != nullptr
+                                      ? *context.spectrum_cache
+                                      : local_spectrum_cache.emplace();
+  CellScheduler& scheduler = context.scheduler != nullptr
+                                 ? *context.scheduler
+                                 : local_scheduler.emplace(spec.threads);
+  if (local_scheduler.has_value()) {
+    scheduler.set_metrics(metrics);
+  }
+
+  // Shared caches are cumulative across jobs, so every counter the
+  // result reports is a delta against this snapshot (identical to the
+  // absolute value for the historical per-batch caches).
+  const std::int64_t base_graph_hits = graph_cache.hits();
+  const std::int64_t base_graph_misses = graph_cache.misses();
+  const std::int64_t base_graph_evictions = graph_cache.evictions();
+  const std::int64_t base_record_hits = spectrum_cache.hits();
+  const std::int64_t base_record_misses = spectrum_cache.misses();
+  const std::int64_t base_eigensolves = spectrum_cache.eigensolves();
+  const std::int64_t base_spectrum_hits = spectrum_cache.spectrum_hits();
+  const std::int64_t base_spectrum_evictions = spectrum_cache.evictions();
+
+  // Runs every still-pending fold to completion, discarding rows and
+  // errors: on any unwind (cancellation, a failing cell) the in-flight
+  // units of OTHER cells must finish before the cells they reference
+  // are destroyed -- with a shared scheduler there is no pool
+  // destructor between them and the frame's death.
+  const auto drain_cells = [&cells] {
+    for (const auto& cell : cells) {
+      if (cell->fold) {
+        try {
+          cell->fold();
+        } catch (...) {
+        }
+        cell->fold = nullptr;
+      }
+    }
+  };
+
+  bool interrupted = false;
+  const char* interrupt_reason = nullptr;
+  try {
+    {
+      const PhaseTimer phase(metrics, "expand");
+      cells.reserve(grid.size());
+      for (const SweepPoint& point : grid) {
+        auto cell = std::make_unique<Cell>();
+        cell->item = spec;
+        cell->item.sweeps.clear();
+        for (const auto& [key, value] : point.overrides) {
+          apply_override(cell->item, key, value);
+          if (!is_base_key(key)) {
+            cell->labels.push_back(value);
+          }
+        }
+        cells.push_back(std::move(cell));
+      }
+    }
+
+    // Prefetch each distinct graph of the grid on the pool: one unit per
+    // key builds the graph and -- for the f2_* eigenvector initials --
+    // runs the matching eigensolve.  The caches' per-key latches are what
+    // make this safe AND parallel: a cold sweep over distinct graphs
+    // constructs and solves concurrently instead of serialising on this
+    // thread, while the warm gets below just read the memo.  Values are
+    // deterministic per key, so results never depend on prefetch order.
+    {
+      const PhaseTimer phase(metrics, "prefetch");
+      scheduler.set_submit_label("prefetch");
+      std::map<std::string, const ExperimentSpec*> distinct;
+      for (const auto& cell : cells) {
+        distinct.emplace(graph_cache_key(cell->item.graph), &cell->item);
+      }
+      std::vector<std::shared_ptr<ReplicaBatch>> prefetch;
+      prefetch.reserve(distinct.size());
+      for (const auto& [cache_key, item] : distinct) {
+        prefetch.push_back(scheduler.submit(
+            1, 0, 1,
+            [&graph_cache, &spectrum_cache, metrics, cache_key = cache_key,
+             item = item](std::int64_t, Rng&, std::span<double>,
+                          RowEmitter&) {
+              // The builder lambdas only run on a cache miss (under the
+              // per-key latch), so the spans below time actual builds.
+              const auto graph =
+                  graph_cache.get(cache_key, [item, metrics, &cache_key] {
+                    const ScopedSpan span(metrics, cache_key, "graph_build");
+                    return build_graph(item->graph);
+                  });
+              const auto spectra = spectrum_cache.get(cache_key, graph);
+              if (item->initial.distribution == "f2_walk") {
+                const ScopedSpan span(metrics, cache_key, "eigensolve");
+                spectra->walk();
+              } else if (item->initial.distribution == "f2_laplacian") {
+                const ScopedSpan span(metrics, cache_key, "eigensolve");
+                spectra->laplacian();
+              }
+            }));
+      }
+      // Wait on EVERY prefetch batch before letting an error unwind:
+      // later batches reference this frame's caches and keys, and a
+      // shared scheduler has no pool destructor to drain them.
+      std::exception_ptr prefetch_error;
+      for (const auto& batch : prefetch) {
+        try {
+          batch->wait();
+        } catch (...) {
+          if (!prefetch_error) {
+            prefetch_error = std::current_exception();
+          }
         }
       }
-      cells.push_back(std::move(cell));
-    }
-  }
-
-  // Prefetch each distinct graph of the grid on the pool: one unit per
-  // key builds the graph and -- for the f2_* eigenvector initials --
-  // runs the matching eigensolve.  The caches' per-key latches are what
-  // make this safe AND parallel: a cold sweep over distinct graphs
-  // constructs and solves concurrently instead of serialising on this
-  // thread, while the warm gets below just read the memo.  Values are
-  // deterministic per key, so results never depend on prefetch order.
-  {
-    const PhaseTimer phase(metrics, "prefetch");
-    scheduler.set_submit_label("prefetch");
-    std::map<std::string, const ExperimentSpec*> distinct;
-    for (const auto& cell : cells) {
-      distinct.emplace(graph_cache_key(cell->item.graph), &cell->item);
-    }
-    std::vector<std::shared_ptr<ReplicaBatch>> prefetch;
-    prefetch.reserve(distinct.size());
-    for (const auto& [cache_key, item] : distinct) {
-      prefetch.push_back(scheduler.submit(
-          1, 0, 1,
-          [&graph_cache, &spectrum_cache, metrics, cache_key = cache_key,
-           item = item](std::int64_t, Rng&, std::span<double>,
-                        RowEmitter&) {
-            // The builder lambdas only run on a cache miss (under the
-            // per-key latch), so the spans below time actual builds.
-            const auto graph =
-                graph_cache.get(cache_key, [item, metrics, &cache_key] {
-                  const ScopedSpan span(metrics, cache_key, "graph_build");
-                  return build_graph(item->graph);
-                });
-            const auto spectra = spectrum_cache.get(cache_key, graph);
-            if (item->initial.distribution == "f2_walk") {
-              const ScopedSpan span(metrics, cache_key, "eigensolve");
-              spectra->walk();
-            } else if (item->initial.distribution == "f2_laplacian") {
-              const ScopedSpan span(metrics, cache_key, "eigensolve");
-              spectra->laplacian();
-            }
-          }));
-    }
-    for (const auto& batch : prefetch) {
-      batch->wait();
-    }
-    scheduler.set_submit_label("");
-  }
-
-  {
-    const PhaseTimer phase(metrics, "start");
-    for (std::size_t index = 0; index < cells.size(); ++index) {
-      Cell& cell = *cells[index];
-      const std::string cache_key = graph_cache_key(cell.item.graph);
-      cell.graph = graph_cache.get(
-          cache_key, [&cell] { return build_graph(cell.item.graph); });
-      // The spectra record is shared per graph key; it solves lazily, so
-      // cells that never touch it (most scenarios) cost nothing, and the
-      // f2_* initials below reuse the same record the scenario's
-      // prediction batches will hit.
-      cell.spectra = spectrum_cache.get(cache_key, cell.graph);
-      cell.initial = build_initial(cell.item.initial, *cell.graph,
-                                   cell.spectra.get());
-      const RunInput input{cell.item,     *cell.graph, cell.initial,
-                           *cell.spectra, scheduler,   stream_rows,
-                           metrics};
-      // Submits inside start() run synchronously on this thread, so the
-      // label tags every batch of this cell; counters bumped inside the
-      // cell's units then land in the report's "cell/<index>" row.
-      scheduler.set_submit_label("cell/" + std::to_string(index));
-      cell.fold = scenario.start(input);
-      CellSummary summary;
-      summary.label = "cell/" + std::to_string(index);
-      summary.graph = cell.graph->name();
-      summary.n = cell.graph->node_count();
-      summary.replicas = cell.item.replicas;
-      summary.overrides = grid[index].overrides;
-      result.cells.push_back(std::move(summary));
-    }
-    scheduler.set_submit_label("");
-  }
-  // Misses are counted per key on first request (the prefetch pass), so
-  // this is still "distinct graphs actually constructed".
-  result.graphs_built = graph_cache.misses();
-  result.graph_cache_hits = graph_cache.hits();
-
-  // Phase 2: fold in cell order.  Each fold blocks only on its own
-  // cell's batches while every later cell keeps running on the pool;
-  // the OrderedFlush then releases rows to the sinks in cell order.
-  const PhaseTimer fold_phase(metrics, "fold");
-  for (std::size_t index = 0; index < cells.size(); ++index) {
-    Cell& cell = *cells[index];
-    CellRows cell_rows = cell.fold();
-    cell.fold = nullptr;  // release the batch handles
-
-    const auto prefixed = [&](const std::vector<std::string>& suffix,
-                              std::size_t width,
-                              const char* what) {
-      OPINDYN_EXPECTS(suffix.size() == width,
-                      std::string("scenario returned a ") + what +
-                          " row of the wrong width");
-      std::vector<std::string> cells_out = {
-          scenario.name(), cell.graph->name(),
-          std::to_string(cell.graph->node_count()),
-          std::to_string(cell.item.replicas)};
-      cells_out.insert(cells_out.end(), cell.labels.begin(),
-                       cell.labels.end());
-      cells_out.insert(cells_out.end(), suffix.begin(), suffix.end());
-      return cells_out;
-    };
-
-    std::vector<std::vector<std::string>> aggregate;
-    aggregate.reserve(cell_rows.aggregate.size());
-    for (const std::vector<std::string>& row : cell_rows.aggregate) {
-      aggregate.push_back(prefixed(row, scenario_columns.size(),
-                                   "aggregate"));
-    }
-    result.rows.insert(result.rows.end(), aggregate.begin(),
-                       aggregate.end());
-    aggregate_flush.cell_done(index, std::move(aggregate));
-
-    if (stream_rows) {
-      std::vector<std::vector<std::string>> replica;
-      replica.reserve(cell_rows.replica.size());
-      for (const std::vector<std::string>& row : cell_rows.replica) {
-        replica.push_back(prefixed(row, scenario_row_columns.size(),
-                                   "per-replica"));
+      scheduler.set_submit_label("");
+      if (prefetch_error) {
+        std::rethrow_exception(prefetch_error);
       }
-      result.replica_rows.insert(result.replica_rows.end(),
-                                 replica.begin(), replica.end());
-      replica_flush.cell_done(index, std::move(replica));
-    } else {
-      OPINDYN_EXPECTS(cell_rows.replica.empty(),
-                      "scenario streamed rows that nothing consumes");
-      replica_flush.cell_done(index, {});
     }
-    result.work_items += 1;
+
+    {
+      const PhaseTimer phase(metrics, "start");
+      for (std::size_t index = 0; index < cells.size(); ++index) {
+        cancel::poll();
+        Cell& cell = *cells[index];
+        const std::string cache_key = graph_cache_key(cell.item.graph);
+        cell.graph = graph_cache.get(
+            cache_key, [&cell] { return build_graph(cell.item.graph); });
+        // The spectra record is shared per graph key; it solves lazily, so
+        // cells that never touch it (most scenarios) cost nothing, and the
+        // f2_* initials below reuse the same record the scenario's
+        // prediction batches will hit.
+        cell.spectra = spectrum_cache.get(cache_key, cell.graph);
+        cell.initial = build_initial(cell.item.initial, *cell.graph,
+                                     cell.spectra.get());
+        const RunInput input{cell.item,     *cell.graph, cell.initial,
+                             *cell.spectra, scheduler,   stream_rows,
+                             metrics};
+        // Submits inside start() run synchronously on this thread, so the
+        // label tags every batch of this cell; counters bumped inside the
+        // cell's units then land in the report's "cell/<index>" row.
+        scheduler.set_submit_label("cell/" + std::to_string(index));
+        cell.fold = scenario.start(input);
+        CellSummary summary;
+        summary.label = "cell/" + std::to_string(index);
+        summary.graph = cell.graph->name();
+        summary.n = cell.graph->node_count();
+        summary.replicas = cell.item.replicas;
+        summary.overrides = grid[index].overrides;
+        result.cells.push_back(std::move(summary));
+      }
+      scheduler.set_submit_label("");
+    }
+    // Phase 2: fold in cell order.  Each fold blocks only on its own
+    // cell's batches while every later cell keeps running on the pool;
+    // the OrderedFlush then releases rows to the sinks in cell order.
+    const PhaseTimer fold_phase(metrics, "fold");
+    for (std::size_t index = 0; index < cells.size(); ++index) {
+      cancel::poll();
+      Cell& cell = *cells[index];
+      CellRows cell_rows = cell.fold();
+      cell.fold = nullptr;  // release the batch handles
+
+      const auto prefixed = [&](const std::vector<std::string>& suffix,
+                                std::size_t width,
+                                const char* what) {
+        OPINDYN_EXPECTS(suffix.size() == width,
+                        std::string("scenario returned a ") + what +
+                            " row of the wrong width");
+        std::vector<std::string> cells_out = {
+            scenario.name(), cell.graph->name(),
+            std::to_string(cell.graph->node_count()),
+            std::to_string(cell.item.replicas)};
+        cells_out.insert(cells_out.end(), cell.labels.begin(),
+                         cell.labels.end());
+        cells_out.insert(cells_out.end(), suffix.begin(), suffix.end());
+        return cells_out;
+      };
+
+      std::vector<std::vector<std::string>> aggregate;
+      aggregate.reserve(cell_rows.aggregate.size());
+      for (const std::vector<std::string>& row : cell_rows.aggregate) {
+        aggregate.push_back(prefixed(row, scenario_columns.size(),
+                                     "aggregate"));
+      }
+      result.rows.insert(result.rows.end(), aggregate.begin(),
+                         aggregate.end());
+      aggregate_flush.cell_done(index, std::move(aggregate));
+
+      if (stream_rows) {
+        std::vector<std::vector<std::string>> replica;
+        replica.reserve(cell_rows.replica.size());
+        for (const std::vector<std::string>& row : cell_rows.replica) {
+          replica.push_back(prefixed(row, scenario_row_columns.size(),
+                                     "per-replica"));
+        }
+        result.replica_rows.insert(result.replica_rows.end(),
+                                   replica.begin(), replica.end());
+        replica_flush.cell_done(index, std::move(replica));
+      } else {
+        OPINDYN_EXPECTS(cell_rows.replica.empty(),
+                        "scenario streamed rows that nothing consumes");
+        replica_flush.cell_done(index, {});
+      }
+      result.work_items += 1;
+    }
+  } catch (const CancelledError& error) {
+    // Cooperative cancellation is an outcome, not a failure: remember
+    // the reason, let the drain below retire the remaining cells, and
+    // return the flushed prefix.
+    interrupted = true;
+    interrupt_reason = error.reason();
+  } catch (...) {
+    drain_cells();
+    throw;
+  }
+  // On the success path every fold already ran, so this is a no-op; on
+  // the interrupted path it retires the remaining cells' units (a
+  // cancelled batch skips its pending units, so this returns promptly).
+  drain_cells();
+  result.interrupted = interrupted;
+  if (interrupted && interrupt_reason != nullptr) {
+    result.interrupt_reason = interrupt_reason;
   }
 
-  // Spectral counters are read only now: eigensolves run lazily inside
-  // pool batches, which have all completed once every fold returned.
-  result.spectra_solved = spectrum_cache.eigensolves();
-  result.spectra_hits = spectrum_cache.spectrum_hits();
+  // Cache counters are read only now: builds and eigensolves run lazily
+  // inside pool batches, which have all completed once every fold (or
+  // the drain) returned.  Misses are counted per key on first request
+  // (the prefetch pass), so graphs_built is still "distinct graphs
+  // actually constructed for this batch".
+  result.graphs_built = graph_cache.misses() - base_graph_misses;
+  result.graph_cache_hits = graph_cache.hits() - base_graph_hits;
+  result.graph_cache_evictions = graph_cache.evictions() - base_graph_evictions;
+  result.graph_cache_resident_bytes = graph_cache.resident_bytes();
+  result.spectra_solved = spectrum_cache.eigensolves() - base_eigensolves;
+  result.spectra_hits = spectrum_cache.spectrum_hits() - base_spectrum_hits;
+  result.spectrum_record_hits = spectrum_cache.hits() - base_record_hits;
+  result.spectrum_record_misses = spectrum_cache.misses() - base_record_misses;
+  result.spectrum_cache_evictions =
+      spectrum_cache.evictions() - base_spectrum_evictions;
+  result.spectrum_cache_resident_bytes = spectrum_cache.resident_bytes();
 
   if (metrics != nullptr) {
     // Cache and batch totals are deterministic (they depend only on the
     // grid), so they join the counter section; the scheduler's in-flight
-    // high-water mark is timing-dependent and goes in as a gauge.
+    // high-water mark and the caches' resident footprint are
+    // timing-/history-dependent and go in as gauges.
     MetricsBuffer& buffer = metrics->buffer();
     buffer.count("engine.cells",
                  static_cast<std::int64_t>(cells.size()));
@@ -325,20 +429,43 @@ BatchResult run_experiment(const ExperimentSpec& spec,
                  static_cast<std::int64_t>(result.replica_rows.size()));
     buffer.count("graph_cache.builds", result.graphs_built);
     buffer.count("graph_cache.hits", result.graph_cache_hits);
+    buffer.count("graph_cache.evictions", result.graph_cache_evictions);
     buffer.count("spectrum_cache.eigensolves", result.spectra_solved);
     buffer.count("spectrum_cache.hits", result.spectra_hits);
+    buffer.count("spectrum_cache.evictions",
+                 result.spectrum_cache_evictions);
     metrics->set_gauge("scheduler.max_inflight_units",
                        scheduler.max_inflight_units());
+    metrics->set_gauge(
+        "graph_cache.resident_bytes",
+        static_cast<std::int64_t>(result.graph_cache_resident_bytes));
+    metrics->set_gauge(
+        "spectrum_cache.resident_bytes",
+        static_cast<std::int64_t>(result.spectrum_cache_resident_bytes));
   }
 
-  aggregate_flush.finish();
-  if (stream_rows) {
-    replica_flush.finish();
+  if (interrupted) {
+    // Close the sinks over the flushed prefix: partial CSVs beat losing
+    // a long run's entire output to a Ctrl-C.
+    aggregate_flush.finish_partial();
+    if (stream_rows) {
+      replica_flush.finish_partial();
+    }
+  } else {
+    aggregate_flush.finish();
+    if (stream_rows) {
+      replica_flush.finish();
+    }
   }
   return result;
 }
 
 BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
+  return run_experiment_with_default_sinks(spec, RunContext{});
+}
+
+BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec,
+                                              const RunContext& context) {
   // Validate the scenario (and its row channel, if a row-consuming flag
   // is set) BEFORE any file sink opens: opening truncates, and a typo'd
   // --scenario must not wipe a pre-existing output file.
@@ -411,9 +538,11 @@ BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec) {
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  BatchResult result = run_experiment(spec, sinks, row_sinks,
-                                      registry.has_value() ? &*registry
-                                                           : nullptr);
+  RunContext run_context = context;
+  if (registry.has_value()) {
+    run_context.metrics = &*registry;
+  }
+  BatchResult result = run_experiment(spec, sinks, row_sinks, run_context);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - wall_start)

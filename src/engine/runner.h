@@ -21,6 +21,11 @@
 #include "src/support/metrics.h"
 
 namespace opindyn {
+
+class CancelToken;
+class GraphCache;
+class SpectrumCache;
+
 namespace engine {
 
 /// One grid point: the sweep overrides that produce it, in axis order.
@@ -69,8 +74,42 @@ struct BatchResult {
   std::int64_t spectra_solved = 0;
   /// Spectrum requests served from the memoised records.
   std::int64_t spectra_hits = 0;
+  /// Spectra-record lookups that found / had to create a record.
+  std::int64_t spectrum_record_hits = 0;
+  std::int64_t spectrum_record_misses = 0;
+  /// LRU evictions charged to this batch (0 unless the caller shared
+  /// bounded caches via RunContext) and the caches' resident footprint
+  /// when the batch finished.
+  std::int64_t graph_cache_evictions = 0;
+  std::uint64_t graph_cache_resident_bytes = 0;
+  std::int64_t spectrum_cache_evictions = 0;
+  std::uint64_t spectrum_cache_resident_bytes = 0;
+  /// True when the batch was stopped by a cooperative cancellation
+  /// (SIGINT, serve-mode deadline or drain) instead of completing: the
+  /// rows hold the flushed prefix of cells and `interrupt_reason` holds
+  /// the CancelToken's reason.  Errors other than cancellation still
+  /// throw.
+  bool interrupted = false;
+  std::string interrupt_reason;
   /// One entry per grid cell, in grid (= fold = emission) order.
   std::vector<CellSummary> cells;
+};
+
+/// Shared infrastructure a batch should run on.  Every field defaults
+/// to nullptr = "the runner builds its own per-batch instance", which
+/// is exactly the historical behaviour; serve mode passes its
+/// process-lifetime scheduler and bounded caches plus a per-job cancel
+/// token, and the one-shot CLI passes its SIGINT token.
+struct RunContext {
+  /// Shared pool; when set, spec.threads is ignored (the pool's size
+  /// wins) -- results are bit-identical either way.
+  CellScheduler* scheduler = nullptr;
+  GraphCache* graph_cache = nullptr;
+  SpectrumCache* spectrum_cache = nullptr;
+  /// Polled between replica units and step bursts; a cancelled token
+  /// yields an interrupted (not failed) BatchResult.
+  const CancelToken* cancel = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs the full batch: looks up the scenario, expands the grid, builds
@@ -91,12 +130,24 @@ BatchResult run_experiment(const ExperimentSpec& spec,
                            const std::vector<RowSink*>& row_sinks = {},
                            MetricsRegistry* metrics = nullptr);
 
+/// As above, but running on the caller's shared infrastructure (see
+/// RunContext).  Cache counters in the BatchResult are per-batch deltas,
+/// so they mean the same thing for shared and per-batch caches.
+BatchResult run_experiment(const ExperimentSpec& spec,
+                           const std::vector<RowSink*>& sinks,
+                           const std::vector<RowSink*>& row_sinks,
+                           const RunContext& context);
+
 /// Convenience wrapper: renders a markdown table of the aggregate rows
 /// to stdout (unless spec.print_table is false), writes spec.csv_path
 /// and spec.rows_csv_path if set, and -- when spec.metrics_json_path /
 /// spec.trace_json_path are set -- collects metrics and writes the run
-/// report and Chrome trace files.
+/// report and Chrome trace files.  An interrupted batch (see
+/// RunContext::cancel) still flushes its sinks and writes the report
+/// with "interrupted": true.
 BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec);
+BatchResult run_experiment_with_default_sinks(const ExperimentSpec& spec,
+                                              const RunContext& context);
 
 }  // namespace engine
 }  // namespace opindyn

@@ -236,5 +236,13 @@ void OrderedFlush::finish() {
   }
 }
 
+void OrderedFlush::finish_partial() {
+  // No completeness check: the interrupted prefix [0, next_) is exactly
+  // what was already released in order, and the sinks finish over it.
+  for (RowSink* sink : sinks_) {
+    sink->finish();
+  }
+}
+
 }  // namespace engine
 }  // namespace opindyn

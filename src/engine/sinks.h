@@ -170,6 +170,12 @@ class OrderedFlush {
   /// Forwards finish() to every sink.  Fails if a cell never arrived.
   void finish();
 
+  /// Forwards finish() to every sink even though cells are missing --
+  /// the interrupted-batch path (SIGINT, deadline): only the in-order
+  /// prefix of completed cells was flushed, and the sinks now close
+  /// cleanly over that prefix instead of dropping all output.
+  void finish_partial();
+
  private:
   std::vector<RowSink*> sinks_;
   mutable std::mutex mutex_;

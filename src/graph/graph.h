@@ -106,6 +106,15 @@ class Graph {
   const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// Approximate heap footprint of the CSR arrays (the cache-accounting
+  /// unit for GraphCache's byte cap); deterministic for a given graph.
+  std::uint64_t memory_bytes() const noexcept {
+    return static_cast<std::uint64_t>(offsets_.size()) * sizeof(std::uint32_t) +
+           static_cast<std::uint64_t>(adjacency_.size()) * sizeof(NodeId) +
+           static_cast<std::uint64_t>(arc_source_.size()) * sizeof(NodeId) +
+           static_cast<std::uint64_t>(name_.size()) + sizeof(Graph);
+  }
+
  private:
   NodeId node_count_ = 0;
   std::int64_t edge_count_ = 0;

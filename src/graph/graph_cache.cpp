@@ -18,15 +18,61 @@ std::shared_ptr<const Graph> GraphCache::get(
       entry = std::make_shared<Entry>();
       entries_.emplace(key, entry);
     }
+    entry->last_use = ++use_counter_;
   }
   // The build runs here, outside the cache-wide lock: only callers of
   // THIS key serialise on the latch.  A throwing build leaves the latch
   // unset, so call_once rethrows to everyone waiting and the next
   // caller retries.
   std::call_once(entry->once, [&] {
-    entry->graph = std::make_shared<const Graph>(build());
+    auto built = std::make_shared<const Graph>(build());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entry->graph = std::move(built);
+    entry->bytes = entry->graph->memory_bytes();
+    // Account the entry only if it still owns its key: a concurrent
+    // eviction (or clear) may already have dropped it from the map, in
+    // which case the graph lives exactly as long as its holders.
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && it->second == entry) {
+      entry->resident = true;
+      resident_bytes_ += entry->bytes;
+      evict_locked(entry.get());
+    }
   });
+  // Safe without the lock: the once-latch orders this read after the
+  // mutex-protected write above.
   return entry->graph;
+}
+
+void GraphCache::evict_locked(const Entry* keep) {
+  while (true) {
+    const bool over_entries =
+        limits_.max_entries != 0 && entries_.size() > limits_.max_entries;
+    const bool over_bytes =
+        limits_.max_bytes != 0 && resident_bytes_ > limits_.max_bytes;
+    if (!over_entries && !over_bytes) {
+      return;
+    }
+    // Least-recently-used resident victim; in-flight builds (not yet
+    // resident) and the entry being returned are never evicted, so a
+    // cap smaller than one graph degenerates to "hold the newest".
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second->resident || it->second.get() == keep) {
+        continue;
+      }
+      if (victim == entries_.end() ||
+          it->second->last_use < victim->second->last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      return;
+    }
+    resident_bytes_ -= victim->second->bytes;
+    ++evictions_;
+    entries_.erase(victim);
+  }
 }
 
 std::size_t GraphCache::size() const {
@@ -44,11 +90,23 @@ std::int64_t GraphCache::misses() const {
   return misses_;
 }
 
+std::int64_t GraphCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::uint64_t GraphCache::resident_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
 void GraphCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  resident_bytes_ = 0;
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace opindyn

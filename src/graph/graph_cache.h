@@ -11,6 +11,14 @@
 // callers needing *different* graphs build in parallel while concurrent
 // callers of the *same* key still build exactly once (the latecomers
 // block on that key's latch only).
+//
+// The cache can be bounded (CacheLimits): serve mode promotes one
+// instance to process lifetime, so entry/byte caps with LRU eviction
+// keep a long-running job stream from accumulating every graph it ever
+// touched.  Eviction only drops the map entry -- jobs holding the
+// shared_ptr keep their graph alive, so an evicted-while-in-use graph
+// is merely rebuilt on the next request.  The default (no limits)
+// preserves the historical unbounded behaviour of per-batch caches.
 #ifndef OPINDYN_GRAPH_GRAPH_CACHE_H
 #define OPINDYN_GRAPH_GRAPH_CACHE_H
 
@@ -22,36 +30,59 @@
 #include <string>
 
 #include "src/graph/graph.h"
+#include "src/support/cache_limits.h"
 
 namespace opindyn {
 
 class GraphCache {
  public:
+  GraphCache() = default;
+  explicit GraphCache(CacheLimits limits) : limits_(limits) {}
+
   /// Returns the cached graph for `key`, building it via `build` on the
   /// first request.  Thread-safe; `build` runs outside the cache-wide
   /// lock (per-key latch), so distinct keys build concurrently and one
   /// key builds once.  If `build` throws, the error propagates to every
   /// caller waiting on that key and the next `get` retries the build.
+  /// With limits set, completing a build may evict least-recently-used
+  /// entries (never the one being returned).
   std::shared_ptr<const Graph> get(const std::string& key,
                                    const std::function<Graph()>& build);
 
   std::size_t size() const;
   /// Requests served from the cache / requests that had to build.
+  /// Cumulative over the cache's lifetime (evictions don't subtract).
   std::int64_t hits() const;
   std::int64_t misses() const;
+  /// Entries dropped by the LRU bound (0 for an unbounded cache).
+  std::int64_t evictions() const;
+  /// Bytes held by currently resident (fully built) entries.
+  std::uint64_t resident_bytes() const;
 
   void clear();
 
  private:
   struct Entry {
     std::once_flag once;
-    std::shared_ptr<const Graph> graph;
+    std::shared_ptr<const Graph> graph;  // written under mutex_, read
+                                         // after the once-latch
+    std::uint64_t bytes = 0;
+    std::uint64_t last_use = 0;
+    bool resident = false;  // built AND accounted in resident_bytes_
   };
+
+  /// Drops LRU resident entries (never `keep`) until within limits.
+  /// Caller holds mutex_.
+  void evict_locked(const Entry* keep);
 
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Entry>> entries_;
+  CacheLimits limits_;
+  std::uint64_t use_counter_ = 0;
+  std::uint64_t resident_bytes_ = 0;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
 };
 
 }  // namespace opindyn

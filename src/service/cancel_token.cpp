@@ -1,0 +1,39 @@
+#include "src/service/cancel_token.h"
+
+namespace opindyn {
+namespace {
+
+thread_local const CancelToken* t_current_token = nullptr;
+
+}  // namespace
+
+CancelScope::CancelScope(const CancelToken* token) noexcept
+    : previous_(t_current_token), installed_(token != nullptr) {
+  if (installed_) {
+    t_current_token = token;
+  }
+}
+
+CancelScope::~CancelScope() {
+  if (installed_) {
+    t_current_token = previous_;
+  }
+}
+
+namespace cancel {
+
+const CancelToken* current() noexcept { return t_current_token; }
+
+bool requested() noexcept {
+  return t_current_token != nullptr && t_current_token->cancelled();
+}
+
+void poll() {
+  if (t_current_token != nullptr && t_current_token->cancelled()) {
+    throw CancelledError(t_current_token->reason());
+  }
+}
+
+}  // namespace cancel
+
+}  // namespace opindyn

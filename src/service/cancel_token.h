@@ -1,0 +1,106 @@
+// Cooperative cancellation for long-running jobs.  A CancelToken is a
+// one-shot latch flipped by a controller (deadline monitor, signal
+// handler, drain logic) and *polled* by the work it governs -- nothing
+// is ever interrupted mid-computation.  The engine polls at two seams
+// only: the CellScheduler checks before starting each replica unit, and
+// run_until_converged checks between step bursts (the burst kernels'
+// existing chunk-countdown boundary).  Both sit outside the per-step
+// hot path, and because a burst either runs to completion or not at
+// all, a cancelled job never produces bytes that differ from a prefix
+// of the uncancelled run -- bit-identity is preserved by construction.
+//
+// The token is plumbed ambiently: a CancelScope installs it in a
+// thread_local slot (mirroring MetricsScope), the scheduler captures
+// the submitting thread's token at submit() and re-installs it around
+// each unit, and library code polls via the free functions below
+// without any signature changes.
+//
+// This header is dependency-free on purpose: core/ and support/ include
+// it even though it lives in src/service/.
+#ifndef OPINDYN_SERVICE_CANCEL_TOKEN_H
+#define OPINDYN_SERVICE_CANCEL_TOKEN_H
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace opindyn {
+
+/// One-shot cancellation latch.  cancel() is async-signal-safe (a
+/// single atomic store), so a SIGINT handler may call it directly; the
+/// first cancel wins and its reason sticks.
+class CancelToken {
+ public:
+  /// Requests cancellation.  `reason` must have static storage duration
+  /// (string literals only): pollers read the pointer lock-free, and a
+  /// signal handler cannot allocate.
+  void cancel(const char* reason = "cancelled") noexcept {
+    const char* expected = nullptr;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_release,
+                                    std::memory_order_relaxed);
+  }
+
+  bool cancelled() const noexcept {
+    return reason_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// The first cancel()'s reason, or nullptr while not cancelled.
+  const char* reason() const noexcept {
+    return reason_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<const char*> reason_{nullptr};
+};
+
+/// Thrown by cancel::poll() when the ambient token is cancelled.  The
+/// scheduler's unit-failure capture carries it to the folding thread,
+/// where the runner turns it into an interrupted (not failed) batch.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const char* reason)
+      : std::runtime_error(std::string("cancelled: ") + reason),
+        reason_(reason) {}
+
+  /// The token's static reason string.
+  const char* reason() const noexcept { return reason_; }
+
+ private:
+  const char* reason_;
+};
+
+/// Installs `token` as the calling thread's ambient cancel token for
+/// the scope's lifetime (restores the previous one on destruction).  A
+/// nullptr token is a no-op install: the enclosing scope's token stays
+/// active, so callers can pass through an optional token unconditionally.
+class CancelScope {
+ public:
+  explicit CancelScope(const CancelToken* token) noexcept;
+  ~CancelScope();
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  const CancelToken* previous_;
+  bool installed_;
+};
+
+namespace cancel {
+
+/// The calling thread's ambient token (nullptr outside any CancelScope).
+const CancelToken* current() noexcept;
+
+/// True iff an ambient token exists and is cancelled.  A thread_local
+/// load and a branch -- cheap enough for per-burst polling.
+bool requested() noexcept;
+
+/// Throws CancelledError if requested(); otherwise returns.
+void poll();
+
+}  // namespace cancel
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SERVICE_CANCEL_TOKEN_H

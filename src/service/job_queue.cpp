@@ -1,0 +1,69 @@
+#include "src/service/job_queue.h"
+
+#include <utility>
+
+#include "src/support/assert.h"
+
+namespace opindyn {
+namespace service {
+
+JobQueue::JobQueue(std::size_t depth) : depth_(depth) {
+  OPINDYN_EXPECTS(depth >= 1, "job queue needs depth >= 1");
+}
+
+JobQueue::Push JobQueue::try_push(Job job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return Push::closed;
+    }
+    if (jobs_.size() >= depth_) {
+      return Push::full;
+    }
+    jobs_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return Push::accepted;
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) {
+    return std::nullopt;
+  }
+  Job job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+std::optional<Job> JobQueue::try_pop() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (jobs_.empty()) {
+    return std::nullopt;
+  }
+  Job job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void JobQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t JobQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+}  // namespace service
+}  // namespace opindyn

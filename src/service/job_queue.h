@@ -1,0 +1,79 @@
+// The serve-mode admission queue: a bounded FIFO between the reader
+// (admission) thread and the job workers.  Bounded on purpose -- a
+// client that streams jobs faster than they run gets an explicit
+// `rejected` record (backpressure it can see and retry on) instead of
+// unbounded memory growth in a process meant to run for weeks.
+//
+// The queue never reads clocks: deadlines are stamped by the server at
+// admission (the only layer allowed to look at time; opindyn-lint
+// enforces this) and carried here as opaque microsecond values.
+#ifndef OPINDYN_SERVICE_JOB_QUEUE_H
+#define OPINDYN_SERVICE_JOB_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "src/engine/experiment_spec.h"
+#include "src/service/cancel_token.h"
+
+namespace opindyn {
+namespace service {
+
+/// One admitted job: the parsed spec plus its serve-layer envelope.
+struct Job {
+  std::int64_t id = 0;
+  engine::ExperimentSpec spec;
+  /// Cancelled by the deadline monitor or the shutdown drain; shared so
+  /// the server can cancel a job it no longer holds.
+  std::shared_ptr<CancelToken> token;
+  /// Absolute deadline in microseconds on the server's monotonic epoch
+  /// (-1 = none); stamped at admission, so time spent queued counts.
+  std::int64_t deadline_us = -1;
+};
+
+/// Bounded multi-producer / multi-consumer FIFO.  try_push never
+/// blocks (admission must answer the client immediately); pop blocks
+/// until a job arrives or the queue is closed and drained.
+class JobQueue {
+ public:
+  enum class Push { accepted, full, closed };
+
+  explicit JobQueue(std::size_t depth);
+
+  /// Enqueues if there is room; `full` and `closed` leave the queue
+  /// untouched so the caller can emit the matching rejection record.
+  Push try_push(Job job);
+
+  /// Blocks for the next job; nullopt once the queue is closed AND
+  /// empty (the worker-exit signal).
+  std::optional<Job> pop();
+
+  /// Non-blocking pop, used by the forced drain to discard queued jobs
+  /// (each gets a `cancelled` record); nullopt when currently empty.
+  std::optional<Job> try_pop();
+
+  /// Stops admission and wakes every blocked pop; idempotent.  Queued
+  /// jobs remain poppable.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  const std::size_t depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Job> jobs_;
+  bool closed_ = false;
+};
+
+}  // namespace service
+}  // namespace opindyn
+
+#endif  // OPINDYN_SERVICE_JOB_QUEUE_H

@@ -16,6 +16,10 @@ const WalkSpectrum& GraphSpectra::walk() const {
   std::call_once(walk_once_, [&] {
     walk_ = std::make_unique<const WalkSpectrum>(lazy_walk_spectrum(*graph_));
     solves_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(
+        (walk_->values.size() + walk_->f2.size()) * sizeof(double) +
+            sizeof(WalkSpectrum),
+        std::memory_order_relaxed);
     solved = true;
   });
   if (!solved) {
@@ -30,6 +34,10 @@ const LaplacianSpectrum& GraphSpectra::laplacian() const {
     laplacian_ = std::make_unique<const LaplacianSpectrum>(
         laplacian_spectrum(*graph_));
     solves_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(
+        (laplacian_->values.size() + laplacian_->f2.size()) * sizeof(double) +
+            sizeof(LaplacianSpectrum),
+        std::memory_order_relaxed);
     solved = true;
   });
   if (!solved) {
@@ -46,18 +54,60 @@ std::int64_t GraphSpectra::hits() const noexcept {
   return hits_.load(std::memory_order_relaxed);
 }
 
+std::uint64_t GraphSpectra::memory_bytes() const noexcept {
+  return bytes_.load(std::memory_order_relaxed) + sizeof(GraphSpectra);
+}
+
 std::shared_ptr<GraphSpectra> SpectrumCache::get(
     const std::string& key, std::shared_ptr<const Graph> graph) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = records_.find(key);
   if (it != records_.end()) {
     ++hits_;
-    return it->second;
+    it->second.last_use = ++use_counter_;
+    return it->second.spectra;
   }
   ++misses_;
   auto record = std::make_shared<GraphSpectra>(std::move(graph));
-  records_.emplace(key, record);
+  records_.emplace(key, Record{record, ++use_counter_});
+  evict_locked(record.get());
   return record;
+}
+
+void SpectrumCache::evict_locked(const GraphSpectra* keep) {
+  while (true) {
+    const bool over_entries =
+        limits_.max_entries != 0 && records_.size() > limits_.max_entries;
+    // Recomputed per pass: records grow as their lazy solves complete,
+    // so there is no stable incremental byte total to maintain.
+    std::uint64_t bytes = 0;
+    if (limits_.max_bytes != 0) {
+      for (const auto& [key, record] : records_) {
+        bytes += record.spectra->memory_bytes();
+      }
+    }
+    const bool over_bytes = limits_.max_bytes != 0 && bytes > limits_.max_bytes;
+    if (!over_entries && !over_bytes) {
+      return;
+    }
+    auto victim = records_.end();
+    for (auto it = records_.begin(); it != records_.end(); ++it) {
+      if (it->second.spectra.get() == keep) {
+        continue;
+      }
+      if (victim == records_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == records_.end()) {
+      return;
+    }
+    retired_solves_ += victim->second.spectra->solves();
+    retired_spectrum_hits_ += victim->second.spectra->hits();
+    ++evictions_;
+    records_.erase(victim);
+  }
 }
 
 std::size_t SpectrumCache::size() const {
@@ -77,18 +127,32 @@ std::int64_t SpectrumCache::misses() const {
 
 std::int64_t SpectrumCache::eigensolves() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::int64_t total = 0;
+  std::int64_t total = retired_solves_;
   for (const auto& [key, record] : records_) {
-    total += record->solves();
+    total += record.spectra->solves();
   }
   return total;
 }
 
 std::int64_t SpectrumCache::spectrum_hits() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::int64_t total = 0;
+  std::int64_t total = retired_spectrum_hits_;
   for (const auto& [key, record] : records_) {
-    total += record->hits();
+    total += record.spectra->hits();
+  }
+  return total;
+}
+
+std::int64_t SpectrumCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::uint64_t SpectrumCache::resident_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, record] : records_) {
+    total += record.spectra->memory_bytes();
   }
   return total;
 }
@@ -98,6 +162,9 @@ void SpectrumCache::clear() {
   records_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
+  retired_solves_ = 0;
+  retired_spectrum_hits_ = 0;
 }
 
 }  // namespace opindyn

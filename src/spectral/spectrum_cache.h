@@ -24,6 +24,7 @@
 
 #include "src/graph/graph.h"
 #include "src/spectral/spectra.h"
+#include "src/support/cache_limits.h"
 
 namespace opindyn {
 
@@ -48,6 +49,11 @@ class GraphSpectra {
   /// Accessor calls served from the memo without solving.
   std::int64_t hits() const noexcept;
 
+  /// Heap bytes of the memoised spectra solved so far (grows as lazy
+  /// solves complete; excludes the shared graph, which GraphCache
+  /// accounts).  Safe to read while other threads solve.
+  std::uint64_t memory_bytes() const noexcept;
+
  private:
   std::shared_ptr<const Graph> graph_;
   mutable std::once_flag walk_once_;
@@ -56,36 +62,70 @@ class GraphSpectra {
   mutable std::unique_ptr<const LaplacianSpectrum> laplacian_;
   mutable std::atomic<std::int64_t> solves_{0};
   mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> bytes_{0};
 };
 
 /// Thread-safe memo from graph-cache key (see graph_cache_key) to the
 /// graph's GraphSpectra record.  `get` only ever takes the map lock;
 /// the eigensolves themselves run lazily inside the returned record.
+/// Like GraphCache, the cache can be bounded (CacheLimits) for
+/// process-lifetime use: eviction drops the LRU record from the map
+/// (holders keep their shared_ptr; the next request re-creates an empty
+/// record and re-solves lazily).  Eigensolve/hit totals stay cumulative
+/// across evictions.  The default is the historical unbounded cache.
 class SpectrumCache {
  public:
+  SpectrumCache() = default;
+  explicit SpectrumCache(CacheLimits limits) : limits_(limits) {}
+
   /// Returns the (shared) spectra record for `key`, creating an empty
   /// one holding `graph` on the first request.  No eigensolve runs
-  /// here -- the record solves lazily on first accessor use.
+  /// here -- the record solves lazily on first accessor use.  With
+  /// limits set, LRU records may be evicted (never the one returned).
   std::shared_ptr<GraphSpectra> get(const std::string& key,
                                     std::shared_ptr<const Graph> graph);
 
   std::size_t size() const;
   /// Requests that found an existing record / had to create one.
+  /// Cumulative over the cache's lifetime (evictions don't subtract).
   std::int64_t hits() const;
   std::int64_t misses() const;
-  /// Eigensolves actually run across all records (the expensive work);
-  /// a sweep sharing one graph and one spectrum kind reports exactly 1.
+  /// Eigensolves actually run across all records ever cached (the
+  /// expensive work); a sweep sharing one graph and one spectrum kind
+  /// reports exactly 1.  Includes records since evicted.
   std::int64_t eigensolves() const;
-  /// Spectrum accesses served from a memoised result.
+  /// Spectrum accesses served from a memoised result (incl. evicted).
   std::int64_t spectrum_hits() const;
+  /// Records dropped by the LRU bound (0 for an unbounded cache).
+  std::int64_t evictions() const;
+  /// Bytes of memoised spectra across the currently resident records
+  /// (recomputed on read: records grow as their lazy solves complete).
+  std::uint64_t resident_bytes() const;
 
   void clear();
 
  private:
+  struct Record {
+    std::shared_ptr<GraphSpectra> spectra;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Drops LRU records (never `keep`) until within limits.  Byte usage
+  /// is recomputed per pass because records grow lazily.  Caller holds
+  /// mutex_.
+  void evict_locked(const GraphSpectra* keep);
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<GraphSpectra>> records_;
+  std::map<std::string, Record> records_;
+  CacheLimits limits_;
+  std::uint64_t use_counter_ = 0;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+  /// Solve/hit counts carried over from evicted records, so the
+  /// cumulative accessors never go backwards when a record is dropped.
+  std::int64_t retired_solves_ = 0;
+  std::int64_t retired_spectrum_hits_ = 0;
 };
 
 }  // namespace opindyn

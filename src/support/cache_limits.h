@@ -1,0 +1,24 @@
+// Shared bounding policy for the process-lifetime caches (GraphCache,
+// SpectrumCache).  Serve mode keeps caches alive across jobs, so they
+// need caps; the one-shot runner keeps the unbounded default and
+// behaves exactly as before.
+#ifndef OPINDYN_SUPPORT_CACHE_LIMITS_H
+#define OPINDYN_SUPPORT_CACHE_LIMITS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace opindyn {
+
+/// LRU eviction caps; 0 means "unlimited" for that dimension.  Eviction
+/// never removes the entry being returned by the current request, so a
+/// cache whose byte cap is smaller than one resident entry simply holds
+/// that single entry.
+struct CacheLimits {
+  std::size_t max_entries = 0;
+  std::uint64_t max_bytes = 0;
+};
+
+}  // namespace opindyn
+
+#endif  // OPINDYN_SUPPORT_CACHE_LIMITS_H

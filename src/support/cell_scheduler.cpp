@@ -4,10 +4,19 @@
 #include <cmath>
 #include <limits>
 
+#include "src/service/cancel_token.h"
 #include "src/support/assert.h"
 #include "src/support/parallel.h"
 
 namespace opindyn {
+
+namespace {
+
+// The submit label is per-thread: serve-mode workers share a scheduler
+// and each tags its own submissions (see set_submit_label).
+thread_local std::string t_submit_label;
+
+}  // namespace
 
 std::uint64_t subseed(std::uint64_t seed, std::uint64_t salt) noexcept {
   // One splitmix64 step over a salted state: the same mixing the Rng
@@ -60,7 +69,14 @@ void ReplicaBatch::run_unit_instrumented(std::int64_t r) {
 
 void ReplicaBatch::run_range(std::int64_t begin, std::int64_t end) noexcept {
   try {
+    // Re-install the submitting thread's cancel token so unit bodies
+    // (and the bursts inside them) can poll it; a cancelled batch skips
+    // its remaining units and wait() rethrows the CancelledError.
+    const CancelScope cancel_scope(cancel_);
     for (std::int64_t r = begin; r < end; ++r) {
+      if (cancel_ != nullptr && cancel_->cancelled()) {
+        throw CancelledError(cancel_->reason());
+      }
       if (metrics_registry_ != nullptr) {
         run_unit_instrumented(r);
       } else {
@@ -143,6 +159,10 @@ std::vector<StreamedRow> ReplicaBatch::take_streamed_rows() {
 CellScheduler::CellScheduler(std::size_t threads)
     : threads_(threads == 0 ? default_parallelism() : threads) {}
 
+void CellScheduler::set_submit_label(std::string label) {
+  t_submit_label = std::move(label);
+}
+
 std::shared_ptr<ReplicaBatch> CellScheduler::submit(std::int64_t replicas,
                                                     std::uint64_t seed,
                                                     std::size_t metrics,
@@ -152,19 +172,22 @@ std::shared_ptr<ReplicaBatch> CellScheduler::submit(std::int64_t replicas,
   // make_shared is unavailable for the private constructor.
   std::shared_ptr<ReplicaBatch> batch(
       new ReplicaBatch(replicas, seed, metrics, std::move(body)));
+  batch->cancel_ = cancel::current();
 
   if (metrics_registry_ != nullptr) {
     batch->metrics_registry_ = metrics_registry_;
-    batch->label_ = submit_label_;
+    batch->label_ = t_submit_label;
     batch->inflight_ = inflight_;
-    // Submission happens on one thread, so these counters fold to the
-    // same totals at every thread count (the determinism contract).
+    // A run's submissions happen on one thread, so these counters fold
+    // to the same totals at every thread count (the determinism
+    // contract); buffer() is per-thread, so concurrent submitters from
+    // different jobs never contend either.
     MetricsBuffer& buffer = metrics_registry_->buffer();
     buffer.count("scheduler.batches_submitted", 1);
     buffer.count("scheduler.units_submitted", replicas);
-    if (!submit_label_.empty()) {
-      buffer.count_labeled(submit_label_, "units", replicas);
-      buffer.count_labeled(submit_label_, "batches", 1);
+    if (!t_submit_label.empty()) {
+      buffer.count_labeled(t_submit_label, "units", replicas);
+      buffer.count_labeled(t_submit_label, "batches", 1);
     }
     // Queue-depth high-water mark, observed at submission (worker-side
     // decrements race this, which only ever under-counts the peak).
@@ -182,9 +205,10 @@ std::shared_ptr<ReplicaBatch> CellScheduler::submit(std::int64_t replicas,
     batch->run_range(0, replicas);
     return batch;
   }
-  if (!pool_) {
-    pool_ = std::make_unique<ThreadPool>(threads_);
-  }
+  // Latched creation: concurrent first submissions (serve-mode workers
+  // sharing one scheduler) must not race the lazy pool spawn.
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(threads_); });
   // Several tasks per thread so many small cells interleave and balance
   // across the pool; the task boundaries never affect the results.
   const std::int64_t max_tasks = static_cast<std::int64_t>(threads_) * 2;

@@ -38,6 +38,8 @@
 
 namespace opindyn {
 
+class CancelToken;  // see src/service/cancel_token.h
+
 /// Derives an independent 64-bit sub-seed from (seed, salt); used to give
 /// each sub-experiment of a run (e.g. the voter race vs the averaging
 /// race) its own stream family.
@@ -124,6 +126,11 @@ class ReplicaBatch {
   MetricsRegistry* metrics_registry_ = nullptr;
   std::string label_;
   std::shared_ptr<std::atomic<std::int64_t>> inflight_;
+  /// Captured from the submitting thread's ambient CancelScope (see
+  /// src/service/cancel_token.h); checked before each unit starts and
+  /// re-installed around the unit body so nested bursts can poll.
+  /// nullptr (no ambient token) keeps the whole path to one branch.
+  const CancelToken* cancel_ = nullptr;
   std::vector<double> buffer_;  // replicas x metrics, NaN-filled
   std::vector<std::vector<std::vector<std::string>>> unit_rows_;
 
@@ -152,6 +159,13 @@ class CellScheduler {
   /// and returns immediately.  Unit r draws from Rng::fork(seed, r).
   /// With 1 thread the batch runs inline before returning -- results are
   /// bit-identical either way.
+  ///
+  /// Safe to call from several threads at once (the serve-mode workers
+  /// share one scheduler): the pool is created under a latch and the
+  /// submit label is per-thread.  The submitting thread's ambient
+  /// CancelToken (if any) is captured onto the batch: remaining units
+  /// of a cancelled batch are skipped and wait() rethrows the
+  /// CancelledError.
   std::shared_ptr<ReplicaBatch> submit(std::int64_t replicas,
                                        std::uint64_t seed,
                                        std::size_t metrics, ReplicaBatch::Body body);
@@ -173,10 +187,11 @@ class CellScheduler {
     metrics_registry_ = registry;
   }
   MetricsRegistry* metrics() const noexcept { return metrics_registry_; }
-  /// Label stamped on batches submitted from now on (the runner sets
-  /// "cell/<index>" around each scenario start and "prefetch" around
-  /// the graph prefetch pass).
-  void set_submit_label(std::string label) { submit_label_ = std::move(label); }
+  /// Label stamped on batches submitted from now on BY THIS THREAD (the
+  /// runner sets "cell/<index>" around each scenario start and
+  /// "prefetch" around the graph prefetch pass).  Per-thread so
+  /// concurrent jobs sharing a scheduler never race on the label.
+  void set_submit_label(std::string label);
 
   /// High-water mark of units submitted but not yet finished -- the
   /// queue-depth gauge of the run report.  Timing-dependent, so it
@@ -188,9 +203,9 @@ class CellScheduler {
 
  private:
   std::size_t threads_;
+  std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
   MetricsRegistry* metrics_registry_ = nullptr;
-  std::string submit_label_;
   std::shared_ptr<std::atomic<std::int64_t>> inflight_ =
       std::make_shared<std::atomic<std::int64_t>>(0);
   std::shared_ptr<std::atomic<std::int64_t>> max_inflight_ =

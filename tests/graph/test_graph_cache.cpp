@@ -97,6 +97,50 @@ TEST(GraphCache, OneKeyStillBuildsExactlyOnceUnderContention) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(GraphCache, EntryCapEvictsLeastRecentlyUsed) {
+  GraphCache cache(CacheLimits{2, 0});
+  const auto a = cache.get("cycle;8", [] { return gen::cycle(8); });
+  const auto b = cache.get("cycle;12", [] { return gen::cycle(12); });
+  // Touch "cycle;8" so "cycle;12" is the least recently used entry.
+  cache.get("cycle;8", [] { return gen::cycle(8); });
+  const auto c = cache.get("cycle;16", [] { return gen::cycle(16); });
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  // The evicted entry rebuilds on the next request (a fresh miss); the
+  // retained one is still a hit.
+  const std::int64_t misses_before = cache.misses();
+  cache.get("cycle;12", [] { return gen::cycle(12); });
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  const std::int64_t hits_before = cache.hits();
+  cache.get("cycle;16", [] { return gen::cycle(16); });
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+  // Holders keep evicted graphs alive (shared ownership).
+  EXPECT_EQ(b->node_count(), 12);
+  EXPECT_EQ(a->node_count(), 8);
+  EXPECT_EQ(c->node_count(), 16);
+}
+
+TEST(GraphCache, ByteCapTracksResidentBytesAcrossEviction) {
+  GraphCache unbounded;
+  const auto probe =
+      unbounded.get("cycle;64", [] { return gen::cycle(64); });
+  const std::uint64_t per_graph = probe->memory_bytes();
+  ASSERT_GT(per_graph, 0u);
+
+  // Room for two graphs of this size, not three.
+  GraphCache cache(CacheLimits{0, 2 * per_graph});
+  cache.get("a", [] { return gen::cycle(64); });
+  cache.get("b", [] { return gen::cycle(64); });
+  EXPECT_EQ(cache.resident_bytes(), 2 * per_graph);
+  EXPECT_EQ(cache.evictions(), 0);
+  cache.get("c", [] { return gen::cycle(64); });
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.resident_bytes(), 2 * per_graph);
+  cache.clear();
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
 TEST(GraphCache, CachedGraphsOutliveTheCache) {
   std::shared_ptr<const Graph> kept;
   {

@@ -91,5 +91,65 @@ TEST(SpectrumCache, SharesOneRecordPerKey) {
   EXPECT_EQ(a->graph().node_count(), 8);
 }
 
+
+TEST(SpectrumCache, EntryCapEvictsLeastRecentlyUsedRecord) {
+  SpectrumCache cache(CacheLimits{2, 0});
+  const auto a =
+      cache.get("c8", std::make_shared<const Graph>(gen::cycle(8)));
+  a->walk();  // one eigensolve lives in this record
+  cache.get("c12", std::make_shared<const Graph>(gen::cycle(12)));
+  // Touch "c8" so "c12" is the LRU victim.
+  cache.get("c8", std::make_shared<const Graph>(gen::cycle(8)));
+  cache.get("c16", std::make_shared<const Graph>(gen::cycle(16)));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  // Eviction retires the record but never loses the cumulative solve
+  // counters, and holders keep the record alive.
+  EXPECT_EQ(cache.eigensolves(), 1);
+  EXPECT_EQ(a->graph().node_count(), 8);
+
+  const std::int64_t misses_before = cache.misses();
+  cache.get("c12", std::make_shared<const Graph>(gen::cycle(12)));
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(SpectrumCache, ByteCapCountsSolvedSpectraLazily) {
+  // Records grow when a spectrum is actually solved, so the byte cap
+  // must be re-evaluated against current record sizes on admission.
+  // Measure two fully-solved records to pick a cap that holds either
+  // one alone but not both together.
+  GraphSpectra probe8(std::make_shared<const Graph>(gen::cycle(8)));
+  probe8.walk();
+  probe8.laplacian();
+  GraphSpectra probe32(std::make_shared<const Graph>(gen::cycle(32)));
+  probe32.walk();
+  probe32.laplacian();
+  const std::uint64_t cap =
+      probe8.memory_bytes() + probe32.memory_bytes() - 1;
+
+  SpectrumCache cache(CacheLimits{0, cap});
+  const auto a =
+      cache.get("c8", std::make_shared<const Graph>(gen::cycle(8)));
+  const std::uint64_t empty_bytes = cache.resident_bytes();
+  ASSERT_GT(empty_bytes, 0u);
+  a->walk();
+  a->laplacian();
+  EXPECT_GT(cache.resident_bytes(), empty_bytes);
+  const auto b =
+      cache.get("c32", std::make_shared<const Graph>(gen::cycle(32)));
+  b->walk();
+  b->laplacian();
+  EXPECT_EQ(cache.evictions(), 0);  // nothing admitted since the growth
+
+  // This admission sees the grown total and evicts the LRU record a.
+  cache.get("c12", std::make_shared<const Graph>(gen::cycle(12)));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_LE(cache.resident_bytes(), cap);
+  // The retired record keeps its cumulative counters in the cache
+  // totals and stays usable through the holder's pointer.
+  EXPECT_EQ(cache.eigensolves(), 4);
+  EXPECT_EQ(a->graph().node_count(), 8);
+}
+
 }  // namespace
 }  // namespace opindyn

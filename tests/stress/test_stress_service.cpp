@@ -1,0 +1,251 @@
+// Concurrency hammering of the serve-mode seams: multi-submitter
+// admission accounting on the bounded JobQueue, cancel-while-running on
+// a shared CellScheduler (which must stay reusable), forced-drain
+// record completeness, and the serve-vs-one-shot byte-identity contract
+// at several thread counts.  `ctest -L stress` runs this under TSan in
+// the sanitize CI job; every failure here is also a real correctness
+// bug in the plain build.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/runner.h"
+#include "src/graph/graph_cache.h"
+#include "src/service/cancel_token.h"
+#include "src/service/job_queue.h"
+#include "src/service/server.h"
+#include "src/spectral/spectrum_cache.h"
+#include "src/support/cell_scheduler.h"
+#include "src/support/json.h"
+
+namespace opindyn {
+namespace {
+
+TEST(StressService, MultiSubmitterAccountingNeverLosesAJob) {
+  constexpr int kSubmitters = 8;
+  constexpr int kPerSubmitter = 200;
+  service::JobQueue queue(32);
+
+  std::atomic<std::int64_t> accepted{0};
+  std::atomic<std::int64_t> bounced{0};
+  std::atomic<std::int64_t> popped{0};
+  std::set<std::int64_t> seen_ids;
+  std::mutex seen_mutex;
+
+  std::thread consumer([&] {
+    while (std::optional<service::Job> job = queue.pop()) {
+      ++popped;
+      const std::lock_guard<std::mutex> lock(seen_mutex);
+      EXPECT_TRUE(seen_ids.insert(job->id).second)
+          << "job " << job->id << " popped twice";
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        service::Job job;
+        job.id = static_cast<std::int64_t>(s) * kPerSubmitter + i;
+        job.token = std::make_shared<CancelToken>();
+        switch (queue.try_push(std::move(job))) {
+          case service::JobQueue::Push::accepted:
+            ++accepted;
+            break;
+          case service::JobQueue::Push::full:
+            ++bounced;
+            break;
+          case service::JobQueue::Push::closed:
+            ADD_FAILURE() << "queue closed while submitters run";
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) {
+    submitter.join();
+  }
+  queue.close();
+  consumer.join();
+
+  // Explicit backpressure: every push got exactly one of the two
+  // outcomes, and every accepted job came out exactly once.
+  EXPECT_EQ(accepted + bounced, kSubmitters * kPerSubmitter);
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+engine::ExperimentSpec slow_spec() {
+  // Tight eps on the slow-mixing cycle: converges eventually, but slow
+  // enough that a cancellation reliably lands mid-run.
+  engine::ExperimentSpec spec;
+  spec.scenario = "node";
+  spec.graph.family = "cycle";
+  spec.graph.n = 512;
+  spec.replicas = 8;
+  spec.convergence.epsilon = 1e-14;
+  spec.print_table = false;
+  return spec;
+}
+
+TEST(StressService, CancelWhileRunningLeavesTheSharedSchedulerReusable) {
+  CellScheduler scheduler(4);
+  GraphCache graph_cache(CacheLimits{8, 0});
+  SpectrumCache spectrum_cache(CacheLimits{8, 0});
+
+  constexpr int kJobs = 4;
+  std::vector<CancelToken> tokens(kJobs);
+  std::vector<engine::BatchResult> results(kJobs);
+  std::vector<std::thread> runners;
+  for (int j = 0; j < kJobs; ++j) {
+    runners.emplace_back([&, j] {
+      engine::RunContext context;
+      context.scheduler = &scheduler;
+      context.graph_cache = &graph_cache;
+      context.spectrum_cache = &spectrum_cache;
+      context.cancel = &tokens[j];
+      results[j] = engine::run_experiment(slow_spec(), {}, {}, context);
+    });
+  }
+  // Cancel every other job while they fight over the same pool.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int j = 0; j < kJobs; j += 2) {
+    tokens[j].cancel("stress cancel");
+  }
+  for (std::thread& runner : runners) {
+    runner.join();
+  }
+  for (int j = 0; j < kJobs; ++j) {
+    if (results[j].interrupted) {
+      EXPECT_EQ(results[j].interrupt_reason, "stress cancel");
+    } else {
+      // Finished before the cancel landed (or was never cancelled).
+      EXPECT_EQ(results[j].rows.size(), 1u);
+    }
+  }
+  // An uncancelled job [1] must never be disturbed by its neighbours'
+  // cancellation (fault isolation on the shared pool).
+  EXPECT_FALSE(results[1].interrupted);
+
+  // The scheduler survives: a fresh batch on it matches a batch on a
+  // brand-new scheduler byte for byte.
+  engine::ExperimentSpec check = slow_spec();
+  check.graph.n = 64;
+  check.convergence.epsilon = 1e-10;
+  engine::RunContext shared;
+  shared.scheduler = &scheduler;
+  const engine::BatchResult reused =
+      engine::run_experiment(check, {}, {}, shared);
+  const engine::BatchResult fresh =
+      engine::run_experiment(check, {}, {});
+  EXPECT_FALSE(reused.interrupted);
+  EXPECT_EQ(reused.rows, fresh.rows);
+}
+
+std::vector<json::Value> parse_records(const std::string& text) {
+  std::vector<json::Value> records;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    records.push_back(json::parse(line));
+  }
+  return records;
+}
+
+TEST(StressService, ServeBytesAreIdenticalAcrossThreadCounts) {
+  // One-shot reference, default per-batch infrastructure.
+  const std::string reference_csv =
+      ::testing::TempDir() + "stress_serve_ref.csv";
+  engine::ExperimentSpec spec;
+  spec.scenario = "node_vs_edge";
+  spec.graph.family = "cycle";
+  spec.graph.n = 64;
+  spec.replicas = 8;
+  spec.sweeps = engine::parse_sweeps("k:1,2");
+  spec.csv_path = reference_csv;
+  spec.print_table = false;
+  engine::run_experiment_with_default_sinks(spec);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string reference = slurp(reference_csv);
+  ASSERT_FALSE(reference.empty());
+
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    const std::string csv = ::testing::TempDir() + "stress_serve_t" +
+                            std::to_string(threads) + ".csv";
+    service::ServeOptions options;
+    options.threads = threads;
+    options.job_workers = 2;
+    service::JobStreamService server(std::move(options));
+    std::istringstream in(
+        "scenario=node_vs_edge graph=cycle n=64 replicas=8 "
+        "sweep=k:1,2 csv=" + csv + "\n");
+    std::ostringstream out;
+    ASSERT_EQ(server.serve_stream(in, out), 0);
+    const auto records = parse_records(out.str());
+    EXPECT_EQ(records.back().find("ok")->as_int(), 1)
+        << "threads=" << threads << ": " << out.str();
+    EXPECT_EQ(slurp(csv), reference) << "threads=" << threads;
+  }
+}
+
+TEST(StressService, ForcedDrainRecordsEveryJobAndSummarisesLast) {
+  service::ServeOptions options;
+  options.job_workers = 2;
+  options.threads = 2;
+  options.queue_depth = 16;
+  options.drain_timeout_ms = 100;
+  service::JobStreamService server(std::move(options));
+
+  std::string input;
+  for (int i = 0; i < 6; ++i) {
+    input +=
+        "scenario=node graph=cycle n=512 replicas=8 eps=1e-14\n";
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  std::thread session(
+      [&] { EXPECT_EQ(server.serve_stream(in, out), 0); });
+  // Let admission finish and some jobs start, then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  server.request_shutdown("stress drain");
+  session.join();
+
+  const auto records = parse_records(out.str());
+  ASSERT_GE(records.size(), 2u);
+  const json::Value& summary = records.back();
+  ASSERT_NE(summary.find("event"), nullptr);
+  EXPECT_EQ(summary.find("event")->as_string(), "shutdown");
+  EXPECT_EQ(summary.find("reason")->as_string(), "stress drain");
+
+  // Every admitted job produced exactly one record, none after the
+  // summary, and the counters add up.
+  const std::int64_t admitted = summary.find("admitted")->as_int();
+  std::set<std::int64_t> jobs;
+  for (const json::Value& record : records) {
+    const json::Value* job = record.find("job");
+    if (job != nullptr) {
+      EXPECT_TRUE(jobs.insert(job->as_int()).second)
+          << "duplicate record for job " << job->as_int();
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(jobs.size()), admitted);
+  EXPECT_EQ(summary.find("ok")->as_int() +
+                summary.find("errors")->as_int() +
+                summary.find("cancelled")->as_int(),
+            admitted);
+}
+
+}  // namespace
+}  // namespace opindyn
