@@ -14,6 +14,7 @@
 #include <exception>
 #include <iostream>
 #include <stdexcept>
+#include <string>
 
 #include "src/engine/runner.h"
 #include "src/service/cancel_token.h"
@@ -259,15 +260,26 @@ int cmd_serve(const CliArgs& args) {
       << 20;
   options.socket_path = args.get("socket", std::string{});
   options.signal_flag = &g_signal;
+  if (options.default_deadline_ms < 0 ||
+      options.default_deadline_ms > service::kMaxDeadlineMs) {
+    throw std::runtime_error(
+        "--deadline-ms must be in [0, " +
+        std::to_string(service::kMaxDeadlineMs) + "]");
+  }
   register_builtin_scenarios();
   std::signal(SIGINT, handle_serve_signal);
   std::signal(SIGTERM, handle_serve_signal);
+  // A client that vanishes (closed socket, dead stdout reader) must
+  // surface as EPIPE inside write_all, not as a process-killing
+  // SIGPIPE: fault isolation covers the transport too.
+  std::signal(SIGPIPE, SIG_IGN);
   const bool socket_mode = !options.socket_path.empty();
   service::JobStreamService server(std::move(options));
   const int code =
       socket_mode ? server.serve_socket() : server.serve_stdin();
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGPIPE, SIG_DFL);
   return code;
 }
 

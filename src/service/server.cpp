@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
@@ -101,8 +102,9 @@ std::map<std::string, std::string> parse_job_line(
   if (envelope != kv.end()) {
     const std::int64_t parsed =
         parse_int_value("job key 'deadline_ms'", envelope->second);
-    if (parsed < 0) {
-      throw std::runtime_error("job key 'deadline_ms' must be >= 0");
+    if (parsed < 0 || parsed > kMaxDeadlineMs) {
+      throw std::runtime_error("job key 'deadline_ms' must be in [0, " +
+                               std::to_string(kMaxDeadlineMs) + "]");
     }
     *deadline_ms = parsed;
     kv.erase(envelope);
@@ -191,11 +193,18 @@ class FdLineSource {
   bool saw_eof_ = false;
 };
 
-void write_all(int fd, const std::string& text) {
+/// Writes the whole buffer; `is_socket` uses send(MSG_NOSIGNAL) so a
+/// vanished client surfaces as EPIPE even without the CLI's SIGPIPE
+/// disposition (cmd_serve additionally ignores SIGPIPE process-wide,
+/// which is what protects the plain-pipe stdout path).
+void write_all(int fd, const std::string& text, bool is_socket = false) {
   std::size_t written = 0;
   while (written < text.size()) {
     const ssize_t put =
-        ::write(fd, text.data() + written, text.size() - written);
+        is_socket ? ::send(fd, text.data() + written,
+                           text.size() - written, MSG_NOSIGNAL)
+                  : ::write(fd, text.data() + written,
+                            text.size() - written);
     if (put < 0) {
       if (errno == EINTR) {
         continue;
@@ -383,6 +392,22 @@ struct JobStreamService::Impl {
     return shutdown_reason;
   }
 
+  /// 128+signo when the session ended on a latched SIGTERM/SIGINT --
+  /// the same convention as an interrupted `opindyn run` -- so
+  /// supervisors can tell a signal-driven drain from a clean EOF.
+  /// Programmatic request_shutdown() stays 0: it is the API's own
+  /// graceful stop, not an outside interruption.
+  int exit_code() const {
+    if (options.signal_flag != nullptr) {
+      const int signo =
+          options.signal_flag->load(std::memory_order_relaxed);
+      if (signo != 0) {
+        return 128 + signo;
+      }
+    }
+    return 0;
+  }
+
   // ---- admission --------------------------------------------------
 
   void admit_line(const std::string& raw) {
@@ -393,7 +418,10 @@ struct JobStreamService::Impl {
     const std::int64_t id = ++next_job_id;
     Job job;
     job.id = id;
-    std::int64_t deadline_ms = options.default_deadline_ms;
+    // The CLI validates --deadline-ms, but ServeOptions is a public
+    // struct: clamp here so no caller can hand us an overflowing stamp.
+    std::int64_t deadline_ms =
+        std::min(options.default_deadline_ms, kMaxDeadlineMs);
     try {
       const auto kv = parse_job_line(line, &deadline_ms);
       job.spec = engine::parse_spec(kv);
@@ -667,7 +695,7 @@ struct JobStreamService::Impl {
     // for jobs names the summary too.
     const bool forced = shutdown_requested();
     emit_summary(forced ? reason_now() : "eof", drained);
-    return 0;
+    return exit_code();
   }
 };
 
@@ -720,7 +748,6 @@ int JobStreamService::serve_socket() {
     ::close(listener);
     throw std::runtime_error("bind/listen on '" + path + "': " + detail);
   }
-  int exit_code = 0;
   while (!impl_->shutdown_requested()) {
     pollfd poller{};
     poller.fd = listener;
@@ -734,7 +761,7 @@ int JobStreamService::serve_socket() {
       continue;
     }
     impl_->set_writer([connection](const std::string& line) {
-      write_all(connection, line + "\n");
+      write_all(connection, line + "\n", /*is_socket=*/true);
     });
     impl_->emit_ready();
     FdLineSource source(connection);
@@ -760,7 +787,7 @@ int JobStreamService::serve_socket() {
   }
   ::close(listener);
   ::unlink(path.c_str());
-  return exit_code;
+  return impl_->exit_code();
 }
 
 }  // namespace service

@@ -46,6 +46,13 @@
 namespace opindyn {
 namespace service {
 
+/// Upper bound on any deadline_ms (about a century).  Keeps the
+/// admission-time stamp `now_us() + deadline_ms * 1000` far from int64
+/// overflow, where a huge client-supplied deadline would wrap negative
+/// (signed-overflow UB) and silently disable itself.
+inline constexpr std::int64_t kMaxDeadlineMs =
+    std::int64_t{86'400'000} * 365 * 100;
+
 struct ServeOptions {
   /// Admission queue depth; a push beyond it is rejected with a record,
   /// never buffered.

@@ -65,7 +65,12 @@ std::shared_ptr<GraphSpectra> SpectrumCache::get(
   if (it != records_.end()) {
     ++hits_;
     it->second.last_use = ++use_counter_;
-    return it->second.spectra;
+    // Enforce the byte cap on hits too: resident bytes grow *after*
+    // insertion as lazy walk()/laplacian() solves complete, so a warm
+    // stream of repeat keys must still trigger eviction.
+    const std::shared_ptr<GraphSpectra> spectra = it->second.spectra;
+    evict_locked(spectra.get());
+    return spectra;
   }
   ++misses_;
   auto record = std::make_shared<GraphSpectra>(std::move(graph));

@@ -71,7 +71,7 @@ void ReplicaBatch::run_range(std::int64_t begin, std::int64_t end) noexcept {
   try {
     // Re-install the submitting thread's cancel token so unit bodies
     // (and the bursts inside them) can poll it; a cancelled batch skips
-    // its remaining units and wait() rethrows the CancelledError.
+    // its remaining units and wait() reports a CancelledError.
     const CancelScope cancel_scope(cancel_);
     for (std::int64_t r = begin; r < end; ++r) {
       if (cancel_ != nullptr && cancel_->cancelled()) {
@@ -82,6 +82,14 @@ void ReplicaBatch::run_range(std::int64_t begin, std::int64_t end) noexcept {
       } else {
         run_unit(r);
       }
+    }
+  } catch (const CancelledError& cancelled) {
+    // Data, not exception_ptr (see cancel_reason_ in the header): the
+    // CancelledError thrown here dies on this pool thread; wait()
+    // recreates it on the waiting thread from the static reason.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (cancel_reason_ == nullptr) {
+      cancel_reason_ = cancelled.reason();
     }
   } catch (...) {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -108,7 +116,12 @@ void ReplicaBatch::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return pending_ == 0; });
   if (error_) {
+    // A real unit failure beats a concurrent cancellation: the caller
+    // should report the error, not a misleading "cancelled".
     std::rethrow_exception(error_);
+  }
+  if (cancel_reason_ != nullptr) {
+    throw CancelledError(cancel_reason_);
   }
 }
 

@@ -138,6 +138,11 @@ class ReplicaBatch {
   std::condition_variable all_done_;
   std::int64_t pending_;  // units not yet finished
   std::exception_ptr error_;
+  /// Cancellation travels as the token's static reason string, never as
+  /// an exception_ptr: wait() throws a fresh CancelledError on the
+  /// waiting thread, so no exception object (whose refcount lives in
+  /// uninstrumented libstdc++) is ever shared with a pool thread.
+  const char* cancel_reason_ = nullptr;
   bool folded_ = false;
   std::vector<RunningStats> stats_;
 };
@@ -164,8 +169,8 @@ class CellScheduler {
   /// share one scheduler): the pool is created under a latch and the
   /// submit label is per-thread.  The submitting thread's ambient
   /// CancelToken (if any) is captured onto the batch: remaining units
-  /// of a cancelled batch are skipped and wait() rethrows the
-  /// CancelledError.
+  /// of a cancelled batch are skipped and wait() throws a
+  /// CancelledError carrying the token's reason.
   std::shared_ptr<ReplicaBatch> submit(std::int64_t replicas,
                                        std::uint64_t seed,
                                        std::size_t metrics, ReplicaBatch::Body body);

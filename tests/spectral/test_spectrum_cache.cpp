@@ -151,5 +151,38 @@ TEST(SpectrumCache, ByteCapCountsSolvedSpectraLazily) {
   EXPECT_EQ(a->graph().node_count(), 8);
 }
 
+TEST(SpectrumCache, ByteCapEnforcedOnHitsWithoutNewAdmissions) {
+  // A warm serve process can keep hitting the same keys while lazy
+  // solves grow resident bytes past the cap; enforcement must not wait
+  // for a new key to arrive.
+  GraphSpectra probe8(std::make_shared<const Graph>(gen::cycle(8)));
+  probe8.walk();
+  probe8.laplacian();
+  GraphSpectra probe32(std::make_shared<const Graph>(gen::cycle(32)));
+  probe32.walk();
+  probe32.laplacian();
+  const std::uint64_t cap =
+      probe8.memory_bytes() + probe32.memory_bytes() - 1;
+
+  SpectrumCache cache(CacheLimits{0, cap});
+  const auto a =
+      cache.get("c8", std::make_shared<const Graph>(gen::cycle(8)));
+  const auto b =
+      cache.get("c32", std::make_shared<const Graph>(gen::cycle(32)));
+  a->walk();
+  a->laplacian();
+  b->walk();
+  b->laplacian();
+  EXPECT_EQ(cache.evictions(), 0);  // growth alone never evicts
+
+  // A plain hit on the warm key sees the grown total; the hit record
+  // is pinned, so the LRU record a is the victim.
+  cache.get("c32", std::make_shared<const Graph>(gen::cycle(32)));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_LE(cache.resident_bytes(), cap);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(a->graph().node_count(), 8);
+}
+
 }  // namespace
 }  // namespace opindyn
